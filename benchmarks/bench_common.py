@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure from the
+paper's evaluation (see DESIGN.md §3 for the index).  Benchmarks attach the
+regenerated series to ``benchmark.extra_info`` so the JSON output of
+``pytest benchmarks/ --benchmark-only --benchmark-json=results.json`` contains
+the data alongside the timings, and also print a compact table so a plain run
+shows the numbers being compared against the paper.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(title: str, rows: list[dict[str, object]]) -> None:
+    """Print a small aligned table with the regenerated figure/table data."""
+    if not rows:
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row[column])) for row in rows))
+        for column in columns
+    }
+    lines = [f"\n== {title} =="]
+    lines.append("  ".join(str(column).rjust(widths[column]) for column in columns))
+    for row in rows:
+        lines.append("  ".join(_fmt(row[column]).rjust(widths[column]) for column in columns))
+    print("\n".join(lines), file=sys.stderr)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.01 and value != 0:
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

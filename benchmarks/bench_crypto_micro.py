@@ -1,0 +1,83 @@
+"""§7 dominant costs: Diffie-Hellman and onion processing micro-benchmarks.
+
+Paper claim: server CPU time is dominated by the repeated Diffie-Hellman
+operations of wrapping and unwrapping onion layers — one DH per request per
+server — with the paper's 36-core machines sustaining ~340,000 Curve25519
+operations per second.  These micro-benchmarks measure this implementation's
+X25519 and onion throughput (on whatever backend is active) so the cost model
+can be recalibrated to local hardware, and they quantify the gap between the
+pure-Python reference primitives and the accelerated backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.crypto import (
+    DeterministicRandom,
+    KeyPair,
+    available_backends,
+    peel_request,
+    set_backend,
+    wrap_request,
+)
+from repro.crypto.backend import CRYPTOGRAPHY, PURE_PYTHON, active_backend
+from repro.net.links import PAPER_SERVER
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = DeterministicRandom(1)
+    ours = KeyPair.generate(rng)
+    servers = [KeyPair.generate(rng) for _ in range(3)]
+    peer = KeyPair.generate(rng)
+    return rng, ours, servers, peer
+
+
+def test_x25519_exchange_throughput(benchmark, keys):
+    rng, ours, _, peer = keys
+    result = benchmark(ours.exchange, peer.public)
+    assert len(result) == 32
+    ops_per_second = 1.0 / benchmark.stats.stats.mean
+    emit(
+        "Section 7: Diffie-Hellman throughput",
+        [
+            {
+                "backend": active_backend().name,
+                "DH ops/sec (this machine, 1 core)": ops_per_second,
+                "paper (36-core server)": PAPER_SERVER.dh_ops_per_sec,
+            }
+        ],
+    )
+    benchmark.extra_info["dh_ops_per_second"] = ops_per_second
+
+
+def test_onion_wrap_throughput(benchmark, keys):
+    rng, _, servers, _ = keys
+    publics = [server.public for server in servers]
+    wire, _ = benchmark(wrap_request, b"x" * 272, publics, 1, rng)
+    assert len(wire) == 272 + 3 * 48
+
+
+def test_onion_peel_throughput(benchmark, keys):
+    rng, _, servers, _ = keys
+    publics = [server.public for server in servers]
+    wire, _ = wrap_request(b"x" * 272, publics, 1, rng)
+    inner, _ = benchmark(peel_request, wire, servers[0].private, 0, 1)
+    assert len(inner) == 272 + 2 * 48
+
+
+@pytest.mark.skipif(
+    CRYPTOGRAPHY not in available_backends(), reason="cryptography backend not installed"
+)
+def test_pure_python_x25519_throughput(benchmark, keys):
+    """The dependency-free fallback: orders of magnitude slower, still correct."""
+    _, ours, _, peer = keys
+    expected = ours.exchange(peer.public)  # computed on the accelerated backend
+    try:
+        set_backend(PURE_PYTHON)
+        result = benchmark(ours.exchange, peer.public)
+    finally:
+        set_backend(CRYPTOGRAPHY)
+    assert result == expected

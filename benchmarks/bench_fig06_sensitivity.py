@@ -1,0 +1,34 @@
+"""Figure 6: sensitivity of the observable counts to one user's actions.
+
+Paper claim: swapping one user's real action for any cover story changes the
+number of dead drops accessed once (m1) by at most 2 and the number accessed
+twice (m2) by at most 1, with the exact per-cell values shown in Figure 6.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit
+
+from repro.privacy import figure6_table, max_sensitivity
+
+
+def test_figure6_sensitivity_table(benchmark):
+    table = benchmark(figure6_table)
+
+    rows = [
+        {
+            "cover story": cover,
+            "real action": real,
+            "delta m1": delta.delta_m1,
+            "delta m2": delta.delta_m2,
+        }
+        for (cover, real), delta in sorted(table.items())
+    ]
+    emit("Figure 6: (delta m1, delta m2) per cover story x real action", rows)
+
+    worst = max_sensitivity()
+    assert worst.delta_m1 == 2
+    assert worst.delta_m2 == 1
+    assert all(abs(d.delta_m1) <= 2 and abs(d.delta_m2) <= 1 for d in table.values())
+    benchmark.extra_info["max_delta_m1"] = worst.delta_m1
+    benchmark.extra_info["max_delta_m2"] = worst.delta_m2

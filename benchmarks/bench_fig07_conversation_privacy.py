@@ -1,0 +1,76 @@
+"""Figure 7: eps' and delta' after k conversation rounds for three noise levels.
+
+Paper claim: with the composition parameter d = 1e-5, the noise levels
+mu = 150K / 300K / 450K (b = 7,300 / 13,800 / 20,000) keep eps' = ln 2 and
+delta' = 1e-4 for roughly 70,000 / 250,000 / 500,000 rounds, with eps' and
+delta' growing smoothly (eps' roughly with sqrt(k)).
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_common import emit
+
+from repro.analysis import conversation_coverage_table, figure7_curves
+from repro.privacy import PAPER_CONVERSATION_ROUNDS, TARGET_DELTA, TARGET_EPSILON
+
+PAPER_COVERAGE = dict(zip((150_000, 300_000, 450_000), PAPER_CONVERSATION_ROUNDS))
+
+
+def test_figure7_privacy_curves(benchmark):
+    curves = benchmark(figure7_curves)
+
+    rows = []
+    for curve in curves:
+        for point in curve.points[:: max(len(curve.points) // 8, 1)]:
+            rows.append(
+                {
+                    "noise": curve.label,
+                    "k rounds": point.rounds,
+                    "e^eps'": point.deniability_factor,
+                    "delta'": point.delta_prime,
+                }
+            )
+    emit("Figure 7: conversation privacy vs rounds", rows)
+
+    # Shape: more noise -> lower curves; both parameters increase with k.
+    for low, high in zip(curves, curves[1:]):
+        assert low.noise.mu < high.noise.mu
+        for p_low, p_high in zip(low.points, high.points):
+            assert p_low.epsilon_prime > p_high.epsilon_prime
+    for curve in curves:
+        assert curve.epsilons() == sorted(curve.epsilons())
+        # eps' grows roughly with sqrt(k): from 10K to 1M rounds (100x) the
+        # epsilon should grow by roughly 10x (within a factor ~2, since the
+        # linear k eps (e^eps - 1) term adds a super-sqrt component).
+        growth = curve.epsilons()[-1] / curve.epsilons()[0]
+        assert 6 <= growth <= 25
+
+    benchmark.extra_info["curves"] = {
+        curve.label: list(zip(curve.rounds(), curve.epsilons(), curve.deltas()))
+        for curve in curves
+    }
+
+
+def test_figure7_rounds_covered_summary(benchmark):
+    rows = benchmark(conversation_coverage_table)
+
+    table = [
+        {
+            "noise mu": row.mu,
+            "scale b": row.b,
+            "rounds covered (measured)": row.rounds_covered,
+            "rounds covered (paper)": PAPER_COVERAGE[int(row.mu)],
+        }
+        for row in rows
+    ]
+    emit(
+        f"Section 6.4: rounds covered at eps'=ln2={TARGET_EPSILON:.3f}, delta'={TARGET_DELTA}",
+        table,
+    )
+
+    for row in rows:
+        paper = PAPER_COVERAGE[int(row.mu)]
+        assert math.isclose(row.rounds_covered, paper, rel_tol=0.15)
+    benchmark.extra_info["coverage"] = {row.label: row.rounds_covered for row in rows}

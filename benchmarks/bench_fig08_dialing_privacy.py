@@ -1,0 +1,69 @@
+"""Figure 8: eps' and delta' after k dialing rounds for three noise levels.
+
+Paper claim: dialing noise of mu = 8K / 13K / 20K invitations per dead drop
+(b = 500 / 770 / 1,130) covers roughly 1,200 / 3,500 / 8,000 dialing rounds at
+eps' = ln 2 and delta' = 1e-4 — far fewer rounds than conversations, but
+dialing rounds are ten minutes long and dialing is rare (a user taking five
+calls a day needs only ~1,800 rounds per year).
+"""
+
+from __future__ import annotations
+
+from bench_common import emit
+
+from repro.analysis import dialing_coverage_table, figure8_curves
+from repro.privacy import PAPER_DIALING_ROUNDS
+
+PAPER_COVERAGE = dict(zip((8_000, 13_000, 20_000), PAPER_DIALING_ROUNDS))
+
+
+def test_figure8_privacy_curves(benchmark):
+    curves = benchmark(figure8_curves)
+
+    rows = []
+    for curve in curves:
+        for point in curve.points[:: max(len(curve.points) // 8, 1)]:
+            rows.append(
+                {
+                    "noise": curve.label,
+                    "k rounds": point.rounds,
+                    "e^eps'": point.deniability_factor,
+                    "delta'": point.delta_prime,
+                }
+            )
+    emit("Figure 8: dialing privacy vs rounds", rows)
+
+    for low, high in zip(curves, curves[1:]):
+        assert low.noise.mu < high.noise.mu
+        for p_low, p_high in zip(low.points, high.points):
+            assert p_low.epsilon_prime > p_high.epsilon_prime
+    for curve in curves:
+        assert curve.epsilons() == sorted(curve.epsilons())
+        assert curve.deltas() == sorted(curve.deltas())
+
+    benchmark.extra_info["curves"] = {
+        curve.label: list(zip(curve.rounds(), curve.epsilons(), curve.deltas()))
+        for curve in curves
+    }
+
+
+def test_figure8_rounds_covered_summary(benchmark):
+    rows = benchmark(dialing_coverage_table)
+
+    table = [
+        {
+            "noise mu": row.mu,
+            "scale b": row.b,
+            "rounds covered (measured)": row.rounds_covered,
+            "rounds covered (paper)": PAPER_COVERAGE[int(row.mu)],
+        }
+        for row in rows
+    ]
+    emit("Section 6.5: dialing rounds covered at eps'=ln2, delta'=1e-4", table)
+
+    for row in rows:
+        paper = PAPER_COVERAGE[int(row.mu)]
+        # Dialing coverage reproduces within ~30% (see EXPERIMENTS.md for the
+        # discussion of the paper's b=7,700 typo and composition detail).
+        assert 0.6 * paper <= row.rounds_covered <= 1.4 * paper
+    benchmark.extra_info["coverage"] = {row.label: row.rounds_covered for row in rows}

@@ -1,0 +1,79 @@
+"""Figure 9: end-to-end conversation latency vs number of online users.
+
+Paper claim: latency scales linearly with the number of users on top of a
+constant noise floor (~20 s for mu=300,000 with 3 servers): 37 s at 1M users
+and 55 s at 2M; lower noise levels (mu=200K, 100K) shift the whole line down.
+The absolute numbers come from the cost model calibrated with the paper's
+constants (340K DH ops/sec/server, 2x protocol overhead); the shape is what
+this benchmark checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.core import VuvuzelaConfig
+from repro.simulation import DeploymentSimulator
+
+USER_COUNTS = [10, 250_000, 500_000, 1_000_000, 1_500_000, 2_000_000]
+NOISE_LEVELS = [100_000, 200_000, 300_000]
+
+PAPER_POINTS = {  # (mu, users) -> seconds, read off Figure 9 / §8.2
+    (300_000, 10): 20.0,
+    (300_000, 1_000_000): 37.0,
+    (300_000, 2_000_000): 55.0,
+}
+
+
+@pytest.fixture(scope="module")
+def simulator() -> DeploymentSimulator:
+    return DeploymentSimulator(config=VuvuzelaConfig.paper())
+
+
+def test_figure9_latency_vs_users(benchmark, simulator):
+    def sweep():
+        return {
+            mu: simulator.conversation_latency_sweep(USER_COUNTS, conversation_mu=mu)
+            for mu in NOISE_LEVELS
+        }
+
+    results = benchmark(sweep)
+
+    rows = []
+    for mu, estimates in results.items():
+        for estimate in estimates:
+            rows.append(
+                {
+                    "noise mu": mu,
+                    "users": estimate.num_users,
+                    "latency (s)": estimate.end_to_end_latency_seconds,
+                    "paper (s)": PAPER_POINTS.get((mu, estimate.num_users), ""),
+                }
+            )
+    emit("Figure 9: conversation latency vs online users", rows)
+
+    # Paper's anchor points reproduce within 15%.
+    for (mu, users), expected in PAPER_POINTS.items():
+        estimate = next(e for e in results[mu] if e.num_users == users)
+        assert estimate.end_to_end_latency_seconds == pytest.approx(expected, rel=0.15)
+
+    # Linear in users: constant increments, constant slope.
+    for mu in NOISE_LEVELS:
+        latencies = [e.end_to_end_latency_seconds for e in results[mu]]
+        assert latencies == sorted(latencies)
+        slope_1 = (latencies[3] - latencies[2]) / (USER_COUNTS[3] - USER_COUNTS[2])
+        slope_2 = (latencies[5] - latencies[4]) / (USER_COUNTS[5] - USER_COUNTS[4])
+        assert slope_1 == pytest.approx(slope_2, rel=0.05)
+
+    # Less noise shifts the whole curve down without changing the slope much.
+    for users_index in range(len(USER_COUNTS)):
+        per_noise = [
+            results[mu][users_index].end_to_end_latency_seconds for mu in NOISE_LEVELS
+        ]
+        assert per_noise == sorted(per_noise)
+
+    benchmark.extra_info["latency_seconds"] = {
+        str(mu): [e.end_to_end_latency_seconds for e in estimates]
+        for mu, estimates in results.items()
+    }

@@ -1,0 +1,50 @@
+"""Figure 10: end-to-end dialing latency vs number of online users.
+
+Paper claim: with mu = 13,000 dialing noise, 5 % of users dialing per round
+and the conversation protocol (mu = 300,000) running concurrently on the same
+servers, dialing latency grows linearly from ~13 s with ten users to ~50 s
+with two million users.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.core import VuvuzelaConfig
+from repro.simulation import DeploymentSimulator
+
+USER_COUNTS = [10, 500_000, 1_000_000, 1_500_000, 2_000_000]
+PAPER_POINTS = {10: 13.0, 2_000_000: 50.0}
+
+
+def test_figure10_dialing_latency_vs_users(benchmark):
+    simulator = DeploymentSimulator(config=VuvuzelaConfig.paper())
+
+    results = benchmark(simulator.dialing_latency_sweep, USER_COUNTS, 0.05)
+
+    rows = [
+        {
+            "users": estimate.num_users,
+            "latency (s)": estimate.end_to_end_latency_seconds,
+            "noise invitations": estimate.noise_invitations,
+            "paper (s)": PAPER_POINTS.get(estimate.num_users, ""),
+        }
+        for estimate in results
+    ]
+    emit("Figure 10: dialing latency vs online users (5% dialing)", rows)
+
+    for users, expected in PAPER_POINTS.items():
+        estimate = next(e for e in results if e.num_users == users)
+        assert estimate.end_to_end_latency_seconds == pytest.approx(expected, rel=0.2)
+
+    latencies = [e.end_to_end_latency_seconds for e in results]
+    assert latencies == sorted(latencies)
+    # Linear: the slope between consecutive large points is stable.
+    slope_1 = (latencies[2] - latencies[1]) / (USER_COUNTS[2] - USER_COUNTS[1])
+    slope_2 = (latencies[4] - latencies[3]) / (USER_COUNTS[4] - USER_COUNTS[3])
+    assert slope_1 == pytest.approx(slope_2, rel=0.05)
+    # The noise volume is independent of the user count (§5.3).
+    assert len({e.noise_invitations for e in results}) == 1
+
+    benchmark.extra_info["latency_seconds"] = latencies

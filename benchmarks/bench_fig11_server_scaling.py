@@ -1,0 +1,53 @@
+"""Figure 11: conversation latency vs the number of servers in the chain.
+
+Paper claim: with 1 million users and mu = 300,000, end-to-end latency grows
+roughly quadratically with the chain length — each of the s servers must
+process cover traffic from all previous servers, O(s) work for O(s) servers —
+reaching roughly 140 s with six servers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.core import VuvuzelaConfig
+from repro.simulation import DeploymentSimulator
+
+SERVER_COUNTS = [1, 2, 3, 4, 5, 6]
+
+
+def test_figure11_latency_vs_chain_length(benchmark):
+    simulator = DeploymentSimulator(config=VuvuzelaConfig.paper())
+
+    results = benchmark(simulator.server_scaling_sweep, SERVER_COUNTS, 1_000_000)
+
+    rows = [
+        {
+            "servers": estimate.num_servers,
+            "noise requests": estimate.noise_requests,
+            "latency (s)": estimate.end_to_end_latency_seconds,
+        }
+        for estimate in results
+    ]
+    emit("Figure 11: latency vs chain length (1M users, mu=300K)", rows)
+
+    latencies = {e.num_servers: e.end_to_end_latency_seconds for e in results}
+    # The paper's 3-server point is the §8.2 headline (~37 s) and the 6-server
+    # point is roughly 140 s.
+    assert latencies[3] == pytest.approx(37, rel=0.15)
+    assert latencies[6] == pytest.approx(140, rel=0.20)
+
+    # Quadratic shape: doubling the chain roughly quadruples the latency once
+    # noise dominates, and the ratio of successive increments keeps growing.
+    assert latencies[6] / latencies[3] > 3.0
+    assert latencies[4] / latencies[2] > 3.0
+    increments = [latencies[s + 1] - latencies[s] for s in SERVER_COUNTS[:-1]]
+    assert increments == sorted(increments)
+
+    # The cover traffic grows linearly with the chain length (2 mu per mixing server).
+    noise = {e.num_servers: e.noise_requests for e in results}
+    assert noise[6] == pytest.approx(5 * 600_000)
+    assert noise[1] == 0
+
+    benchmark.extra_info["latency_seconds"] = latencies

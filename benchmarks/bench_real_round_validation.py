@@ -1,0 +1,67 @@
+"""Validation: run the real protocol end to end and check the cost-model shape.
+
+The large-scale numbers in Figures 9-11 come from the calibrated cost model;
+this benchmark validates the model's *structure* against reality by executing
+complete conversation rounds with real cryptography at small scales and
+checking that (a) every message is delivered, and (b) measured wall-clock time
+grows linearly with the number of requests (clients + noise), which is the
+same linear-in-requests behaviour the model extrapolates.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.simulation import run_real_round
+
+
+@pytest.mark.parametrize("num_users", [4, 8, 16])
+def test_real_conversation_round(benchmark, num_users):
+    result = benchmark.pedantic(
+        run_real_round,
+        kwargs={"num_users": num_users, "conversation_mu": 4.0, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_delivered
+    assert result.metrics.client_requests == num_users
+    emit(
+        f"Real round, {num_users} users",
+        [
+            {
+                "users": num_users,
+                "noise requests": result.metrics.noise_requests,
+                "messages delivered": result.delivered_messages,
+                "wall clock (s)": result.metrics.wall_clock_seconds,
+                "bytes moved": result.metrics.bytes_moved,
+            }
+        ],
+    )
+    benchmark.extra_info["wall_clock_seconds"] = result.metrics.wall_clock_seconds
+    benchmark.extra_info["total_requests"] = result.metrics.total_requests
+
+
+def test_round_cost_scales_with_total_requests(benchmark):
+    """Per-request cost is roughly constant: the model's core assumption."""
+
+    def measure() -> dict[int, float]:
+        costs = {}
+        for num_users in (4, 16):
+            result = run_real_round(num_users=num_users, conversation_mu=4.0, seed=2)
+            costs[result.metrics.total_requests] = result.metrics.wall_clock_seconds
+        return costs
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    per_request = {total: seconds / total for total, seconds in costs.items()}
+    values = list(per_request.values())
+    emit(
+        "Per-request processing cost (real protocol)",
+        [
+            {"total requests": total, "seconds/request": seconds}
+            for total, seconds in per_request.items()
+        ],
+    )
+    # Within a factor of three across a 2-3x change in batch size: the cost is
+    # dominated by per-request work, not per-round constants.
+    assert max(values) <= 3.0 * min(values)

@@ -1,0 +1,93 @@
+"""§8.3 / §1 bandwidth table: client and server bandwidth requirements.
+
+Paper claims (1M users, 3 servers, mu_dial = 13,000, 5 % dialing, 10-minute
+dialing rounds):
+
+* conversation traffic per client is negligible (a 256-byte message per round),
+* each client downloads about 7 MB of invitations per dialing round,
+  i.e. roughly 12 KB/s,
+* the invitation-distribution layer (CDN/BitTorrent) must serve about
+  12 GB/s in aggregate for 1M users,
+* each server moves about 166 MB/s of conversation traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.core import VuvuzelaConfig
+from repro.dialing import optimal_bucket_count, paper_dialing_cost_model
+from repro.simulation import DeploymentSimulator
+
+PAPER = {
+    "client_dialing_download_mb": 7.0,
+    "client_dialing_bandwidth_kb_per_second": 12.0,
+    "aggregate_cdn_gb_per_second": 12.0,
+    "server_bandwidth_mb_per_second": 166.0,
+    "noise_invitations_per_bucket": 39_000.0,
+}
+
+
+def test_bandwidth_table(benchmark):
+    simulator = DeploymentSimulator(config=VuvuzelaConfig.paper())
+
+    def collect() -> dict[str, float]:
+        headline = simulator.headline_numbers(1_000_000)
+        dialing = paper_dialing_cost_model()
+        return {
+            "client_conversation_bytes_per_second": headline[
+                "client_conversation_bandwidth_bytes"
+            ],
+            "client_dialing_download_mb": dialing.download_bytes_per_client / 1e6,
+            "client_dialing_bandwidth_kb_per_second": dialing.download_bandwidth_per_client / 1e3,
+            "aggregate_cdn_gb_per_second": dialing.aggregate_distribution_bandwidth / 1e9,
+            "server_bandwidth_mb_per_second": headline["server_bandwidth_mb_per_second"],
+            "noise_invitations_per_bucket": dialing.noise_invitations_per_bucket,
+        }
+
+    measured = benchmark(collect)
+
+    rows = [
+        {"metric": key, "measured": value, "paper": PAPER.get(key, "")}
+        for key, value in measured.items()
+    ]
+    emit("Section 8.3: bandwidth requirements (1M users)", rows)
+
+    assert measured["client_conversation_bytes_per_second"] < 1_000
+    assert measured["client_dialing_download_mb"] == pytest.approx(
+        PAPER["client_dialing_download_mb"], rel=0.1
+    )
+    assert measured["client_dialing_bandwidth_kb_per_second"] == pytest.approx(
+        PAPER["client_dialing_bandwidth_kb_per_second"], rel=0.1
+    )
+    assert measured["aggregate_cdn_gb_per_second"] == pytest.approx(
+        PAPER["aggregate_cdn_gb_per_second"], rel=0.1
+    )
+    assert measured["server_bandwidth_mb_per_second"] == pytest.approx(
+        PAPER["server_bandwidth_mb_per_second"], rel=0.25
+    )
+    assert measured["noise_invitations_per_bucket"] == pytest.approx(
+        PAPER["noise_invitations_per_bucket"]
+    )
+    benchmark.extra_info["measured"] = measured
+
+
+def test_bucket_tuning_rule(benchmark):
+    """§5.4: m = n f / mu keeps real and noise invitations roughly balanced."""
+    result = benchmark(optimal_bucket_count, 1_000_000, 0.05, 13_000)
+    assert result == 4
+    model = paper_dialing_cost_model(num_buckets=result)
+    real_per_bucket = model.real_invitations / model.num_buckets
+    assert real_per_bucket == pytest.approx(13_000, rel=0.05)
+    emit(
+        "Section 5.4: invitation dead-drop tuning",
+        [
+            {
+                "buckets m": result,
+                "real invitations / bucket": real_per_bucket,
+                "noise / bucket / server": 13_000,
+                "server load factor": model.server_load_factor,
+            }
+        ],
+    )

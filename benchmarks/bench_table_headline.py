@@ -1,0 +1,67 @@
+"""§8.2 headline numbers: throughput, latency, noise volume, crypto bound.
+
+Paper claims (1M users, 3 servers, mu = 300,000, exact noise):
+
+* ~68,000 conversation messages per second end to end,
+* 37 seconds of end-to-end latency (55 s at 2M users, 84,000 msgs/sec),
+* about 1.2 million noise requests per round regardless of the user count,
+* the full protocol within 2x of the bare-crypto lower bound (~28 s for
+  3.2M messages across 3 servers at 340K DH ops/sec).
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_common import emit
+
+from repro.core import VuvuzelaConfig
+from repro.simulation import DeploymentSimulator, best_case_crypto_latency
+
+PAPER = {
+    "latency_seconds@1M": 37.0,
+    "messages_per_second@1M": 68_000.0,
+    "latency_seconds@2M": 55.0,
+    "messages_per_second@2M": 84_000.0,
+    "noise_requests": 1_200_000.0,
+    "best_case_seconds@2M": 28.0,
+}
+
+
+def test_headline_throughput_and_latency(benchmark):
+    simulator = DeploymentSimulator(config=VuvuzelaConfig.paper())
+
+    def collect() -> dict[str, float]:
+        one_million = simulator.headline_numbers(1_000_000)
+        two_million = simulator.headline_numbers(2_000_000)
+        return {
+            "latency_seconds@1M": one_million["latency_seconds"],
+            "messages_per_second@1M": one_million["messages_per_second"],
+            "latency_seconds@2M": two_million["latency_seconds"],
+            "messages_per_second@2M": two_million["messages_per_second"],
+            "noise_requests": one_million["noise_requests"],
+            "best_case_seconds@2M": best_case_crypto_latency(2_000_000, 1_200_000, 3),
+            "server_bandwidth_mb_per_second@1M": one_million["server_bandwidth_mb_per_second"],
+        }
+
+    measured = benchmark(collect)
+
+    rows = [
+        {"metric": key, "measured": value, "paper": PAPER.get(key, "")}
+        for key, value in measured.items()
+    ]
+    emit("Section 8.2 headline numbers", rows)
+
+    assert measured["latency_seconds@1M"] == pytest.approx(PAPER["latency_seconds@1M"], rel=0.15)
+    assert measured["latency_seconds@2M"] == pytest.approx(PAPER["latency_seconds@2M"], rel=0.15)
+    assert measured["messages_per_second@1M"] == pytest.approx(
+        PAPER["messages_per_second@1M"], rel=0.15
+    )
+    assert measured["messages_per_second@2M"] == pytest.approx(
+        PAPER["messages_per_second@2M"], rel=0.15
+    )
+    assert measured["noise_requests"] == pytest.approx(PAPER["noise_requests"])
+    assert measured["best_case_seconds@2M"] == pytest.approx(PAPER["best_case_seconds@2M"], rel=0.05)
+    # The modelled end-to-end latency stays within 2x of the crypto bound.
+    assert measured["latency_seconds@2M"] <= 2.1 * measured["best_case_seconds@2M"]
+
+    benchmark.extra_info["measured"] = measured

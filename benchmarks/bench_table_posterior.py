@@ -1,0 +1,47 @@
+"""§6.4 worked example: the adversary's posterior belief under (eps, delta)-DP.
+
+Paper claims: with a 50 % prior that Alice and Bob are talking, observing a
+Vuvuzela deployment with eps = ln 2 raises the adversary's belief to at most
+67 %; with eps = ln 3, to 75 %; and a 1 % prior with eps = ln 3 rises to only
+about 3 %.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from bench_common import emit
+
+from repro.privacy import posterior_belief
+
+CASES = [
+    # (prior, epsilon, paper posterior)
+    (0.50, math.log(2), 0.67),
+    (0.50, math.log(3), 0.75),
+    (0.01, math.log(3), 0.03),
+]
+
+
+def test_posterior_belief_examples(benchmark):
+    def collect() -> list[tuple[float, float, float]]:
+        return [(prior, eps, posterior_belief(prior, eps)) for prior, eps, _ in CASES]
+
+    measured = benchmark(collect)
+
+    rows = [
+        {
+            "prior": prior,
+            "epsilon": f"ln {round(math.exp(eps))}",
+            "posterior (measured)": value,
+            "posterior (paper)": paper,
+        }
+        for (prior, eps, value), (_, _, paper) in zip(measured, CASES)
+    ]
+    emit("Section 6.4: posterior belief bounds", rows)
+
+    for (prior, eps, value), (_, _, paper) in zip(measured, CASES):
+        assert value == pytest.approx(paper, abs=0.01)
+        # The multiplicative bound always holds.
+        assert value <= math.exp(eps) * prior + 1e-12
+    benchmark.extra_info["posteriors"] = [value for _, _, value in measured]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario: planning a million-user deployment.
+
+An operator wants to run Vuvuzela for one million users and needs to answer
+the questions the paper's evaluation answers:
+
+* how much cover traffic is needed to protect each user for 200,000 messages,
+* what end-to-end latency and throughput to expect at that noise level,
+* how much bandwidth each server and each client will consume, and
+* how those numbers change with more servers in the chain.
+
+Everything is computed with the noise-calibration machinery (§6.4) and the
+calibrated cost model (§8.2), i.e. the same code the Figure 9-11 benchmarks
+use.
+
+Run with:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import chain_length_tradeoff, noise_latency_tradeoff
+from repro.privacy import (
+    TARGET_DELTA,
+    TARGET_EPSILON,
+    calibrate_conversation_noise,
+    noise_for_rounds,
+    posterior_belief,
+)
+from repro.simulation import DeploymentSimulator
+
+
+def main() -> None:
+    print("=== Step 1: how much noise for 200,000 protected messages? ===")
+    config = noise_for_rounds(200_000)
+    print(f"target: eps' = ln 2, delta' = {TARGET_DELTA}")
+    print(f"required noise: mu = {config.mu:,.0f}, b = {config.b:,.0f} per server per round")
+    print(f"(covers {config.rounds_covered:,} rounds; independent of the number of users)")
+    print(f"posterior bound: a 50% prior rises to at most "
+          f"{posterior_belief(0.5, TARGET_EPSILON, TARGET_DELTA) * 100:.0f}%\n")
+
+    print("=== Step 2: paper-scale performance at mu = 300,000 ===")
+    simulator = DeploymentSimulator()
+    headline = simulator.headline_numbers(1_000_000)
+    for key, value in headline.items():
+        print(f"  {key:45s} {value:12,.1f}")
+    print()
+
+    print("=== Step 3: privacy/latency trade-off (1M users, 3 servers) ===")
+    print(f"{'mu':>10} {'rounds covered':>16} {'latency (s)':>12} {'msgs/sec':>10}")
+    for row in noise_latency_tradeoff([150_000, 300_000, 450_000], calibrate_scale=False):
+        print(f"{row.mu:>10,.0f} {row.rounds_covered:>16,} {row.latency_seconds:>12.1f} "
+              f"{row.messages_per_second:>10,.0f}")
+    print()
+
+    print("=== Step 4: how long a chain can we afford? (Figure 11) ===")
+    print(f"{'servers':>8} {'tolerated compromises':>22} {'latency (s)':>12}")
+    for row in chain_length_tradeoff([1, 2, 3, 4, 5, 6]):
+        print(f"{row.num_servers:>8} {row.compromised_servers_tolerated:>22} "
+              f"{row.latency_seconds:>12.1f}")
+    print()
+
+    print("=== Step 5: sanity-check the calibration sweep against the paper ===")
+    for mu in (150_000, 300_000, 450_000):
+        calibrated = calibrate_conversation_noise(mu, steps=16)
+        print(f"mu = {mu:>7,}: best b = {calibrated.b:>8,.0f}, "
+              f"covers {calibrated.rounds_covered:>8,} rounds "
+              f"(paper: 7,300/13,800/20,000 and 70K/250K/500K)")
+
+
+if __name__ == "__main__":
+    main()

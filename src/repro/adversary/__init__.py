@@ -1,0 +1,25 @@
+"""Adversary models: the global observer, active attacks and Bayesian inference."""
+
+from .attacks import (
+    DiscardAttackResult,
+    IntersectionAttackResult,
+    run_discard_attack,
+    run_intersection_attack,
+)
+from .inference import BayesianAttacker
+from .observer import (
+    ConversationRoundObservation,
+    DialingRoundObservation,
+    GlobalObserver,
+)
+
+__all__ = [
+    "BayesianAttacker",
+    "ConversationRoundObservation",
+    "DialingRoundObservation",
+    "DiscardAttackResult",
+    "GlobalObserver",
+    "IntersectionAttackResult",
+    "run_discard_attack",
+    "run_intersection_attack",
+]

@@ -1,0 +1,76 @@
+"""A Bayesian adversary that updates its belief from the observable counts.
+
+This is the quantitative counterpart of the paper's §6.4 discussion: an
+adversary with some prior belief that Alice and Bob are talking observes the
+(noised) number of dead drops accessed twice and applies Bayes' rule.  Because
+the only difference between the two hypotheses is a shift of one in the count
+fed into the Laplace noise, the likelihood ratio of any single observation is
+bounded by ``e^eps`` — which is exactly what the differential-privacy analysis
+promises.  Running this adversary against a live system provides an empirical
+check that the implementation does not leak more than the theory allows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..privacy.laplace import LaplaceParams, laplace_pdf
+
+
+@dataclass
+class BayesianAttacker:
+    """Tracks the posterior of "the targets are conversing" across rounds.
+
+    ``noise_params`` is the distribution of the noise added to the pair count
+    ``m2`` by one honest server, i.e. ``Laplace(mu/2, b/2)`` of the configured
+    conversation noise, scaled by the number of honest mixing servers.
+    ``baseline_pairs`` is the expected number of *real* pairs contributed by
+    everyone other than the targets (the adversary is assumed to know it —
+    Vuvuzela's guarantee is per-user, not aggregate).
+    """
+
+    noise_params: LaplaceParams
+    baseline_pairs: float = 0.0
+    prior: float = 0.5
+    posterior: float = field(init=False)
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prior < 1.0:
+            raise ConfigurationError("the prior must be strictly between 0 and 1")
+        self.posterior = self.prior
+
+    def likelihood_ratio(self, observed_m2: float) -> float:
+        """P(observation | conversing) / P(observation | not conversing)."""
+        conversing = laplace_pdf(observed_m2, self._shifted(self.baseline_pairs + 1.0))
+        not_conversing = laplace_pdf(observed_m2, self._shifted(self.baseline_pairs))
+        if not_conversing == 0.0:
+            return math.inf if conversing > 0 else 1.0
+        return conversing / not_conversing
+
+    def _shifted(self, real_pairs: float) -> LaplaceParams:
+        return LaplaceParams(mu=self.noise_params.mu + real_pairs, b=self.noise_params.b)
+
+    def update(self, observed_m2: float) -> float:
+        """Apply Bayes' rule for one round's observation; return the new posterior."""
+        ratio = self.likelihood_ratio(observed_m2)
+        odds = self.posterior / (1.0 - self.posterior)
+        new_odds = odds * ratio
+        self.posterior = new_odds / (1.0 + new_odds) if math.isfinite(new_odds) else 1.0
+        self.observations += 1
+        return self.posterior
+
+    @property
+    def belief_gain(self) -> float:
+        """How much the posterior has moved relative to the prior (odds ratio)."""
+        prior_odds = self.prior / (1.0 - self.prior)
+        posterior_odds = (
+            self.posterior / (1.0 - self.posterior) if self.posterior < 1.0 else math.inf
+        )
+        return posterior_odds / prior_odds
+
+    def theoretical_single_round_bound(self, sensitivity: float = 1.0) -> float:
+        """The e^eps bound on any single-round likelihood ratio (Lemma 3)."""
+        return math.exp(sensitivity / self.noise_params.b)

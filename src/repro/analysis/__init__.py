@@ -1,0 +1,35 @@
+"""Analysis: privacy curves (Figures 7-8) and design trade-off sweeps."""
+
+from .curves import (
+    CoverageRow,
+    CurvePoint,
+    PrivacyCurve,
+    conversation_coverage_table,
+    dialing_coverage_table,
+    figure7_curves,
+    figure8_curves,
+)
+from .tradeoffs import (
+    BucketCountRow,
+    ChainLengthRow,
+    NoiseTradeoffRow,
+    bucket_count_tradeoff,
+    chain_length_tradeoff,
+    noise_latency_tradeoff,
+)
+
+__all__ = [
+    "BucketCountRow",
+    "ChainLengthRow",
+    "CoverageRow",
+    "CurvePoint",
+    "NoiseTradeoffRow",
+    "PrivacyCurve",
+    "bucket_count_tradeoff",
+    "chain_length_tradeoff",
+    "conversation_coverage_table",
+    "dialing_coverage_table",
+    "figure7_curves",
+    "figure8_curves",
+    "noise_latency_tradeoff",
+]

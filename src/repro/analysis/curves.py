@@ -1,0 +1,148 @@
+"""Privacy curves: ε′ and δ′ as functions of the number of rounds (Figures 7 & 8).
+
+The paper plots, for three noise levels per protocol, how the composed privacy
+parameters grow with the number of rounds a user participates in.  These
+functions regenerate the same series from Theorems 1 and 2, and also the
+summary table of §6.4 ("how many rounds does each noise level cover at
+ε′ = ln 2, δ′ = 1e-4").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..privacy import (
+    DEFAULT_COMPOSITION_D,
+    LaplaceParams,
+    PAPER_CONVERSATION_CONFIGS,
+    PAPER_DIALING_CONFIGS,
+    PrivacyGuarantee,
+    TARGET_DELTA,
+    TARGET_EPSILON,
+    compose,
+    conversation_guarantee,
+    dialing_guarantee,
+    max_rounds,
+)
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One point of a Figure 7/8 curve."""
+
+    rounds: int
+    epsilon_prime: float
+    delta_prime: float
+    deniability_factor: float
+
+
+@dataclass(frozen=True)
+class PrivacyCurve:
+    """The ε′/δ′ trajectory of one noise configuration."""
+
+    label: str
+    noise: LaplaceParams
+    points: list[CurvePoint]
+
+    def epsilons(self) -> list[float]:
+        return [p.epsilon_prime for p in self.points]
+
+    def deltas(self) -> list[float]:
+        return [p.delta_prime for p in self.points]
+
+    def rounds(self) -> list[int]:
+        return [p.rounds for p in self.points]
+
+
+def _curve(
+    noise: LaplaceParams,
+    guarantee_fn: Callable[[LaplaceParams], PrivacyGuarantee],
+    round_counts: Sequence[int],
+    d: float,
+    label: str,
+) -> PrivacyCurve:
+    per_round = guarantee_fn(noise)
+    points = []
+    for k in round_counts:
+        composed = compose(per_round, k, d)
+        points.append(
+            CurvePoint(
+                rounds=k,
+                epsilon_prime=composed.epsilon,
+                delta_prime=composed.delta,
+                deniability_factor=composed.deniability_factor,
+            )
+        )
+    return PrivacyCurve(label=label, noise=noise, points=points)
+
+
+def _log_spaced(low: int, high: int, count: int) -> list[int]:
+    """Roughly log-spaced integer round counts between ``low`` and ``high``."""
+    if count < 2:
+        return [low]
+    ratio = (high / low) ** (1.0 / (count - 1))
+    values = sorted({int(round(low * ratio**i)) for i in range(count)})
+    return values
+
+
+def figure7_curves(
+    round_counts: Sequence[int] | None = None, d: float = DEFAULT_COMPOSITION_D
+) -> list[PrivacyCurve]:
+    """The three conversation-noise curves of Figure 7 (k from 10,000 to 1M)."""
+    rounds = list(round_counts) if round_counts is not None else _log_spaced(10_000, 1_000_000, 25)
+    return [
+        _curve(noise, conversation_guarantee, rounds, d, label=f"mu={int(noise.mu):,}")
+        for noise in PAPER_CONVERSATION_CONFIGS
+    ]
+
+
+def figure8_curves(
+    round_counts: Sequence[int] | None = None, d: float = DEFAULT_COMPOSITION_D
+) -> list[PrivacyCurve]:
+    """The three dialing-noise curves of Figure 8 (k from 1,000 to 16,000)."""
+    rounds = list(round_counts) if round_counts is not None else _log_spaced(1_000, 16_000, 25)
+    return [
+        _curve(noise, dialing_guarantee, rounds, d, label=f"mu={int(noise.mu):,}")
+        for noise in PAPER_DIALING_CONFIGS
+    ]
+
+
+@dataclass(frozen=True)
+class CoverageRow:
+    """One row of the §6.4/§6.5 noise-vs-rounds summary."""
+
+    label: str
+    mu: float
+    b: float
+    rounds_covered: int
+
+
+def conversation_coverage_table(
+    target_epsilon: float = TARGET_EPSILON, target_delta: float = TARGET_DELTA
+) -> list[CoverageRow]:
+    """Rounds covered by each conversation-noise level at the standard target."""
+    return [
+        CoverageRow(
+            label=f"mu={int(noise.mu):,}",
+            mu=noise.mu,
+            b=noise.b,
+            rounds_covered=max_rounds(conversation_guarantee(noise), target_epsilon, target_delta),
+        )
+        for noise in PAPER_CONVERSATION_CONFIGS
+    ]
+
+
+def dialing_coverage_table(
+    target_epsilon: float = TARGET_EPSILON, target_delta: float = TARGET_DELTA
+) -> list[CoverageRow]:
+    """Rounds covered by each dialing-noise level at the standard target."""
+    return [
+        CoverageRow(
+            label=f"mu={int(noise.mu):,}",
+            mu=noise.mu,
+            b=noise.b,
+            rounds_covered=max_rounds(dialing_guarantee(noise), target_epsilon, target_delta),
+        )
+        for noise in PAPER_DIALING_CONFIGS
+    ]

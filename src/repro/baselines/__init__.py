@@ -1,0 +1,11 @@
+"""Baselines the paper argues against: the Figure-4 strawman and an un-noised mixnet."""
+
+from .strawman import StrawmanObservation, StrawmanServer
+from .unnoised import build_unnoised_system, unnoised_config
+
+__all__ = [
+    "StrawmanObservation",
+    "StrawmanServer",
+    "build_unnoised_system",
+    "unnoised_config",
+]

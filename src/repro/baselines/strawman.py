@@ -1,0 +1,86 @@
+"""The strawman single-server protocol of Figure 4.
+
+Clients send their exchange requests directly to one server, which matches up
+dead drops exactly like Vuvuzela's last server — but there is no onion
+encryption, no mixing and no noise.  The server (or anyone who compromises it)
+therefore *sees which user accessed which dead drop*, and an adversary who
+suspects Alice and Bob simply checks whether their requests hit the same dead
+drop.  The attack benchmarks run the same adversaries against this baseline
+and against Vuvuzela to demonstrate what the design buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..conversation.messages import ExchangeRequest
+from ..deaddrop import AccessHistogram, DeadDropStore
+from ..errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class StrawmanObservation:
+    """What the (compromised) strawman server learns in one round.
+
+    Unlike Vuvuzela's observable variables, this includes the full linkage of
+    users to dead drops — the very thing Vuvuzela is built to hide.
+    """
+
+    round_number: int
+    user_to_dead_drop: dict[str, bytes]
+    histogram: AccessHistogram
+
+    def users_sharing_a_dead_drop(self) -> list[tuple[str, str]]:
+        """Pairs of users the server can directly link as conversing."""
+        by_drop: dict[bytes, list[str]] = {}
+        for user, drop in self.user_to_dead_drop.items():
+            by_drop.setdefault(drop, []).append(user)
+        return [
+            (users[0], users[1])
+            for users in by_drop.values()
+            if len(users) == 2
+        ]
+
+    def are_linked(self, user_a: str, user_b: str) -> bool:
+        """The trivial attack: did the two suspects access the same dead drop?"""
+        drop_a = self.user_to_dead_drop.get(user_a)
+        drop_b = self.user_to_dead_drop.get(user_b)
+        return drop_a is not None and drop_a == drop_b
+
+
+@dataclass
+class StrawmanServer:
+    """The single, fully trusted (but observable) server of Figure 4."""
+
+    observations: list[StrawmanObservation] = field(default_factory=list)
+
+    def run_round(
+        self, round_number: int, requests: dict[str, bytes]
+    ) -> dict[str, bytes]:
+        """Process one round of ``user -> encoded ExchangeRequest`` submissions."""
+        store = DeadDropStore()
+        indices: dict[str, int] = {}
+        user_to_drop: dict[str, bytes] = {}
+        for user, payload in requests.items():
+            try:
+                request = ExchangeRequest.decode(payload)
+            except ProtocolError:
+                continue
+            indices[user] = store.deposit(request.dead_drop_id, request.message_box)
+            user_to_drop[user] = request.dead_drop_id
+
+        result = store.exchange_all()
+        self.observations.append(
+            StrawmanObservation(
+                round_number=round_number,
+                user_to_dead_drop=user_to_drop,
+                histogram=result.histogram,
+            )
+        )
+        return {user: result.responses[index] for user, index in indices.items()}
+
+    def observation(self, round_number: int) -> StrawmanObservation:
+        for observation in self.observations:
+            if observation.round_number == round_number:
+                return observation
+        raise ProtocolError(f"round {round_number} has not been processed")

@@ -1,0 +1,35 @@
+"""An ablated Vuvuzela: the full mixnet, but with the cover traffic turned off.
+
+§4.2 argues that a mixnet alone is not enough: even though users cannot be
+linked to dead drops, the *number* of dead drops accessed twice is still
+observable, and intersection-style attacks on that single number succeed over
+time.  This baseline is exactly Vuvuzela with ``mu = 0`` noise, so the attack
+benchmarks can show the difference the noise makes while everything else stays
+identical.
+"""
+
+from __future__ import annotations
+
+from ..core import VuvuzelaConfig, VuvuzelaSystem
+from ..privacy.laplace import LaplaceParams
+
+
+def unnoised_config(num_servers: int = 3, seed: int | None = 0) -> VuvuzelaConfig:
+    """A configuration identical to :meth:`VuvuzelaConfig.small` but without noise.
+
+    ``mu = 0`` with a tiny scale means the truncated Laplace noise is almost
+    surely zero requests; ``exact`` mode makes it exactly zero.
+    """
+    return VuvuzelaConfig(
+        num_servers=num_servers,
+        conversation_noise=LaplaceParams(mu=0.0, b=1e-9),
+        dialing_noise=LaplaceParams(mu=0.0, b=1e-9),
+        exact_noise=True,
+        num_dialing_buckets=1,
+        seed=seed,
+    )
+
+
+def build_unnoised_system(num_servers: int = 3, seed: int | None = 0) -> VuvuzelaSystem:
+    """A ready-to-run Vuvuzela deployment with all cover traffic disabled."""
+    return VuvuzelaSystem(unnoised_config(num_servers=num_servers, seed=seed))

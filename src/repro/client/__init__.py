@@ -1,0 +1,22 @@
+"""High-level Vuvuzela client: conversation state, outbox, framing, dialing listener."""
+
+from .client import ConversationSlot, VuvuzelaClient
+from .directory import Contact, KeyDirectory
+from .framing import FRAME_OVERHEAD, MAX_BODY_SIZE, SequenceTracker, decode_frame, encode_frame
+from .state import ConversationState, IncomingCall, Outbox, ReceivedMessage
+
+__all__ = [
+    "Contact",
+    "ConversationSlot",
+    "ConversationState",
+    "FRAME_OVERHEAD",
+    "IncomingCall",
+    "KeyDirectory",
+    "MAX_BODY_SIZE",
+    "Outbox",
+    "ReceivedMessage",
+    "SequenceTracker",
+    "VuvuzelaClient",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,104 @@
+"""A local contact directory (the client side of §9's "PKI for dialing").
+
+Vuvuzela deliberately keeps key discovery out of band: looking a key up over
+the network at dialing time would itself reveal who is being dialed.  The
+paper's recommendation is that clients store their contacts' public keys ahead
+of time and verify them out of band (fingerprints, a local copy of a key
+server, a certificate accompanying an invitation).  :class:`KeyDirectory` is
+that local store: names to public keys, with fingerprints for manual
+verification and a trust-on-first-use check when a key for a known name
+changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..crypto import PublicKey
+from ..errors import ProtocolError
+
+
+def fingerprint(public_key: PublicKey, groups: int = 8) -> str:
+    """A short human-comparable fingerprint of a public key.
+
+    SHA-256 of the key, rendered as ``groups`` four-hex-digit blocks — the
+    format users read to each other over an out-of-band channel.
+    """
+    digest = hashlib.sha256(b"vuvuzela-fingerprint:" + bytes(public_key)).hexdigest()
+    blocks = [digest[i : i + 4] for i in range(0, groups * 4, 4)]
+    return " ".join(blocks)
+
+
+@dataclass(frozen=True)
+class Contact:
+    """One directory entry: a human name bound to a verified public key."""
+
+    name: str
+    public_key: PublicKey
+    verified: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.public_key)
+
+
+@dataclass
+class KeyDirectory:
+    """A client's local, out-of-band-populated contact list."""
+
+    _contacts: dict[str, Contact] = field(default_factory=dict)
+    _by_key: dict[bytes, str] = field(default_factory=dict)
+
+    def add(self, name: str, public_key: PublicKey, verified: bool = False) -> Contact:
+        """Add or update a contact.
+
+        Updating a known name with a *different* key raises unless the new key
+        is explicitly marked verified — the trust-on-first-use rule that
+        protects against a key-substitution attack on the directory itself.
+        """
+        if not name:
+            raise ProtocolError("contacts need a non-empty name")
+        existing = self._contacts.get(name)
+        if existing is not None and existing.public_key != public_key and not verified:
+            raise ProtocolError(
+                f"the key for {name!r} changed; re-verify the new fingerprint before updating"
+            )
+        contact = Contact(name=name, public_key=public_key, verified=verified)
+        if existing is not None:
+            self._by_key.pop(bytes(existing.public_key), None)
+        self._contacts[name] = contact
+        self._by_key[bytes(public_key)] = name
+        return contact
+
+    def get(self, name: str) -> Contact:
+        if name not in self._contacts:
+            raise ProtocolError(f"no contact named {name!r}")
+        return self._contacts[name]
+
+    def key_of(self, name: str) -> PublicKey:
+        return self.get(name).public_key
+
+    def identify(self, public_key: PublicKey) -> str | None:
+        """Who does this key belong to?  Used to label incoming calls (§9)."""
+        return self._by_key.get(bytes(public_key))
+
+    def mark_verified(self, name: str) -> Contact:
+        contact = self.get(name)
+        verified = Contact(name=contact.name, public_key=contact.public_key, verified=True)
+        self._contacts[name] = verified
+        return verified
+
+    def remove(self, name: str) -> None:
+        contact = self._contacts.pop(name, None)
+        if contact is not None:
+            self._by_key.pop(bytes(contact.public_key), None)
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._contacts
+
+    def names(self) -> list[str]:
+        return sorted(self._contacts)

@@ -1,0 +1,72 @@
+"""Client-level message framing: sequence numbers and duplicate suppression.
+
+Vuvuzela deals with lost rounds by retransmission at the client level (§3.1).
+Retransmission creates a corner case: if the exchange succeeded at the servers
+but the *response* was lost on the way back, the sender cannot tell whether
+its partner received the message, retransmits it next round, and the partner
+would see it twice.  To make retransmission safe, the client frames every
+message it sends with a small sequence number and the receiver drops
+duplicates.  The frame lives entirely inside the fixed 240-byte payload, so
+nothing about it is observable on the wire.
+
+Frame layout (within the padded conversation payload)::
+
+    sequence number (4 bytes, big endian) || body
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..conversation.messages import MAX_MESSAGE_SIZE
+from ..errors import ProtocolError
+
+_SEQ = struct.Struct(">I")
+
+#: Bytes of the fixed payload consumed by the frame header.
+FRAME_OVERHEAD = _SEQ.size
+#: Maximum body size once the frame header is accounted for.
+MAX_BODY_SIZE = MAX_MESSAGE_SIZE - 1 - FRAME_OVERHEAD
+
+
+def encode_frame(sequence: int, body: bytes) -> bytes:
+    """Prefix ``body`` with its sequence number."""
+    if sequence < 0 or sequence > 0xFFFFFFFF:
+        raise ProtocolError("sequence numbers must fit in 32 bits")
+    if len(body) > MAX_BODY_SIZE:
+        raise ProtocolError(f"message bodies are limited to {MAX_BODY_SIZE} bytes")
+    return _SEQ.pack(sequence) + body
+
+
+def decode_frame(frame: bytes) -> tuple[int, bytes]:
+    """Split a frame back into (sequence number, body)."""
+    if len(frame) < FRAME_OVERHEAD:
+        raise ProtocolError("frame too short to contain a sequence number")
+    (sequence,) = _SEQ.unpack_from(frame, 0)
+    return sequence, frame[FRAME_OVERHEAD:]
+
+
+@dataclass
+class SequenceTracker:
+    """Sender-side sequence assignment and receiver-side duplicate suppression."""
+
+    next_to_send: int = 0
+    _seen: set[int] = field(default_factory=set)
+
+    def assign(self) -> int:
+        """Sequence number for the next new outgoing message."""
+        sequence = self.next_to_send
+        self.next_to_send += 1
+        return sequence
+
+    def accept(self, sequence: int) -> bool:
+        """Record an incoming sequence number; False when it is a duplicate."""
+        if sequence in self._seen:
+            return False
+        self._seen.add(sequence)
+        return True
+
+    @property
+    def received_count(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,43 @@
+"""The conversation protocol: Algorithm 1 (client) and Algorithm 2 (servers)."""
+
+from .client import (
+    ConversationSession,
+    PendingExchange,
+    build_exchange_request,
+    process_exchange_response,
+)
+from .messages import (
+    EMPTY_MESSAGE_BOX,
+    EXCHANGE_REQUEST_SIZE,
+    MAX_MESSAGE_SIZE,
+    MESSAGE_BOX_SIZE,
+    ExchangeRequest,
+    decrypt_message,
+    directional_keys,
+    encrypt_message,
+    round_dead_drop,
+)
+from .server import (
+    ConversationProcessor,
+    build_noise_request,
+    conversation_noise_builder,
+)
+
+__all__ = [
+    "ConversationProcessor",
+    "ConversationSession",
+    "EMPTY_MESSAGE_BOX",
+    "EXCHANGE_REQUEST_SIZE",
+    "ExchangeRequest",
+    "MAX_MESSAGE_SIZE",
+    "MESSAGE_BOX_SIZE",
+    "PendingExchange",
+    "build_exchange_request",
+    "build_noise_request",
+    "conversation_noise_builder",
+    "decrypt_message",
+    "directional_keys",
+    "encrypt_message",
+    "process_exchange_response",
+    "round_dead_drop",
+]

@@ -1,0 +1,132 @@
+"""Wire formats of the conversation protocol.
+
+A conversation *exchange request* — the innermost payload the last server in
+the chain sees — consists of a 16-byte dead-drop ID followed by a fixed-size
+encrypted message box::
+
+    dead_drop_id (16) || AEAD( padded message, 240 bytes ) (256)
+
+for a total of 272 bytes.  The 240-byte plaintext limit and the 256-byte box
+(16 bytes of encryption overhead) match the paper's evaluation setup (§8.1).
+Every request in a round has exactly this size regardless of whether the
+sender is in a conversation, so requests are indistinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import (
+    DEAD_DROP_ID_SIZE,
+    conversation_dead_drop,
+    derive_key,
+    nonce_for_round,
+    open_box,
+    pad,
+    seal,
+    unpad,
+)
+from ..crypto.padding import DEFAULT_PLAINTEXT_SIZE
+from ..crypto.secretbox import TAG_SIZE
+from ..errors import DecryptionError, PaddingError, ProtocolError
+
+#: Maximum user payload per conversation message (240 bytes, §8.1).
+MAX_MESSAGE_SIZE = DEFAULT_PLAINTEXT_SIZE
+#: Size of the encrypted message box (256 bytes including 16 bytes overhead).
+MESSAGE_BOX_SIZE = MAX_MESSAGE_SIZE + TAG_SIZE
+#: Size of a full exchange request as seen by the last server.
+EXCHANGE_REQUEST_SIZE = DEAD_DROP_ID_SIZE + MESSAGE_BOX_SIZE
+
+_BOX_LABEL = "conversation-message"
+
+
+def directional_keys(shared_secret: bytes, own_public: bytes, peer_public: bytes) -> tuple[bytes, bytes]:
+    """Derive the (send, receive) message keys of one conversation endpoint.
+
+    Both parties encrypt under the *same* long-lived shared secret and use the
+    round number as the nonce (Algorithm 1 step 1a).  To avoid reusing a
+    (key, nonce) pair for the two directions of a round, each direction gets
+    its own key, bound to the sender's public key: Alice's send key is Bob's
+    receive key and vice versa.
+    """
+    send = derive_key(shared_secret, f"{_BOX_LABEL}:from:{own_public.hex()}")
+    receive = derive_key(shared_secret, f"{_BOX_LABEL}:from:{peer_public.hex()}")
+    return send, receive
+
+
+@dataclass(frozen=True)
+class ExchangeRequest:
+    """A parsed exchange request: which dead drop, and the opaque message box."""
+
+    dead_drop_id: bytes
+    message_box: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.dead_drop_id) != DEAD_DROP_ID_SIZE:
+            raise ProtocolError("dead-drop IDs must be 16 bytes")
+        if len(self.message_box) != MESSAGE_BOX_SIZE:
+            raise ProtocolError(
+                f"message boxes must be {MESSAGE_BOX_SIZE} bytes, got {len(self.message_box)}"
+            )
+
+    def encode(self) -> bytes:
+        return self.dead_drop_id + self.message_box
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ExchangeRequest":
+        if len(payload) != EXCHANGE_REQUEST_SIZE:
+            raise ProtocolError(
+                f"exchange requests must be {EXCHANGE_REQUEST_SIZE} bytes, got {len(payload)}"
+            )
+        return cls(
+            dead_drop_id=payload[:DEAD_DROP_ID_SIZE],
+            message_box=payload[DEAD_DROP_ID_SIZE:],
+        )
+
+
+def message_key(shared_secret: bytes) -> bytes:
+    """A direction-less message key (used only for fake requests by idle clients)."""
+    return derive_key(shared_secret, _BOX_LABEL)
+
+
+def encrypt_message(key: bytes, round_number: int, message: bytes) -> bytes:
+    """Pad and encrypt a (possibly empty) message for ``round_number``.
+
+    This is step 1a of Algorithm 1: the message is padded to the fixed size
+    and sealed under the conversation's send key with the round number as the
+    nonce.
+    """
+    if len(message) > MAX_MESSAGE_SIZE - 1:
+        raise ProtocolError(
+            f"conversation messages are limited to {MAX_MESSAGE_SIZE - 1} bytes"
+        )
+    padded = pad(message, MAX_MESSAGE_SIZE)
+    return seal(key, nonce_for_round(round_number, _BOX_LABEL), padded)
+
+
+def decrypt_message(key: bytes, round_number: int, box: bytes) -> bytes | None:
+    """Decrypt a message box received from a dead-drop exchange.
+
+    Returns ``None`` when the box does not authenticate under this
+    conversation's receive key — which is what a client sees when its partner
+    was absent (the last server returned a filler box) or when it is not in a
+    conversation at all.
+    """
+    if len(box) != MESSAGE_BOX_SIZE:
+        return None
+    try:
+        padded = open_box(key, nonce_for_round(round_number, _BOX_LABEL), box)
+        return unpad(padded, MAX_MESSAGE_SIZE)
+    except (DecryptionError, PaddingError):
+        return None
+
+
+def round_dead_drop(shared_secret: bytes, round_number: int) -> bytes:
+    """The dead drop this conversation uses in ``round_number`` (Algorithm 1, 1a)."""
+    return conversation_dead_drop(shared_secret, round_number)
+
+
+#: The filler box the last server returns for a dead drop accessed only once.
+#: Its size matches a real box; it authenticates under no key, so recipients
+#: treat it as "no message this round".
+EMPTY_MESSAGE_BOX = b"\x00" * MESSAGE_BOX_SIZE

@@ -1,0 +1,103 @@
+"""Server side of the conversation protocol (Algorithm 2, steps 2 and 3b).
+
+Two pieces live here:
+
+* :class:`ConversationProcessor` — the last server's dead-drop matching.  It
+  receives the fully peeled exchange requests of a round (real ones and the
+  noise added by earlier servers, already indistinguishable), matches up the
+  accesses per dead drop, swaps payloads, and records the access histogram —
+  the observable variable the adversary model reads when the last server is
+  compromised.
+* :func:`conversation_noise_builder` — the cover-traffic generator run by
+  every server except the last: ``n1`` fake single accesses plus ``n2/2``
+  fake pairs, with counts drawn from the truncated Laplace distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from . import messages
+from ..crypto import random_dead_drop
+from ..crypto.rng import RandomSource
+from ..deaddrop import AccessHistogram, DeadDropStore
+from ..errors import ProtocolError
+from ..mixnet.chain import NoiseBuilder
+from ..mixnet.noise import CoverTrafficSpec
+
+
+@dataclass
+class ConversationProcessor:
+    """Last-server processing of conversation rounds (Algorithm 2, step 3b)."""
+
+    strict: bool = False
+    histograms: dict[int, AccessHistogram] = field(default_factory=dict)
+    last_round_processed: int | None = None
+
+    def __call__(self, round_number: int, payloads: list[bytes]) -> list[bytes]:
+        """Match dead drops and return one fixed-size response per request.
+
+        Malformed payloads (wrong size) receive the filler box; with
+        ``strict`` set they raise instead, which is useful in tests.
+        """
+        store = DeadDropStore(empty_payload=messages.EMPTY_MESSAGE_BOX)
+        positions: list[int | None] = []
+        for payload in payloads:
+            try:
+                request = messages.ExchangeRequest.decode(payload)
+            except ProtocolError:
+                if self.strict:
+                    raise
+                positions.append(None)
+                continue
+            positions.append(store.deposit(request.dead_drop_id, request.message_box))
+
+        result = store.exchange_all()
+        responses = [
+            messages.EMPTY_MESSAGE_BOX if position is None else result.responses[position]
+            for position in positions
+        ]
+        self.histograms[round_number] = result.histogram
+        self.last_round_processed = round_number
+        return responses
+
+    def histogram(self, round_number: int) -> AccessHistogram:
+        """The observable (m1, m2) counts of a processed round."""
+        return self.histograms[round_number]
+
+
+def build_noise_request(rng: RandomSource, dead_drop_id: bytes | None = None) -> bytes:
+    """One fake exchange request: a random dead drop and a random message box.
+
+    Noise requests are generated without any key material — a random 256-byte
+    string is computationally indistinguishable from a real AEAD box to
+    anyone except the (nonexistent) holder of its key.
+    """
+    drop = dead_drop_id if dead_drop_id is not None else random_dead_drop(rng.random_bytes(16))
+    box = rng.random_bytes(messages.MESSAGE_BOX_SIZE)
+    return messages.ExchangeRequest(dead_drop_id=drop, message_box=box).encode()
+
+
+def conversation_noise_builder(
+    spec: CoverTrafficSpec,
+    counts_log: Callable[[int, int, int], None] | None = None,
+) -> NoiseBuilder:
+    """Make the noise builder one mixing server runs each round (step 2).
+
+    ``counts_log`` (round_number, singles, pairs), when given, lets tests and
+    the simulator record exactly how much cover traffic was generated.
+    """
+
+    def build(round_number: int, rng: RandomSource) -> list[bytes]:
+        counts = spec.sample(rng)
+        requests = [build_noise_request(rng) for _ in range(counts.singles)]
+        for _ in range(counts.pairs):
+            drop = random_dead_drop(rng.random_bytes(16))
+            requests.append(build_noise_request(rng, drop))
+            requests.append(build_noise_request(rng, drop))
+        if counts_log is not None:
+            counts_log(round_number, counts.singles, counts.pairs)
+        return requests
+
+    return build

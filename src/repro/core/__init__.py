@@ -1,0 +1,13 @@
+"""Core public API: configuration, the runnable system, and round metrics."""
+
+from .config import VuvuzelaConfig
+from .metrics import ConversationRoundMetrics, DialingRoundMetrics, SystemMetrics
+from .system import VuvuzelaSystem
+
+__all__ = [
+    "ConversationRoundMetrics",
+    "DialingRoundMetrics",
+    "SystemMetrics",
+    "VuvuzelaConfig",
+    "VuvuzelaSystem",
+]

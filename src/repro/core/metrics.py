@@ -1,0 +1,84 @@
+"""Round-level metrics collected while the system runs.
+
+These are the operational counterparts of the numbers the paper reports:
+requests processed per round, noise added, bytes moved, wall-clock time.  The
+deployment simulator uses the same structures, filling the timing fields from
+its cost model instead of the wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deaddrop import AccessHistogram
+
+
+@dataclass
+class ConversationRoundMetrics:
+    """What happened during one conversation round."""
+
+    round_number: int
+    client_requests: int = 0
+    delivered_responses: int = 0
+    lost_requests: int = 0
+    noise_requests: int = 0
+    histogram: AccessHistogram | None = None
+    bytes_moved: int = 0
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return self.client_requests + self.noise_requests
+
+    @property
+    def messages_exchanged(self) -> int:
+        """Dead drops accessed twice, i.e. successful exchanges (§4.2)."""
+        return self.histogram.pairs if self.histogram is not None else 0
+
+
+@dataclass
+class DialingRoundMetrics:
+    """What happened during one dialing round."""
+
+    round_number: int
+    client_requests: int = 0
+    real_invitations: int = 0
+    noise_invitations: int = 0
+    bucket_sizes: dict[int, int] = field(default_factory=dict)
+    bytes_moved: int = 0
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def total_invitations(self) -> int:
+        return self.real_invitations + self.noise_invitations
+
+
+@dataclass
+class SystemMetrics:
+    """Aggregated metrics over the lifetime of one system instance."""
+
+    conversation_rounds: list[ConversationRoundMetrics] = field(default_factory=list)
+    dialing_rounds: list[DialingRoundMetrics] = field(default_factory=list)
+
+    def record_conversation(self, metrics: ConversationRoundMetrics) -> None:
+        self.conversation_rounds.append(metrics)
+
+    def record_dialing(self, metrics: DialingRoundMetrics) -> None:
+        self.dialing_rounds.append(metrics)
+
+    @property
+    def total_messages_exchanged(self) -> int:
+        return sum(m.messages_exchanged for m in self.conversation_rounds)
+
+    @property
+    def total_bytes_moved(self) -> int:
+        return sum(m.bytes_moved for m in self.conversation_rounds) + sum(
+            m.bytes_moved for m in self.dialing_rounds
+        )
+
+    def average_round_seconds(self) -> float:
+        if not self.conversation_rounds:
+            return 0.0
+        return sum(m.wall_clock_seconds for m in self.conversation_rounds) / len(
+            self.conversation_rounds
+        )

@@ -1,0 +1,321 @@
+"""The top-level Vuvuzela system: clients, entry server and the server chain.
+
+:class:`VuvuzelaSystem` wires every substrate together into a runnable
+deployment: it creates the chain servers (each running both protocols), the
+untrusted entry server, and the in-process network they communicate over; it
+hands out :class:`~repro.client.VuvuzelaClient` instances; and it drives the
+synchronous rounds, collecting metrics and privacy-budget accounting as it
+goes.
+
+This is the class the examples and the integration tests use; the deployment
+simulator (:mod:`repro.simulation`) reuses its structure but replaces real
+cryptography with a calibrated cost model to reach the paper's scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .config import VuvuzelaConfig
+from .metrics import ConversationRoundMetrics, DialingRoundMetrics, SystemMetrics
+from ..client import VuvuzelaClient
+from ..conversation import ConversationProcessor, conversation_noise_builder
+from ..crypto import DeterministicRandom, KeyPair
+from ..crypto.rng import SecureRandom
+from ..deaddrop import InvitationDropStore
+from ..dialing import DialingProcessor, dialing_noise_builder
+from ..errors import ProtocolError
+from ..mixnet import CoverTrafficSpec, DialingNoiseSpec, MixServer, ServerRoundView
+from ..net import MessageKind, Network
+from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
+from ..server import ACK, ChainServerEndpoint, EntryServer
+
+
+@dataclass
+class _NoiseLedger:
+    """Accumulates, per round, how much cover traffic the chain added."""
+
+    per_round: dict[int, int] = field(default_factory=dict)
+
+    def observer(self, view: ServerRoundView) -> None:
+        self.per_round[view.round_number] = (
+            self.per_round.get(view.round_number, 0) + view.noise_requests_added
+        )
+
+    def for_round(self, round_number: int) -> int:
+        return self.per_round.get(round_number, 0)
+
+
+class VuvuzelaSystem:
+    """A complete, runnable Vuvuzela deployment."""
+
+    def __init__(self, config: VuvuzelaConfig | None = None) -> None:
+        self.config = config or VuvuzelaConfig.small()
+        self._rng = (
+            DeterministicRandom(self.config.seed)
+            if self.config.seed is not None
+            else DeterministicRandom(SecureRandom().random_uint(64))
+        )
+        self.network = Network()
+        self.metrics = SystemMetrics()
+        self.clients: dict[str, VuvuzelaClient] = {}
+        self._conversation_round = 0
+        self._dialing_round = 0
+
+        self.server_keypairs = [
+            KeyPair.generate(self._rng.fork(f"server-key-{i}"))
+            for i in range(self.config.num_servers)
+        ]
+        self.server_public_keys = [kp.public for kp in self.server_keypairs]
+
+        self._conversation_noise_ledger = _NoiseLedger()
+        self._dialing_noise_ledger = _NoiseLedger()
+        self.conversation_processor = ConversationProcessor()
+        self.dialing_processor = DialingProcessor(
+            num_buckets=self.config.num_dialing_buckets,
+            noise_spec=DialingNoiseSpec(self.config.dialing_noise, exact=self.config.exact_noise),
+            rng=self._rng.fork("dialing-last-server-noise"),
+        )
+        self._build_chain_endpoints()
+
+        self.entry = EntryServer(
+            network=self.network,
+            first_server={
+                MessageKind.CONVERSATION_REQUEST: self._endpoint_name(0, "conversation"),
+                MessageKind.DIALING_REQUEST: self._endpoint_name(0, "dialing"),
+            },
+            require_registration=self.config.require_registration,
+            max_requests_per_account_per_round=self.config.max_conversations_per_client,
+        )
+
+        self.conversation_accountant = PrivacyAccountant(
+            per_round=conversation_guarantee(self.config.conversation_noise),
+            target_epsilon=self.config.target_epsilon,
+            target_delta=self.config.target_delta,
+            composition_d=self.config.composition_d,
+        )
+        self.dialing_accountant = PrivacyAccountant(
+            per_round=dialing_guarantee(self.config.dialing_noise),
+            target_epsilon=self.config.target_epsilon,
+            target_delta=self.config.target_delta,
+            composition_d=self.config.composition_d,
+        )
+
+    # ------------------------------------------------------------------ setup
+
+    @staticmethod
+    def _endpoint_name(index: int, protocol: str) -> str:
+        return f"server-{index}/{protocol}"
+
+    def _build_chain_endpoints(self) -> None:
+        config = self.config
+        conversation_spec = CoverTrafficSpec(config.conversation_noise, exact=config.exact_noise)
+        dialing_spec = DialingNoiseSpec(config.dialing_noise, exact=config.exact_noise)
+        self.conversation_endpoints: list[ChainServerEndpoint] = []
+        self.dialing_endpoints: list[ChainServerEndpoint] = []
+
+        for index, keypair in enumerate(self.server_keypairs):
+            is_last = index == config.num_servers - 1
+            conversation_server = MixServer(
+                index=index,
+                keypair=keypair,
+                chain_public_keys=self.server_public_keys,
+                rng=self._rng.fork(f"conversation-server-{index}"),
+                noise_builder=(
+                    None
+                    if is_last
+                    else conversation_noise_builder(conversation_spec)
+                ),
+                observer=self._conversation_noise_ledger.observer,
+            )
+            self.conversation_endpoints.append(
+                ChainServerEndpoint(
+                    name=self._endpoint_name(index, "conversation"),
+                    mix_server=conversation_server,
+                    network=self.network,
+                    next_endpoint=(
+                        None if is_last else self._endpoint_name(index + 1, "conversation")
+                    ),
+                    processor=self.conversation_processor if is_last else None,
+                    request_kind=MessageKind.CONVERSATION_REQUEST,
+                )
+            )
+
+            dialing_server = MixServer(
+                index=index,
+                keypair=keypair,
+                chain_public_keys=self.server_public_keys,
+                rng=self._rng.fork(f"dialing-server-{index}"),
+                noise_builder=(
+                    None
+                    if is_last
+                    else dialing_noise_builder(dialing_spec, config.num_dialing_buckets)
+                ),
+                observer=self._dialing_noise_ledger.observer,
+            )
+            self.dialing_endpoints.append(
+                ChainServerEndpoint(
+                    name=self._endpoint_name(index, "dialing"),
+                    mix_server=dialing_server,
+                    network=self.network,
+                    next_endpoint=None if is_last else self._endpoint_name(index + 1, "dialing"),
+                    processor=self.dialing_processor if is_last else None,
+                    request_kind=MessageKind.DIALING_REQUEST,
+                )
+            )
+
+    # ----------------------------------------------------------------- clients
+
+    def add_client(self, name: str) -> VuvuzelaClient:
+        """Create a client, register it on the network and return it."""
+        if name in self.clients:
+            raise ProtocolError(f"a client named {name!r} already exists")
+        client = VuvuzelaClient(
+            name=name,
+            keys=KeyPair.generate(self._rng.fork(f"client-key-{name}")),
+            server_public_keys=list(self.server_public_keys),
+            rng=self._rng.fork(f"client-rng-{name}"),
+            max_conversations=self.config.max_conversations_per_client,
+        )
+        # Clients are passive endpoints: the system pushes responses to them.
+        self.network.register(name, lambda envelope: b"")
+        if self.config.require_registration:
+            self.entry.register_account(name)
+        self.clients[name] = client
+        return client
+
+    def client(self, name: str) -> VuvuzelaClient:
+        return self.clients[name]
+
+    # ---------------------------------------------------------- round driving
+
+    @property
+    def next_conversation_round(self) -> int:
+        return self._conversation_round
+
+    @property
+    def next_dialing_round(self) -> int:
+        return self._dialing_round
+
+    def run_conversation_round(self) -> ConversationRoundMetrics:
+        """Run one complete conversation round for every registered client."""
+        round_number = self._conversation_round
+        self._conversation_round += 1
+        started = time.perf_counter()
+        bytes_before = self.network.total_bytes()
+
+        submitted: dict[str, list[bool]] = {}
+        total_requests = 0
+        for name, client in self.clients.items():
+            flags: list[bool] = []
+            for wire in client.build_conversation_requests(round_number):
+                ack = self.network.send(
+                    name,
+                    self.entry.name,
+                    wire,
+                    kind=MessageKind.CONVERSATION_REQUEST,
+                    round_number=round_number,
+                )
+                flags.append(ack == ACK)
+            submitted[name] = flags
+            total_requests += len(flags)
+
+        grouped = self.entry.run_round_grouped(MessageKind.CONVERSATION_REQUEST, round_number)
+
+        delivered = lost = 0
+        for name, client in self.clients.items():
+            available = list(grouped.get(name, []))
+            responses: list[bytes | None] = []
+            for was_submitted in submitted[name]:
+                response: bytes | None = None
+                if was_submitted and available:
+                    response = available.pop(0)
+                    pushed = self.network.send(
+                        self.entry.name,
+                        name,
+                        response,
+                        kind=MessageKind.CONVERSATION_RESPONSE,
+                        round_number=round_number,
+                    )
+                    if pushed is None:
+                        response = None
+                if response is None:
+                    lost += 1
+                else:
+                    delivered += 1
+                responses.append(response)
+            client.handle_conversation_responses(round_number, responses)
+
+        self.conversation_accountant.spend(1)
+        metrics = ConversationRoundMetrics(
+            round_number=round_number,
+            client_requests=total_requests,
+            delivered_responses=delivered,
+            lost_requests=lost,
+            noise_requests=self._conversation_noise_ledger.for_round(round_number),
+            histogram=self.conversation_processor.histograms.get(round_number),
+            bytes_moved=self.network.total_bytes() - bytes_before,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+        self.metrics.record_conversation(metrics)
+        return metrics
+
+    def run_dialing_round(self) -> DialingRoundMetrics:
+        """Run one complete dialing round, including client invitation polling."""
+        round_number = self._dialing_round
+        self._dialing_round += 1
+        started = time.perf_counter()
+        bytes_before = self.network.total_bytes()
+
+        real_invitations = sum(1 for c in self.clients.values() if c.dial_target is not None)
+        submitted: dict[str, bool] = {}
+        for name, client in self.clients.items():
+            wire = client.build_dialing_request(round_number, self.config.num_dialing_buckets)
+            ack = self.network.send(
+                name,
+                self.entry.name,
+                wire,
+                kind=MessageKind.DIALING_REQUEST,
+                round_number=round_number,
+            )
+            submitted[name] = ack == ACK
+
+        responses = self.entry.run_round(MessageKind.DIALING_REQUEST, round_number)
+        for name, client in self.clients.items():
+            response = responses.get(name) if submitted[name] else None
+            client.handle_dialing_response(round_number, response)
+
+        store = self.dialing_processor.store_for_round(round_number)
+        noise_invitations = sum(
+            store.noise_count(bucket) for bucket in range(self.config.num_dialing_buckets)
+        )
+        # Every client downloads and scans its own invitation dead drop.  The
+        # download happens out of band (a CDN in the paper's design), so it is
+        # not routed through the chain; its bandwidth is accounted by the
+        # dialing cost model and the simulator.
+        for client in self.clients.values():
+            client.poll_invitations(round_number, store)
+
+        self.dialing_accountant.spend(1)
+        metrics = DialingRoundMetrics(
+            round_number=round_number,
+            client_requests=len(self.clients),
+            real_invitations=real_invitations,
+            noise_invitations=self._dialing_noise_ledger.for_round(round_number)
+            + noise_invitations,
+            bucket_sizes=store.bucket_sizes(),
+            bytes_moved=self.network.total_bytes() - bytes_before,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+        self.metrics.record_dialing(metrics)
+        return metrics
+
+    # -------------------------------------------------------------- observability
+
+    def conversation_histogram(self, round_number: int):
+        """The observable (m1, m2) histogram of a finished conversation round."""
+        return self.conversation_processor.histogram(round_number)
+
+    def invitation_store(self, dialing_round: int) -> InvitationDropStore:
+        return self.dialing_processor.store_for_round(dialing_round)

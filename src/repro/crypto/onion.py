@@ -1,0 +1,139 @@
+"""Onion encryption for requests routed through the Vuvuzela server chain.
+
+Algorithm 1 (client) step 2: the client encrypts its request once per server,
+innermost layer for the last server, outermost for the first server.  Each
+layer uses a *fresh ephemeral* X25519 key pair whose public half is prepended
+to the layer so the server can derive the shared secret; the same shared
+secret is used to encrypt that server's response on the way back
+(Algorithm 2 step 4).
+
+Wire format of one layer::
+
+    ephemeral_public_key (32 bytes) || AEAD( inner_layer )      # request
+    AEAD( inner_response )                                       # response
+
+Every request layer therefore adds exactly ``LAYER_OVERHEAD`` bytes, and every
+response layer adds exactly ``RESPONSE_LAYER_OVERHEAD`` bytes, keeping all
+requests in a round the same size regardless of who sent them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .keys import KEY_SIZE, KeyPair, PrivateKey, PublicKey
+from .rng import RandomSource, default_random
+from .secretbox import TAG_SIZE, key_from_shared_secret, nonce_for_round, open_box, seal
+from ..errors import OnionError
+
+#: Bytes added by one request layer: ephemeral public key + AEAD tag.
+LAYER_OVERHEAD = KEY_SIZE + TAG_SIZE
+#: Bytes added by one response layer: AEAD tag only.
+RESPONSE_LAYER_OVERHEAD = TAG_SIZE
+
+_REQUEST_LABEL = "onion-request"
+_RESPONSE_LABEL = "onion-response"
+
+
+@dataclass(frozen=True)
+class OnionContext:
+    """Client-side state needed to unwrap the response of one request.
+
+    ``layer_keys[i]`` is the secretbox key shared with server ``i`` (0-based,
+    in chain order).  The response comes back wrapped outermost by server 0.
+    """
+
+    round_number: int
+    layer_keys: tuple[bytes, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.layer_keys)
+
+
+def request_size(inner_size: int, chain_length: int) -> int:
+    """Wire size of an onion request with ``chain_length`` layers."""
+    return inner_size + chain_length * LAYER_OVERHEAD
+
+
+def response_size(inner_size: int, chain_length: int) -> int:
+    """Wire size of an onion response with ``chain_length`` layers."""
+    return inner_size + chain_length * RESPONSE_LAYER_OVERHEAD
+
+
+def wrap_request(
+    inner: bytes,
+    server_public_keys: Sequence[PublicKey],
+    round_number: int,
+    rng: RandomSource | None = None,
+) -> tuple[bytes, OnionContext]:
+    """Onion-encrypt ``inner`` for a chain of servers.
+
+    Returns the wire bytes to send to the *first* server and the
+    :class:`OnionContext` needed to decrypt the eventual response.
+    """
+    if not server_public_keys:
+        raise OnionError("cannot wrap a request for an empty server chain")
+    rng = rng or default_random()
+
+    layer_keys: list[bytes] = [b""] * len(server_public_keys)
+    payload = inner
+    # Encrypt from the last server towards the first, so the first server
+    # holds the outermost layer.
+    for index in range(len(server_public_keys) - 1, -1, -1):
+        ephemeral = KeyPair.generate(rng)
+        shared = ephemeral.exchange(server_public_keys[index])
+        key = key_from_shared_secret(shared, "layer")
+        layer_keys[index] = key
+        box = seal(key, nonce_for_round(round_number, _REQUEST_LABEL), payload)
+        payload = bytes(ephemeral.public) + box
+
+    return payload, OnionContext(round_number=round_number, layer_keys=tuple(layer_keys))
+
+
+def peel_request(
+    wire: bytes,
+    server_private_key: PrivateKey,
+    server_index: int,
+    round_number: int,
+) -> tuple[bytes, bytes]:
+    """Remove one onion layer on a server.
+
+    Returns ``(inner_payload, layer_key)``.  The ``layer_key`` must be kept by
+    the server to encrypt the response for this request on the way back.
+    """
+    if len(wire) < LAYER_OVERHEAD:
+        raise OnionError("onion layer too short to contain a key and a tag")
+    ephemeral_public = PublicKey(wire[:KEY_SIZE])
+    box = wire[KEY_SIZE:]
+    shared = server_private_key.exchange(ephemeral_public)
+    key = key_from_shared_secret(shared, "layer")
+    try:
+        inner = open_box(key, nonce_for_round(round_number, _REQUEST_LABEL), box)
+    except Exception as exc:
+        raise OnionError(f"failed to peel onion layer {server_index}: {exc}") from exc
+    return inner, key
+
+
+def wrap_response(inner: bytes, layer_key: bytes, round_number: int) -> bytes:
+    """Add one response layer (server side, Algorithm 2 step 4)."""
+    return seal(layer_key, nonce_for_round(round_number, _RESPONSE_LABEL), inner)
+
+
+def unwrap_response(wire: bytes, context: OnionContext) -> bytes:
+    """Remove all response layers on the client (Algorithm 1 step 3)."""
+    payload = wire
+    for index, key in enumerate(context.layer_keys):
+        try:
+            payload = open_box(
+                key, nonce_for_round(context.round_number, _RESPONSE_LABEL), payload
+            )
+        except Exception as exc:
+            raise OnionError(f"failed to unwrap response layer {index}: {exc}") from exc
+    return payload
+
+
+def peel_response_layer(wire: bytes, layer_key: bytes, round_number: int) -> bytes:
+    """Remove a single response layer (used by tests and the simulator)."""
+    return open_box(layer_key, nonce_for_round(round_number, _RESPONSE_LABEL), wire)

@@ -1,0 +1,51 @@
+"""Fixed-size message padding.
+
+Vuvuzela requires every conversation message to have exactly the same wire
+size so an adversary observing traffic cannot distinguish a long message from
+a short one, or a real message from the empty message an idle client sends
+(§3.2 "Network traffic").  The paper uses 240-byte user payloads carried in
+256-byte encrypted messages (16 bytes of AEAD overhead).
+
+The padding scheme is the standard unambiguous ``data || 0x80 || 0x00...``
+construction (ISO/IEC 7816-4): it supports the empty message and every length
+up to ``size - 1`` and is injective, so unpadding never mis-parses.
+"""
+
+from __future__ import annotations
+
+from ..errors import PaddingError
+
+#: Maximum user payload in a conversation message, per the paper's evaluation.
+DEFAULT_PLAINTEXT_SIZE = 240
+
+
+def pad(message: bytes, size: int = DEFAULT_PLAINTEXT_SIZE) -> bytes:
+    """Pad ``message`` to exactly ``size`` bytes.
+
+    Raises :class:`PaddingError` if the message is too long (the padding
+    delimiter needs one byte of its own).
+    """
+    if size <= 0:
+        raise PaddingError("pad size must be positive")
+    if len(message) >= size:
+        raise PaddingError(
+            f"message of {len(message)} bytes does not fit in {size}-byte frame"
+        )
+    return message + b"\x80" + b"\x00" * (size - len(message) - 1)
+
+
+def unpad(padded: bytes, size: int = DEFAULT_PLAINTEXT_SIZE) -> bytes:
+    """Recover the original message from a padded frame."""
+    if len(padded) != size:
+        raise PaddingError(f"expected a {size}-byte frame, got {len(padded)} bytes")
+    index = padded.rfind(b"\x80")
+    if index < 0:
+        raise PaddingError("padding delimiter not found")
+    if any(padded[index + 1 :]):
+        raise PaddingError("non-zero bytes after the padding delimiter")
+    return padded[:index]
+
+
+def is_empty_message(message: bytes) -> bool:
+    """True when ``message`` is the empty message an idle client sends."""
+    return len(message) == 0

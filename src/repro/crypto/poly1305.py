@@ -1,0 +1,38 @@
+"""Pure-Python Poly1305 one-time authenticator (RFC 8439 §2.5).
+
+Used by :mod:`repro.crypto.secretbox` to build the ChaCha20-Poly1305 AEAD that
+protects every onion layer and every message payload in Vuvuzela.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+KEY_SIZE = 32
+TAG_SIZE = 16
+
+_P = (1 << 130) - 5
+_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under one-time ``key``."""
+    if len(key) != KEY_SIZE:
+        raise ValueError("Poly1305 key must be 32 bytes")
+
+    r = int.from_bytes(key[:16], "little") & _CLAMP
+    s = int.from_bytes(key[16:], "little")
+
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        block = message[offset : offset + 16]
+        n = int.from_bytes(block + b"\x01", "little")
+        accumulator = ((accumulator + n) * r) % _P
+
+    tag = (accumulator + s) % (1 << 128)
+    return tag.to_bytes(16, "little")
+
+
+def verify_tag(expected: bytes, actual: bytes) -> bool:
+    """Constant-time comparison of two Poly1305 tags."""
+    return hmac.compare_digest(expected, actual)

@@ -1,0 +1,64 @@
+"""Authenticated symmetric encryption (ChaCha20-Poly1305 "secretbox").
+
+This is the ``Enc``/``Dec`` primitive used by Algorithms 1 and 2 of the paper:
+each onion layer and each conversation message payload is protected by an
+AEAD box keyed from a Diffie-Hellman shared secret via HKDF.
+
+Nonces are derived deterministically from the round number (the paper uses
+the round number as the nonce for the conversation payload); each key is used
+for at most a handful of messages per round, and keys rotate every round, so
+nonce reuse cannot occur for honest participants.
+"""
+
+from __future__ import annotations
+
+from .backend import active_backend
+from .hkdf import derive_key
+from ..errors import DecryptionError
+
+KEY_SIZE = 32
+NONCE_SIZE = 12
+TAG_SIZE = 16
+OVERHEAD = TAG_SIZE
+
+
+def seal(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt and authenticate ``plaintext``; returns ciphertext || tag."""
+    _check_key_nonce(key, nonce)
+    return active_backend().aead_encrypt(key, nonce, plaintext, aad)
+
+
+def open_box(key: bytes, nonce: bytes, ciphertext: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt a box produced by :func:`seal`.
+
+    Raises :class:`~repro.errors.DecryptionError` when authentication fails.
+    """
+    _check_key_nonce(key, nonce)
+    if len(ciphertext) < TAG_SIZE:
+        raise DecryptionError("ciphertext shorter than the authentication tag")
+    return active_backend().aead_decrypt(key, nonce, ciphertext, aad)
+
+
+def nonce_for_round(round_number: int, label: str = "") -> bytes:
+    """Derive a 12-byte nonce from a round number and optional label.
+
+    The conversation protocol uses the round number ``r`` as the nonce
+    (Algorithm 1 step 1a); labels separate the request and response
+    directions so the same per-round key never sees the same nonce twice.
+    """
+    if round_number < 0:
+        raise ValueError("round numbers are non-negative")
+    label_byte = sum(label.encode("utf-8")) % 256 if label else 0
+    return round_number.to_bytes(11, "big") + bytes([label_byte])
+
+
+def key_from_shared_secret(shared: bytes, label: str) -> bytes:
+    """Derive a secretbox key from a DH shared secret for a specific use."""
+    return derive_key(shared, f"secretbox:{label}", KEY_SIZE)
+
+
+def _check_key_nonce(key: bytes, nonce: bytes) -> None:
+    if len(key) != KEY_SIZE:
+        raise ValueError("secretbox keys must be 32 bytes")
+    if len(nonce) != NONCE_SIZE:
+        raise ValueError("secretbox nonces must be 12 bytes")

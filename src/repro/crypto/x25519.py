@@ -1,0 +1,104 @@
+"""Pure-Python X25519 (RFC 7748) scalar multiplication.
+
+Vuvuzela's dominant cost is Diffie-Hellman on Curve25519: every onion layer of
+every request requires one DH operation on the client and one on the server
+(§7 of the paper).  This module provides a dependency-free reference
+implementation of the X25519 function; :mod:`repro.crypto.backend` transparently
+swaps in the much faster implementation from the ``cryptography`` package when
+it is installed.
+
+The implementation follows RFC 7748 §5: little-endian 255-bit field elements
+modulo ``2^255 - 19``, the Montgomery ladder, and the standard scalar clamping.
+"""
+
+from __future__ import annotations
+
+P = 2**255 - 19
+A24 = 121665
+BASE_POINT = (9).to_bytes(32, "little")
+
+KEY_SIZE = 32
+
+
+def _decode_u_coordinate(u: bytes) -> int:
+    if len(u) != 32:
+        raise ValueError("u-coordinate must be 32 bytes")
+    value = int.from_bytes(u, "little")
+    # Mask the most significant bit as required by RFC 7748.
+    return value & ((1 << 255) - 1)
+
+
+def _encode_u_coordinate(u: int) -> bytes:
+    return (u % P).to_bytes(32, "little")
+
+
+def clamp_scalar(k: bytes) -> int:
+    """Clamp a 32-byte scalar as specified by RFC 7748 §5."""
+    if len(k) != 32:
+        raise ValueError("scalar must be 32 bytes")
+    value = bytearray(k)
+    value[0] &= 248
+    value[31] &= 127
+    value[31] |= 64
+    return int.from_bytes(bytes(value), "little")
+
+
+def _cswap(swap: int, a: int, b: int) -> tuple[int, int]:
+    """Constant-structure conditional swap (branch-free arithmetic form)."""
+    dummy = swap * (a - b)
+    return a - dummy, b + dummy
+
+
+def scalar_mult(k: bytes, u: bytes) -> bytes:
+    """Compute ``X25519(k, u)`` with the Montgomery ladder.
+
+    ``k`` is a 32-byte scalar (clamped internally), ``u`` a 32-byte
+    u-coordinate.  Returns the 32-byte resulting u-coordinate.
+    """
+    scalar = clamp_scalar(k)
+    x1 = _decode_u_coordinate(u)
+
+    x2, z2 = 1, 0
+    x3, z3 = x1, 1
+    swap = 0
+
+    for t in reversed(range(255)):
+        k_t = (scalar >> t) & 1
+        swap ^= k_t
+        x2, x3 = _cswap(swap, x2, x3)
+        z2, z3 = _cswap(swap, z2, z3)
+        swap = k_t
+
+        a = (x2 + z2) % P
+        aa = (a * a) % P
+        b = (x2 - z2) % P
+        bb = (b * b) % P
+        e = (aa - bb) % P
+        c = (x3 + z3) % P
+        d = (x3 - z3) % P
+        da = (d * a) % P
+        cb = (c * b) % P
+        x3 = pow(da + cb, 2, P)
+        z3 = (x1 * pow(da - cb, 2, P)) % P
+        x2 = (aa * bb) % P
+        z2 = (e * (aa + A24 * e)) % P
+
+    x2, x3 = _cswap(swap, x2, x3)
+    z2, z3 = _cswap(swap, z2, z3)
+
+    result = (x2 * pow(z2, P - 2, P)) % P
+    return _encode_u_coordinate(result)
+
+
+def scalar_base_mult(k: bytes) -> bytes:
+    """Compute the public key for private scalar ``k`` (i.e. ``k * basepoint``)."""
+    return scalar_mult(k, BASE_POINT)
+
+
+def is_all_zero(shared: bytes) -> bool:
+    """Return True when a computed shared secret is the all-zero string.
+
+    An all-zero output means the peer supplied a small-order public key; the
+    higher-level key API rejects such results, matching libsodium behaviour.
+    """
+    return not any(shared)

@@ -1,0 +1,12 @@
+"""Dead-drop stores: conversation exchange matching and invitation buckets."""
+
+from .invitations import NOOP_BUCKET, InvitationDropStore
+from .store import AccessHistogram, DeadDropStore, ExchangeResult
+
+__all__ = [
+    "AccessHistogram",
+    "DeadDropStore",
+    "ExchangeResult",
+    "InvitationDropStore",
+    "NOOP_BUCKET",
+]

@@ -1,0 +1,84 @@
+"""Invitation dead drops for the dialing protocol (§5).
+
+Unlike conversation dead drops, invitation dead drops are few, large and
+*shared*: every user whose public key hashes to the same index downloads the
+whole dead drop and tries to decrypt every invitation in it.  The store keeps
+one bucket per index plus the special "no-op" bucket that absorbs the requests
+of users who are not dialing anyone this round (§5.2).
+
+Because the adversary can simply download a bucket, the observable variable is
+the *number of invitations per bucket*; every server (including the last one)
+therefore adds noise invitations to every bucket (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProtocolError
+
+#: Index used by clients that are not dialing anyone in a round.  It is not
+#: the invitation dead drop of any real user, so its contents are never
+#: downloaded; it exists purely so idle clients still send one request.
+NOOP_BUCKET = -1
+
+
+@dataclass
+class InvitationDropStore:
+    """Per-dialing-round storage of invitations, bucketed by dead-drop index."""
+
+    num_buckets: int
+    _buckets: dict[int, list[bytes]] = field(default_factory=dict)
+    _noise_counts: dict[int, int] = field(default_factory=dict)
+    _closed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_buckets <= 0:
+            raise ProtocolError("a dialing round needs at least one invitation dead drop")
+        self._buckets = {index: [] for index in range(self.num_buckets)}
+        self._buckets[NOOP_BUCKET] = []
+        self._noise_counts = {index: 0 for index in range(self.num_buckets)}
+
+    def deposit(self, bucket: int, invitation: bytes, is_noise: bool = False) -> None:
+        """Add an invitation (real or noise) to a bucket."""
+        if self._closed:
+            raise ProtocolError("this dialing round is already over")
+        if bucket != NOOP_BUCKET and not 0 <= bucket < self.num_buckets:
+            raise ProtocolError(f"invitation dead drop {bucket} does not exist")
+        self._buckets[bucket].append(invitation)
+        if is_noise and bucket != NOOP_BUCKET:
+            self._noise_counts[bucket] += 1
+
+    def close(self) -> None:
+        """End the round; further deposits are rejected, downloads allowed."""
+        self._closed = True
+
+    def download(self, bucket: int) -> list[bytes]:
+        """Return every invitation in a bucket (what a client downloads)."""
+        if bucket == NOOP_BUCKET:
+            raise ProtocolError("the no-op dead drop is never downloaded")
+        if not 0 <= bucket < self.num_buckets:
+            raise ProtocolError(f"invitation dead drop {bucket} does not exist")
+        return list(self._buckets[bucket])
+
+    def bucket_size(self, bucket: int) -> int:
+        """Number of invitations in a bucket — the adversary-observable count."""
+        if bucket == NOOP_BUCKET:
+            return len(self._buckets[NOOP_BUCKET])
+        return len(self._buckets[bucket])
+
+    def bucket_sizes(self) -> dict[int, int]:
+        """Observable invitation counts for every real bucket."""
+        return {index: len(self._buckets[index]) for index in range(self.num_buckets)}
+
+    def noise_count(self, bucket: int) -> int:
+        return self._noise_counts.get(bucket, 0)
+
+    def total_invitations(self) -> int:
+        return sum(len(bucket) for index, bucket in self._buckets.items() if index != NOOP_BUCKET)
+
+    def total_download_bytes(self, invitation_size: int) -> int:
+        """Bytes a client downloading one bucket of average size would fetch."""
+        if self.num_buckets == 0:
+            return 0
+        return self.total_invitations() * invitation_size // self.num_buckets

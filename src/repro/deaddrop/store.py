@@ -1,0 +1,112 @@
+"""The conversation dead-drop store hosted by the last server in the chain.
+
+A dead drop is a virtual location named by a 128-bit ID where one client
+deposits a message and another picks it up (§3.1).  Dead drops are ephemeral:
+the store lives for exactly one round.  In a round, the last server collects
+all exchange requests, matches up pairs that accessed the same dead drop, and
+swaps their payloads (Algorithm 2 step 3b); a dead drop accessed only once
+returns the empty payload.
+
+The store also exposes the *access histogram* — how many dead drops were
+accessed once, twice, or more.  That histogram is precisely the observable
+variable the paper's differential-privacy analysis protects (§4.2), and it is
+what the adversary model reads when the last server is compromised.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class AccessHistogram:
+    """Counts of dead drops by number of accesses in one round."""
+
+    singles: int
+    pairs: int
+    collisions: int = 0
+
+    @property
+    def total_dead_drops(self) -> int:
+        return self.singles + self.pairs + self.collisions
+
+    @property
+    def total_accesses(self) -> int:
+        # Collisions (3+ accesses) are counted conservatively as 3 each; with
+        # honest users and 128-bit IDs they essentially never occur.
+        return self.singles + 2 * self.pairs + 3 * self.collisions
+
+
+@dataclass
+class ExchangeResult:
+    """The payload returned to each exchange request, aligned by request index."""
+
+    responses: list[bytes]
+    histogram: AccessHistogram
+
+
+@dataclass
+class DeadDropStore:
+    """Per-round conversation dead-drop storage and exchange matching."""
+
+    empty_payload: bytes = b""
+    _accesses: dict[bytes, list[int]] = field(default_factory=lambda: defaultdict(list))
+    _payloads: list[bytes] = field(default_factory=list)
+    _closed: bool = False
+
+    def deposit(self, dead_drop_id: bytes, payload: bytes) -> int:
+        """Record an exchange request and return its request index."""
+        if self._closed:
+            raise ProtocolError("this dead-drop store's round is already over")
+        if len(dead_drop_id) == 0:
+            raise ProtocolError("dead-drop IDs must be non-empty")
+        index = len(self._payloads)
+        self._payloads.append(payload)
+        self._accesses[dead_drop_id].append(index)
+        return index
+
+    def exchange_all(self) -> ExchangeResult:
+        """Match up accesses and produce the response for every request.
+
+        For each pair of exchanges on the same dead drop, the payloads are
+        swapped.  A single access gets the empty payload.  If more than two
+        requests hit the same dead drop (only possible if an adversary
+        deliberately targets it), the first two are exchanged and the rest get
+        the empty payload — honest users choose random 128-bit IDs, so this
+        never affects them.
+        """
+        self._closed = True
+        responses: list[bytes] = [self.empty_payload] * len(self._payloads)
+        singles = pairs = collisions = 0
+        for indices in self._accesses.values():
+            if len(indices) == 1:
+                singles += 1
+            elif len(indices) == 2:
+                pairs += 1
+                first, second = indices
+                responses[first] = self._payloads[second]
+                responses[second] = self._payloads[first]
+            else:
+                collisions += 1
+                first, second = indices[0], indices[1]
+                responses[first] = self._payloads[second]
+                responses[second] = self._payloads[first]
+        return ExchangeResult(
+            responses=responses,
+            histogram=AccessHistogram(singles=singles, pairs=pairs, collisions=collisions),
+        )
+
+    @property
+    def num_requests(self) -> int:
+        return len(self._payloads)
+
+    @property
+    def num_dead_drops(self) -> int:
+        return len(self._accesses)
+
+    def access_counts(self) -> Counter[int]:
+        """Histogram of access counts (1 -> #dead drops accessed once, ...)."""
+        return Counter(len(indices) for indices in self._accesses.values())

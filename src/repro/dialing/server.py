@@ -1,0 +1,105 @@
+"""Server side of the dialing protocol (§5.2–§5.3).
+
+The last server collects the round's dialing requests into invitation dead
+drops and — unlike the conversation protocol — *every* server adds noise
+invitations to *every* dead drop, because the adversary can observe a
+bucket's size directly by downloading it.
+
+Two pieces live here:
+
+* :class:`DialingProcessor` — the last-server bucket collection, including
+  the last server's own noise contribution, and the per-round store clients
+  download from.
+* :func:`dialing_noise_builder` — the noise generator run by every *earlier*
+  server: for each bucket it emits a Laplace-distributed number of fake
+  invitations, wrapped and mixed exactly like real dialing requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .invitation import INVITATION_SIZE, DialingRequest
+from ..crypto.rng import RandomSource
+from ..deaddrop import InvitationDropStore
+from ..errors import ProtocolError
+from ..mixnet.chain import NoiseBuilder
+from ..mixnet.noise import DialingNoiseSpec
+
+
+@dataclass
+class DialingProcessor:
+    """Last-server processing of dialing rounds."""
+
+    num_buckets: int
+    noise_spec: DialingNoiseSpec | None = None
+    rng: RandomSource | None = None
+    strict: bool = False
+    stores: dict[int, InvitationDropStore] = field(default_factory=dict)
+
+    def __call__(self, round_number: int, payloads: list[bytes]) -> list[bytes]:
+        """Collect the round's invitations; every request is acknowledged.
+
+        The response to a dialing request is always the same empty
+        acknowledgement — invitations are *downloaded* out of band (from a
+        CDN in the paper's design, from :meth:`store_for_round` here), so the
+        response carries no information.
+        """
+        store = InvitationDropStore(num_buckets=self.num_buckets)
+        for payload in payloads:
+            try:
+                request = DialingRequest.decode(payload)
+                store.deposit(request.bucket, request.invitation)
+            except ProtocolError:
+                if self.strict:
+                    raise
+                continue
+
+        # §5.3: the last server, too, must add noise to every bucket, because
+        # it may be the only honest server and bucket sizes are public.
+        if self.noise_spec is not None and self.rng is not None:
+            for bucket in range(self.num_buckets):
+                for _ in range(self.noise_spec.sample_for_bucket(self.rng)):
+                    store.deposit(bucket, self.rng.random_bytes(INVITATION_SIZE), is_noise=True)
+
+        store.close()
+        self.stores[round_number] = store
+        return [b"" for _ in payloads]
+
+    def store_for_round(self, round_number: int) -> InvitationDropStore:
+        """The closed invitation store of a finished round (what clients download)."""
+        if round_number not in self.stores:
+            raise ProtocolError(f"dialing round {round_number} has not been processed")
+        return self.stores[round_number]
+
+    def bucket_sizes(self, round_number: int) -> dict[int, int]:
+        """Observable invitation counts per bucket — what the adversary sees."""
+        return self.store_for_round(round_number).bucket_sizes()
+
+
+def dialing_noise_builder(
+    spec: DialingNoiseSpec,
+    num_buckets: int,
+    counts_log: Callable[[int, int], None] | None = None,
+) -> NoiseBuilder:
+    """Noise builder for a mixing (non-last) server in a dialing round.
+
+    For every invitation dead drop, the server adds a truncated-Laplace number
+    of fake invitations — random bytes of the right size, indistinguishable
+    from real sealed invitations.
+    """
+    if num_buckets <= 0:
+        raise ProtocolError("a dialing round needs at least one invitation dead drop")
+
+    def build(round_number: int, rng: RandomSource) -> list[bytes]:
+        requests: list[bytes] = []
+        for bucket in range(num_buckets):
+            for _ in range(spec.sample_for_bucket(rng)):
+                fake = DialingRequest(bucket=bucket, invitation=rng.random_bytes(INVITATION_SIZE))
+                requests.append(fake.encode())
+        if counts_log is not None:
+            counts_log(round_number, len(requests))
+        return requests
+
+    return build

@@ -1,0 +1,127 @@
+"""Choosing the number of invitation dead drops m (§5.4) and the resulting costs.
+
+The amount of noise *per dead drop* is fixed by the privacy parameters; the
+number of dead drops ``m`` only trades server-side noise volume against the
+amount each client must download.  The paper proposes ``m = n * f / mu`` so
+each dead drop holds roughly equal numbers of real and noise invitations,
+making total server load about twice the real load.
+
+This module also computes the client/download bandwidth numbers quoted in
+§8.3: with mu = 13,000, three servers and one million users of whom 5 % dial,
+each bucket holds about 39,000 noise plus 50,000 real invitations, roughly
+7 MB, i.e. about 12 KB/s with 10-minute dialing rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .invitation import INVITATION_SIZE
+from ..errors import ConfigurationError
+
+
+def optimal_bucket_count(num_users: int, dialing_fraction: float, noise_mu: float) -> int:
+    """The paper's recommendation m = n * f / mu, at least 1.
+
+    At the scale of the paper's experiments (and of any small deployment) the
+    optimum is a single bucket — which is also what their prototype uses.
+    """
+    if num_users < 0:
+        raise ConfigurationError("the number of users cannot be negative")
+    if not 0.0 <= dialing_fraction <= 1.0:
+        raise ConfigurationError("the dialing fraction must be in [0, 1]")
+    if noise_mu <= 0:
+        raise ConfigurationError("the noise mean must be positive")
+    return max(1, int(round(num_users * dialing_fraction / noise_mu)))
+
+
+@dataclass(frozen=True)
+class DialingCostModel:
+    """Per-round dialing volume and bandwidth for a given configuration."""
+
+    num_users: int
+    dialing_fraction: float
+    noise_mu: float
+    num_servers: int
+    num_buckets: int
+    round_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ConfigurationError("the chain needs at least one server")
+        if self.num_buckets <= 0:
+            raise ConfigurationError("dialing needs at least one dead drop")
+        if self.round_seconds <= 0:
+            raise ConfigurationError("dialing rounds must have positive length")
+
+    @property
+    def real_invitations(self) -> float:
+        """Real invitations sent per round across all users."""
+        return self.num_users * self.dialing_fraction
+
+    @property
+    def noise_invitations_per_bucket(self) -> float:
+        """Noise invitations each bucket accumulates (every server adds mu)."""
+        return self.noise_mu * self.num_servers
+
+    @property
+    def total_noise_invitations(self) -> float:
+        return self.noise_invitations_per_bucket * self.num_buckets
+
+    @property
+    def invitations_per_bucket(self) -> float:
+        """Average real + noise invitations per bucket."""
+        return self.real_invitations / self.num_buckets + self.noise_invitations_per_bucket
+
+    @property
+    def download_bytes_per_client(self) -> float:
+        """Bytes a client downloads per dialing round (its whole bucket, §8.3)."""
+        return self.invitations_per_bucket * INVITATION_SIZE
+
+    @property
+    def download_bandwidth_per_client(self) -> float:
+        """Average download rate in bytes/second over the dialing round."""
+        return self.download_bytes_per_client / self.round_seconds
+
+    @property
+    def aggregate_distribution_bandwidth(self) -> float:
+        """Total bytes/second the CDN/BitTorrent layer must serve (§1, §5.5)."""
+        return self.download_bandwidth_per_client * self.num_users
+
+    @property
+    def server_load_factor(self) -> float:
+        """Total invitations processed relative to the real ones alone."""
+        real = max(self.real_invitations, 1.0)
+        return (self.real_invitations + self.total_noise_invitations) / real
+
+
+def paper_dialing_cost_model(
+    num_users: int = 1_000_000,
+    dialing_fraction: float = 0.05,
+    noise_mu: float = 13_000,
+    num_servers: int = 3,
+    num_buckets: int | None = None,
+) -> DialingCostModel:
+    """The §8.3 configuration: 1M users, 5% dialing, mu=13K, 3 servers, 1 bucket."""
+    buckets = num_buckets if num_buckets is not None else 1
+    return DialingCostModel(
+        num_users=num_users,
+        dialing_fraction=dialing_fraction,
+        noise_mu=noise_mu,
+        num_servers=num_servers,
+        num_buckets=buckets,
+    )
+
+
+def invitations_fit_estimate(download_budget_bytes: float, noise_mu: float, num_servers: int) -> int:
+    """How many buckets are needed so a client download stays within a budget.
+
+    Inverts :attr:`DialingCostModel.download_bytes_per_client` treating the
+    real-invitation share as already balanced with noise (the m = n f / mu
+    regime), i.e. each bucket holds about ``2 * mu * num_servers`` invitations.
+    """
+    if download_budget_bytes <= 0:
+        raise ConfigurationError("the download budget must be positive")
+    per_bucket_bytes = 2.0 * noise_mu * num_servers * INVITATION_SIZE
+    return max(1, int(math.ceil(per_bucket_bytes / download_budget_bytes)))

@@ -1,0 +1,52 @@
+"""Exception hierarchy shared across the Vuvuzela reproduction.
+
+Every package raises subclasses of :class:`ReproError` so applications can
+catch library failures with a single ``except`` clause while still being able
+to distinguish, e.g., cryptographic failures from protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, corrupt ciphertext, ...)."""
+
+
+class DecryptionError(CryptoError):
+    """Authenticated decryption failed: the ciphertext or tag is invalid."""
+
+
+class PaddingError(CryptoError):
+    """A message does not fit the fixed wire size, or unpadding failed."""
+
+
+class OnionError(CryptoError):
+    """An onion-encrypted request or response is malformed."""
+
+
+class ProtocolError(ReproError):
+    """A peer violated the Vuvuzela protocol (wrong sizes, wrong round, ...)."""
+
+
+class RoundStateError(ProtocolError):
+    """An operation was attempted outside the round phase that allows it."""
+
+
+class ConfigurationError(ReproError):
+    """The system was configured with invalid or inconsistent parameters."""
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy accounting operation was invalid (negative budget, bad k, ...)."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed (unknown peer, link down, ...)."""
+
+
+class SimulationError(ReproError):
+    """The deployment simulator was asked to do something unsupported."""

@@ -1,0 +1,23 @@
+"""Mixnet substrate: shuffling, cover-traffic budgeting and the server chain."""
+
+from .chain import (
+    MixChain,
+    MixServer,
+    RoundProcessor,
+    ServerRoundView,
+    build_chain,
+)
+from .noise import CoverTrafficSpec, DialingNoiseSpec, NoiseCounts
+from .shuffle import Permutation
+
+__all__ = [
+    "CoverTrafficSpec",
+    "DialingNoiseSpec",
+    "MixChain",
+    "MixServer",
+    "NoiseCounts",
+    "Permutation",
+    "RoundProcessor",
+    "ServerRoundView",
+    "build_chain",
+]

@@ -1,0 +1,212 @@
+"""The mix chain: peel, add noise, shuffle, forward, unshuffle, re-wrap.
+
+This module implements the server side of Vuvuzela's onion routing generically
+so both protocols can reuse it: a :class:`MixServer` performs Algorithm 2
+steps 1, 2, 3a and 4 (decrypt, generate cover traffic, shuffle/forward,
+encrypt results), while the protocol supplies two callables:
+
+* a *noise builder* that produces the innermost payloads of this server's
+  cover-traffic requests (fake exchanges for conversations, fake invitations
+  for dialing), and
+* a *processor* that plays the role of the last server's step 3b (match dead
+  drops / collect invitations) on the fully peeled payloads.
+
+The chain also exposes the hooks the adversary model needs: a compromised
+server can report everything it sees and can tamper with the batch before
+mixing (e.g. discard all requests except Alice's and Bob's, the §4.2 attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+from .shuffle import Permutation
+from ..crypto.keys import KeyPair, PublicKey
+from ..crypto.onion import peel_request, wrap_request, wrap_response
+from ..crypto.rng import RandomSource, default_random
+from ..errors import ProtocolError
+
+#: Builds the innermost payloads of one server's noise requests for a round.
+NoiseBuilder = Callable[[int, RandomSource], list[bytes]]
+#: Processes the fully peeled payloads at the end of the chain; must return
+#: one response per payload, aligned by index.
+RoundProcessor = Callable[[int, list[bytes]], list[bytes]]
+#: Optional adversarial filter applied to the peeled batch of a compromised
+#: server; returns the (possibly reduced or altered) batch to forward.
+IngressFilter = Callable[[int, list[bytes]], list[bytes]]
+
+
+@dataclass(frozen=True)
+class ServerRoundView:
+    """What one server observed while handling a round (for the adversary)."""
+
+    server_index: int
+    round_number: int
+    incoming_requests: int
+    malformed_requests: int
+    noise_requests_added: int
+    forwarded_requests: int
+
+
+class RoundObserver(Protocol):
+    """Receives a :class:`ServerRoundView` after each round a server handles."""
+
+    def __call__(self, view: ServerRoundView) -> None: ...
+
+
+@dataclass
+class MixServer:
+    """One Vuvuzela server in the chain."""
+
+    index: int
+    keypair: KeyPair
+    chain_public_keys: Sequence[PublicKey]
+    rng: RandomSource = field(default_factory=default_random)
+    noise_builder: NoiseBuilder | None = None
+    observer: RoundObserver | None = None
+    ingress_filter: IngressFilter | None = None
+
+    @property
+    def is_last(self) -> bool:
+        return self.index == len(self.chain_public_keys) - 1
+
+    def _wrap_noise_payload(self, payload: bytes, round_number: int) -> bytes:
+        """Onion-wrap a noise payload for the servers after this one."""
+        remaining = list(self.chain_public_keys[self.index + 1 :])
+        if not remaining:
+            return payload
+        wire, _ = wrap_request(payload, remaining, round_number, self.rng)
+        return wire
+
+    def process_round(
+        self,
+        round_number: int,
+        requests: Sequence[bytes],
+        downstream: RoundProcessor,
+    ) -> list[bytes]:
+        """Handle one round: peel, noise, mix, forward, unmix, wrap responses.
+
+        ``downstream`` is called with the batch this server forwards; for the
+        last server in the chain it is the protocol's dead-drop processor, for
+        any other server it is the next server's ``process_round`` bound to
+        the same round.  Returns one response per incoming request (malformed
+        requests receive an empty response).
+        """
+        # Step 1: decrypt this server's onion layer of every request.
+        peeled: list[bytes] = []
+        layer_keys: list[bytes] = []
+        valid_positions: list[int] = []
+        malformed = 0
+        for position, wire in enumerate(requests):
+            try:
+                inner, layer_key = peel_request(wire, self.keypair.private, self.index, round_number)
+            except Exception:
+                malformed += 1
+                continue
+            peeled.append(inner)
+            layer_keys.append(layer_key)
+            valid_positions.append(position)
+
+        # A compromised server may tamper with the peeled batch (drop or
+        # replace requests) before it adds noise and mixes.
+        if self.ingress_filter is not None:
+            peeled = self.ingress_filter(round_number, peeled)
+            layer_keys = layer_keys[: len(peeled)]
+            valid_positions = valid_positions[: len(peeled)]
+
+        # Step 2: generate cover traffic, wrapped for the rest of the chain.
+        noise_payloads = self.noise_builder(round_number, self.rng) if self.noise_builder else []
+        noise_wires = [self._wrap_noise_payload(p, round_number) for p in noise_payloads]
+
+        # Step 3a: shuffle the combined batch and forward it.
+        combined = list(peeled) + noise_wires
+        permutation = Permutation.random(len(combined), self.rng)
+        forwarded = permutation.apply(combined)
+        downstream_responses = downstream(round_number, forwarded)
+        if len(downstream_responses) != len(forwarded):
+            raise ProtocolError(
+                "downstream returned a different number of responses than requests"
+            )
+
+        # Step 4: unshuffle, discard noise responses, encrypt real responses.
+        unshuffled = permutation.invert(downstream_responses)
+        real_responses = unshuffled[: len(peeled)]
+        responses: list[bytes] = [b""] * len(requests)
+        for layer_key, position, response in zip(layer_keys, valid_positions, real_responses):
+            responses[position] = wrap_response(response, layer_key, round_number)
+
+        if self.observer is not None:
+            self.observer(
+                ServerRoundView(
+                    server_index=self.index,
+                    round_number=round_number,
+                    incoming_requests=len(requests),
+                    malformed_requests=malformed,
+                    noise_requests_added=len(noise_wires),
+                    forwarded_requests=len(forwarded),
+                )
+            )
+        return responses
+
+
+@dataclass
+class MixChain:
+    """A full chain of mix servers terminated by a protocol processor."""
+
+    servers: list[MixServer]
+    processor: RoundProcessor
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ProtocolError("a mix chain needs at least one server")
+        for expected_index, server in enumerate(self.servers):
+            if server.index != expected_index:
+                raise ProtocolError("mix servers must be ordered by their chain index")
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.servers)
+
+    def run_round(self, round_number: int, requests: Sequence[bytes]) -> list[bytes]:
+        """Run one complete round through every server and the processor."""
+
+        def downstream_for(position: int) -> RoundProcessor:
+            if position == len(self.servers):
+                return self.processor
+
+            def handle(rn: int, batch: list[bytes]) -> list[bytes]:
+                return self.servers[position].process_round(rn, batch, downstream_for(position + 1))
+
+            return handle
+
+        return downstream_for(0)(round_number, list(requests))
+
+
+def build_chain(
+    server_keypairs: Sequence[KeyPair],
+    processor: RoundProcessor,
+    rng: RandomSource | None = None,
+    noise_builder_factory: Callable[[int], NoiseBuilder | None] | None = None,
+) -> MixChain:
+    """Convenience constructor wiring up a chain from key pairs.
+
+    ``noise_builder_factory`` maps a server index to that server's noise
+    builder (or ``None`` for servers that add no noise, e.g. the last server
+    in the conversation protocol).
+    """
+    rng = rng or default_random()
+    public_keys = [kp.public for kp in server_keypairs]
+    servers = []
+    for index, keypair in enumerate(server_keypairs):
+        noise_builder = noise_builder_factory(index) if noise_builder_factory else None
+        servers.append(
+            MixServer(
+                index=index,
+                keypair=keypair,
+                chain_public_keys=public_keys,
+                rng=rng.fork(f"server-{index}") if hasattr(rng, "fork") else rng,
+                noise_builder=noise_builder,
+            )
+        )
+    return MixChain(servers=servers, processor=processor)

@@ -1,0 +1,91 @@
+"""Cover-traffic (noise) budgeting for honest servers.
+
+Algorithm 2 step 2: every round, an honest server samples how many noise
+requests to add from the truncated Laplace distribution — ``n1`` requests that
+access a random dead drop alone and ``n2/2`` pairs of requests that access the
+same random dead drop.  The paper's evaluation configures servers to add
+exactly ``mu`` noise instead of sampling, "to not let noise affect the clarity
+of the graphs" (§8.1); both modes are supported here and the choice is an
+explicit, documented knob.
+
+The *content* of noise requests is protocol-specific (a conversation noise
+request is a fake exchange; a dialing noise request is a fake invitation), so
+this module only decides the counts; the protocol modules build the payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..crypto.rng import RandomSource, default_random
+from ..errors import ConfigurationError
+from ..privacy.laplace import LaplaceParams, sample_truncated_laplace
+
+
+@dataclass(frozen=True)
+class NoiseCounts:
+    """How much cover traffic one server adds in one round."""
+
+    singles: int
+    pairs: int
+
+    @property
+    def total_requests(self) -> int:
+        return self.singles + 2 * self.pairs
+
+
+@dataclass(frozen=True)
+class CoverTrafficSpec:
+    """A server's noise configuration for the conversation protocol.
+
+    Algorithm 2 step 2: the server draws ``n1`` and ``n2``, both from
+    ``max(0, Laplace(mu, b))``, and adds ``ceil(n1)`` single accesses plus
+    ``ceil(n2 / 2)`` pairs — so the noise landing on the pair count ``m2`` is
+    distributed as ``ceil(max(0, Laplace(mu/2, b/2)))``, exactly what
+    Theorem 1 analyses.  When ``exact`` is true the server deterministically
+    adds the mean amount of noise (the paper's evaluation mode, §8.1); when
+    false it samples.
+    """
+
+    params: LaplaceParams
+    exact: bool = False
+
+    def sample(self, rng: RandomSource | None = None) -> NoiseCounts:
+        rng = rng or default_random()
+        if self.exact:
+            n1 = float(self.params.mu)
+            n2 = float(self.params.mu)
+        else:
+            n1 = float(sample_truncated_laplace(self.params, rng))
+            n2 = float(sample_truncated_laplace(self.params, rng))
+        return NoiseCounts(singles=int(math.ceil(n1)), pairs=int(math.ceil(n2 / 2.0)))
+
+    @property
+    def expected_requests_per_round(self) -> float:
+        """Average number of noise requests per round: n1 + 2 * (n2/2) = 2 mu."""
+        return 2.0 * self.params.mu
+
+
+@dataclass(frozen=True)
+class DialingNoiseSpec:
+    """A server's noise configuration for the dialing protocol (§5.3).
+
+    Each server adds ``ceil(max(0, Laplace(mu, b)))`` noise invitations to
+    *every* invitation dead drop, so the per-round noise volume is
+    ``mu * num_buckets`` per server.
+    """
+
+    params: LaplaceParams
+    exact: bool = False
+
+    def sample_for_bucket(self, rng: RandomSource | None = None) -> int:
+        rng = rng or default_random()
+        if self.exact:
+            return int(math.ceil(self.params.mu))
+        return sample_truncated_laplace(self.params, rng)
+
+    def expected_invitations(self, num_buckets: int) -> float:
+        if num_buckets <= 0:
+            raise ConfigurationError("num_buckets must be positive")
+        return self.params.mu * num_buckets

@@ -1,0 +1,91 @@
+"""Random permutations used to mix requests within a round.
+
+Each server draws a fresh uniformly random permutation per round, applies it
+to the batch of requests before forwarding them, and applies the inverse to
+the batch of responses on the way back (Algorithm 2 steps 3a and 4).  As long
+as one server in the chain is honest, its secret permutation unlinks users
+from their dead-drop requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+from ..crypto.rng import RandomSource, default_random
+from ..errors import ProtocolError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Permutation:
+    """An explicit permutation of ``n`` elements.
+
+    ``mapping[i]`` is the destination position of input element ``i``.
+    """
+
+    mapping: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if sorted(self.mapping) != list(range(len(self.mapping))):
+            raise ProtocolError("not a permutation")
+
+    @classmethod
+    def random(cls, n: int, rng: RandomSource | None = None) -> "Permutation":
+        """Draw a uniformly random permutation with Fisher-Yates."""
+        if n < 0:
+            raise ProtocolError("cannot permute a negative number of elements")
+        rng = rng or default_random()
+        mapping = list(range(n))
+        for i in range(n - 1, 0, -1):
+            # Rejection-free bounded integer: random_uint has enough bits that
+            # the modulo bias is negligible for mixing purposes, but we use
+            # rejection sampling anyway to keep the permutation exactly uniform.
+            j = _bounded_uint(rng, i + 1)
+            mapping[i], mapping[j] = mapping[j], mapping[i]
+        return cls(mapping=tuple(mapping))
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        return cls(mapping=tuple(range(n)))
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def apply(self, items: Sequence[T]) -> list[T]:
+        """Return the shuffled list: output[mapping[i]] = items[i]."""
+        if len(items) != len(self.mapping):
+            raise ProtocolError(
+                f"permutation of size {len(self.mapping)} applied to {len(items)} items"
+            )
+        output: list[T | None] = [None] * len(items)
+        for source, destination in enumerate(self.mapping):
+            output[destination] = items[source]
+        return output  # type: ignore[return-value]
+
+    def invert(self, items: Sequence[T]) -> list[T]:
+        """Undo :meth:`apply`: input[i] = shuffled[mapping[i]]."""
+        if len(items) != len(self.mapping):
+            raise ProtocolError(
+                f"permutation of size {len(self.mapping)} inverted on {len(items)} items"
+            )
+        return [items[destination] for destination in self.mapping]
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation as an explicit object."""
+        inverse = [0] * len(self.mapping)
+        for source, destination in enumerate(self.mapping):
+            inverse[destination] = source
+        return Permutation(mapping=tuple(inverse))
+
+
+def _bounded_uint(rng: RandomSource, bound: int) -> int:
+    """Uniform integer in [0, bound) via rejection sampling."""
+    if bound <= 0:
+        raise ProtocolError("bound must be positive")
+    bits = max(1, (bound - 1).bit_length())
+    while True:
+        value = rng.random_uint(bits)
+        if value < bound:
+            return value

@@ -1,0 +1,35 @@
+"""In-process network substrate: transport, traffic observation, link models."""
+
+from .links import (
+    CLIENT_DSL_LINK,
+    PAPER_DATACENTER_LINK,
+    PAPER_SERVER,
+    HostSpec,
+    LinkSpec,
+)
+from .messages import Envelope, MessageKind, Observation
+from .transport import (
+    AllowOnlyEndpoints,
+    BlockEndpoints,
+    DropMessageKind,
+    Interference,
+    Network,
+    TrafficStats,
+)
+
+__all__ = [
+    "AllowOnlyEndpoints",
+    "BlockEndpoints",
+    "CLIENT_DSL_LINK",
+    "DropMessageKind",
+    "Envelope",
+    "HostSpec",
+    "Interference",
+    "LinkSpec",
+    "MessageKind",
+    "Network",
+    "Observation",
+    "PAPER_DATACENTER_LINK",
+    "PAPER_SERVER",
+    "TrafficStats",
+]

@@ -1,0 +1,77 @@
+"""Link and host models used for bandwidth/latency accounting.
+
+The deployment simulator (:mod:`repro.simulation`) needs to translate "this
+round moved N requests of S bytes across the chain" into seconds and
+bytes/second.  These small models describe the capacity of a link or host the
+way the paper's evaluation describes its EC2 testbed: 10 Gb/s NICs, 36-core
+servers, clients on DSL/3G connections (§8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A network link with a fixed bandwidth and propagation delay."""
+
+    bandwidth_bytes_per_sec: float
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if self.latency_seconds < 0:
+            raise ConfigurationError("link latency cannot be negative")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` across this link (serialisation + propagation)."""
+        if num_bytes < 0:
+            raise ConfigurationError("cannot transfer a negative number of bytes")
+        return self.latency_seconds + num_bytes / self.bandwidth_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Compute capacity of one server, expressed the way the paper does.
+
+    The paper reports that one 36-core c4.8xlarge performs about 340,000
+    Curve25519 Diffie-Hellman operations per second, and that everything else
+    (serialisation, shuffling, noise generation) costs at most as much again
+    (§8.2 "within 2x of the cost of the inevitable cryptographic operations").
+    """
+
+    dh_ops_per_sec: float
+    cores: int = 36
+    protocol_overhead_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.dh_ops_per_sec <= 0:
+            raise ConfigurationError("dh_ops_per_sec must be positive")
+        if self.cores <= 0:
+            raise ConfigurationError("cores must be positive")
+        if self.protocol_overhead_factor < 1.0:
+            raise ConfigurationError("the protocol overhead factor cannot be below 1")
+
+    def crypto_time(self, dh_operations: float) -> float:
+        """Seconds of pure Diffie-Hellman work for ``dh_operations`` operations."""
+        if dh_operations < 0:
+            raise ConfigurationError("cannot perform a negative number of operations")
+        return dh_operations / self.dh_ops_per_sec
+
+    def round_processing_time(self, dh_operations: float) -> float:
+        """Crypto time inflated by the protocol overhead factor."""
+        return self.crypto_time(dh_operations) * self.protocol_overhead_factor
+
+
+#: The paper's EC2 c4.8xlarge server (§8.1, §8.2).
+PAPER_SERVER = HostSpec(dh_ops_per_sec=340_000, cores=36, protocol_overhead_factor=2.0)
+
+#: The paper's 10 Gb/s data-centre link.
+PAPER_DATACENTER_LINK = LinkSpec(bandwidth_bytes_per_sec=10e9 / 8, latency_seconds=0.001)
+
+#: A client on a DSL-class connection (§8.3 argues tens of KB/s suffice).
+CLIENT_DSL_LINK = LinkSpec(bandwidth_bytes_per_sec=1_000_000, latency_seconds=0.03)

@@ -1,0 +1,63 @@
+"""Wire-level message records used by the in-process transport.
+
+The transport does not interpret payloads (they are opaque, usually encrypted,
+byte strings); it only records the metadata an on-path network adversary could
+observe — source, destination, size, round number and direction.  That record
+is exactly what :mod:`repro.adversary` gets to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MessageKind(Enum):
+    """Coarse classification of traffic, as an adversary could infer from ports/timing."""
+
+    CONVERSATION_REQUEST = "conversation-request"
+    CONVERSATION_RESPONSE = "conversation-response"
+    DIALING_REQUEST = "dialing-request"
+    DIALING_RESPONSE = "dialing-response"
+    DIAL_DOWNLOAD = "dial-download"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight between two endpoints."""
+
+    source: str
+    destination: str
+    payload: bytes = field(repr=False)
+    kind: MessageKind = MessageKind.CONTROL
+    round_number: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a network adversary records about one envelope.
+
+    Deliberately excludes the payload: payloads are encrypted and fixed-size,
+    so the only observable facts are the endpoints, size, kind and timing.
+    """
+
+    source: str
+    destination: str
+    size: int
+    kind: MessageKind
+    round_number: int
+
+    @classmethod
+    def of(cls, envelope: Envelope) -> "Observation":
+        return cls(
+            source=envelope.source,
+            destination=envelope.destination,
+            size=envelope.size,
+            kind=envelope.kind,
+            round_number=envelope.round_number,
+        )

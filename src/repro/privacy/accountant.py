@@ -1,0 +1,71 @@
+"""Privacy budget accounting for a long-running deployment.
+
+A Vuvuzela deployment is provisioned for a target multi-round guarantee
+(eps', delta') over a budget of k rounds.  The :class:`PrivacyAccountant`
+tracks how many rounds have actually been consumed, what guarantee currently
+holds, and when the budget will be exhausted — the operational counterpart of
+Theorem 2.
+
+Only rounds in which a user's real actions could differ from her cover story
+consume budget (§6.3): a user who is idle, and whose cover story is also
+idleness, spends nothing.  The accountant exposes both the conservative
+"every round counts" view used by the paper's headline numbers and a
+per-user view that exploits idle rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .composition import DEFAULT_COMPOSITION_D, ComposedGuarantee, compose, max_rounds
+from .mechanism import PrivacyGuarantee
+from ..errors import PrivacyBudgetError
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks cumulative privacy loss for one protocol of one deployment."""
+
+    per_round: PrivacyGuarantee
+    target_epsilon: float
+    target_delta: float
+    composition_d: float = DEFAULT_COMPOSITION_D
+    rounds_used: int = 0
+    _budget_rounds: int | None = field(default=None, init=False, repr=False)
+
+    @property
+    def budget_rounds(self) -> int:
+        """Total rounds the deployment can support within its target."""
+        if self._budget_rounds is None:
+            self._budget_rounds = max_rounds(
+                self.per_round, self.target_epsilon, self.target_delta, self.composition_d
+            )
+        return self._budget_rounds
+
+    @property
+    def rounds_remaining(self) -> int:
+        return max(0, self.budget_rounds - self.rounds_used)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.rounds_used >= self.budget_rounds
+
+    def spend(self, rounds: int = 1) -> ComposedGuarantee:
+        """Record ``rounds`` more rounds of observation and return the new total."""
+        if rounds < 0:
+            raise PrivacyBudgetError("cannot spend a negative number of rounds")
+        self.rounds_used += rounds
+        return self.current_guarantee()
+
+    def current_guarantee(self) -> ComposedGuarantee:
+        """The (eps', delta') that holds after the rounds spent so far."""
+        return compose(self.per_round, self.rounds_used, self.composition_d)
+
+    def guarantee_after(self, rounds: int) -> ComposedGuarantee:
+        """The guarantee that would hold after ``rounds`` total rounds."""
+        return compose(self.per_round, rounds, self.composition_d)
+
+    def within_target(self) -> bool:
+        """True while the accumulated loss is still within the deployment target."""
+        current = self.current_guarantee()
+        return current.epsilon <= self.target_epsilon and current.delta <= self.target_delta

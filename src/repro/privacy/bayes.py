@@ -1,0 +1,50 @@
+"""Bayesian interpretation of Vuvuzela's guarantees (§6.4).
+
+Differential privacy bounds how much an adversary's *posterior* belief about a
+suspicion ("Alice and Bob are talking") can exceed its prior after observing
+the system.  The paper's worked example: with a prior of 50 % and eps = ln 2
+the posterior rises to at most 67 %; with eps = ln 3, to 75 %; with a 1 %
+prior and eps = ln 3, to about 3 %.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def posterior_belief(prior: float, epsilon: float, delta: float = 0.0) -> float:
+    """Upper bound on the adversary's posterior belief after one observation.
+
+    By Bayes' rule, if every observation is at most ``e^eps`` times more
+    likely under the suspicion than under the cover story, the posterior is at
+    most::
+
+        e^eps * prior / (e^eps * prior + (1 - prior))
+
+    plus the ``delta`` failure probability.
+    """
+    if not 0.0 <= prior <= 1.0:
+        raise ConfigurationError("the prior must be a probability in [0, 1]")
+    if epsilon < 0:
+        raise ConfigurationError("epsilon must be non-negative")
+    if not 0.0 <= delta <= 1.0:
+        raise ConfigurationError("delta must be a probability in [0, 1]")
+    factor = math.exp(epsilon)
+    posterior = factor * prior / (factor * prior + (1.0 - prior)) if prior < 1.0 else 1.0
+    return min(posterior + delta, 1.0)
+
+
+def belief_amplification(prior: float, epsilon: float, delta: float = 0.0) -> float:
+    """How many times larger the posterior can be than the prior."""
+    if prior <= 0.0:
+        return math.exp(epsilon)
+    return posterior_belief(prior, epsilon, delta) / prior
+
+
+def plausible_deniability(epsilon: float) -> float:
+    """The ``e^eps`` "deniability factor" the paper quotes (2x for eps = ln 2)."""
+    if epsilon < 0:
+        raise ConfigurationError("epsilon must be non-negative")
+    return math.exp(epsilon)

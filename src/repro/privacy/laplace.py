@@ -1,0 +1,88 @@
+"""The truncated Laplace noise distribution used by Vuvuzela servers.
+
+Every honest server draws its cover-traffic counts from
+
+    N  ~  ceil( max(0, Laplace(mu, b)) )
+
+(Algorithm 2 step 2 and §5.3).  ``mu`` is the average number of noise
+requests, ``sqrt(2) * b`` its standard deviation.  The distribution is capped
+below at zero because a server cannot send a negative number of requests —
+this truncation is exactly what gives rise to the additive ``delta`` term in
+the privacy guarantee (Theorem 1 / Lemma 3).
+
+This module provides sampling, the probability density/cumulative functions
+(used by tests and by the Bayesian adversary), and small helpers shared by the
+mechanism and calibration code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..crypto.rng import RandomSource, default_random
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LaplaceParams:
+    """Location/scale parameters of a (possibly truncated) Laplace distribution."""
+
+    mu: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.b <= 0:
+            raise ConfigurationError("the Laplace scale parameter b must be positive")
+        if self.mu < 0:
+            raise ConfigurationError("the Laplace mean mu must be non-negative")
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the un-truncated Laplace distribution."""
+        return math.sqrt(2.0) * self.b
+
+    def scaled(self, factor: float) -> "LaplaceParams":
+        """Return parameters scaled by ``factor`` (used for the m2 noise µ/2, b/2)."""
+        return LaplaceParams(self.mu * factor, self.b * factor)
+
+
+def sample_laplace(params: LaplaceParams, rng: RandomSource | None = None) -> float:
+    """Draw one sample from ``Laplace(mu, b)`` via inverse-CDF sampling."""
+    rng = rng or default_random()
+    # u is uniform on (-1/2, 1/2); guard against the exact endpoints.
+    u = rng.random_float() - 0.5
+    u = min(max(u, -0.5 + 1e-12), 0.5 - 1e-12)
+    return params.mu - params.b * math.copysign(1.0, u) * math.log1p(-2.0 * abs(u))
+
+
+def sample_truncated_laplace(params: LaplaceParams, rng: RandomSource | None = None) -> int:
+    """Draw ``ceil(max(0, Laplace(mu, b)))`` — a noise request count."""
+    return int(math.ceil(max(0.0, sample_laplace(params, rng))))
+
+
+def laplace_pdf(x: float, params: LaplaceParams) -> float:
+    """Probability density of the un-truncated Laplace distribution."""
+    return math.exp(-abs(x - params.mu) / params.b) / (2.0 * params.b)
+
+
+def laplace_cdf(x: float, params: LaplaceParams) -> float:
+    """Cumulative distribution of the un-truncated Laplace distribution."""
+    if x < params.mu:
+        return 0.5 * math.exp((x - params.mu) / params.b)
+    return 1.0 - 0.5 * math.exp(-(x - params.mu) / params.b)
+
+
+def truncated_mass_at_zero(params: LaplaceParams) -> float:
+    """Probability that the truncated sample is zero (all mass below 0)."""
+    return laplace_cdf(0.0, params)
+
+
+def truncated_mean(params: LaplaceParams) -> float:
+    """Mean of ``max(0, Laplace(mu, b))`` (before the ceiling).
+
+    Used by the capacity planner: for the parameter regimes Vuvuzela uses
+    (``mu >> b``) this is indistinguishable from ``mu``.
+    """
+    # E[max(0, X)] = mu + (b/2) exp(-mu/b) for a Laplace(mu, b) with mu >= 0.
+    return params.mu + (params.b / 2.0) * math.exp(-params.mu / params.b)

@@ -1,0 +1,159 @@
+"""Sensitivity of the observable variables to one user's actions (Figure 6).
+
+The only variables Vuvuzela's conversation protocol exposes to an adversary
+are ``m1`` (the number of dead drops accessed exactly once in a round) and
+``m2`` (the number accessed exactly twice).  Figure 6 of the paper tabulates
+how much these counts change when one user (Alice) swaps her real action for a
+cover story, with every other user's behaviour held fixed.  The worst case is
+a change of 2 in ``m1`` and 1 in ``m2`` — the sensitivity the noise mechanism
+of Theorem 1 must cover.
+
+Rather than hard-coding the table, this module *re-derives* it by explicitly
+constructing the dead-drop accesses of the users involved in both worlds and
+counting, so the Figure 6 benchmark regenerates the table from the model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ActionKind(Enum):
+    """The three kinds of per-round behaviour Figure 6 distinguishes."""
+
+    IDLE = "idle"
+    #: Conversation with a partner who reciprocates (paper's users b, c).
+    RECIPROCATED = "reciprocated"
+    #: Exchange directed at a partner who does not reciprocate (users x, y).
+    UNRECIPROCATED = "unreciprocated"
+
+
+@dataclass(frozen=True)
+class Action:
+    """Alice's action in one round: a kind plus the partner it involves."""
+
+    kind: ActionKind
+    partner: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ActionKind.IDLE and self.partner is not None:
+            raise ValueError("an idle action has no partner")
+        if self.kind is not ActionKind.IDLE and not self.partner:
+            raise ValueError("conversation actions need a partner label")
+
+    @staticmethod
+    def idle() -> "Action":
+        return Action(ActionKind.IDLE)
+
+    @staticmethod
+    def conversation_with(partner: str) -> "Action":
+        """A reciprocated conversation with ``partner`` (Figure 6's b or c)."""
+        return Action(ActionKind.RECIPROCATED, partner)
+
+    @staticmethod
+    def unreciprocated_with(partner: str) -> "Action":
+        """An exchange whose partner does not reciprocate (Figure 6's x or y)."""
+        return Action(ActionKind.UNRECIPROCATED, partner)
+
+    def label(self) -> str:
+        if self.kind is ActionKind.IDLE:
+            return "idle"
+        return f"conversation with {self.partner}"
+
+
+@dataclass(frozen=True)
+class CountDelta:
+    """Change in the observable counts: real-world counts minus cover-story counts."""
+
+    delta_m1: int
+    delta_m2: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.delta_m1, self.delta_m2)
+
+
+def _world_counts(alice_action: Action, reciprocating_partners: frozenset[str]) -> tuple[int, int]:
+    """Count (m1, m2) over the dead drops touched by Alice and her partners.
+
+    ``reciprocating_partners`` is the set of users that are "in a conversation
+    with Alice" in at least one of the two worlds being compared; such a user
+    always sends an exchange request to the dead drop it shares with Alice,
+    regardless of what Alice does (its behaviour is fixed across worlds).
+    Unreciprocating partners (x, y) and all other users access dead drops that
+    are untouched by Alice's choice and therefore cancel in the difference.
+    """
+    accesses: Counter[str] = Counter()
+    for partner in reciprocating_partners:
+        accesses[f"drop(alice,{partner})"] += 1
+
+    if alice_action.kind is ActionKind.IDLE:
+        accesses["drop(alice,random)"] += 1
+    elif alice_action.kind is ActionKind.RECIPROCATED:
+        accesses[f"drop(alice,{alice_action.partner})"] += 1
+    else:  # UNRECIPROCATED: the partner never reads that dead drop.
+        accesses[f"drop(alice,{alice_action.partner})"] += 1
+
+    m1 = sum(1 for count in accesses.values() if count == 1)
+    m2 = sum(1 for count in accesses.values() if count == 2)
+    return m1, m2
+
+
+def count_delta(real: Action, cover: Action) -> CountDelta:
+    """Compute Figure 6's (∆m1, ∆m2) = counts(real world) − counts(cover world)."""
+    reciprocating = frozenset(
+        action.partner
+        for action in (real, cover)
+        if action.kind is ActionKind.RECIPROCATED and action.partner is not None
+    )
+    real_m1, real_m2 = _world_counts(real, reciprocating)
+    cover_m1, cover_m2 = _world_counts(cover, reciprocating)
+    return CountDelta(delta_m1=real_m1 - cover_m1, delta_m2=real_m2 - cover_m2)
+
+
+def figure6_real_actions() -> list[Action]:
+    """The column headers of Figure 6."""
+    return [
+        Action.idle(),
+        Action.conversation_with("b"),
+        Action.unreciprocated_with("x"),
+    ]
+
+
+def figure6_cover_stories() -> list[Action]:
+    """The row headers of Figure 6."""
+    return [
+        Action.idle(),
+        Action.conversation_with("b"),
+        Action.conversation_with("c"),
+        Action.unreciprocated_with("x"),
+        Action.unreciprocated_with("y"),
+    ]
+
+
+def figure6_table() -> dict[tuple[str, str], CountDelta]:
+    """The full Figure 6 table keyed by (cover-story label, real-action label)."""
+    return {
+        (cover.label(), real.label()): count_delta(real, cover)
+        for cover in figure6_cover_stories()
+        for real in figure6_real_actions()
+    }
+
+
+#: Worst-case change in m1 caused by one user's actions in one round (§6.2).
+CONVERSATION_SENSITIVITY_M1 = 2
+#: Worst-case change in m2 caused by one user's actions in one round (§6.2).
+CONVERSATION_SENSITIVITY_M2 = 1
+#: In dialing, one user's action changes up to two dead-drop counts by 1 each (§6.5).
+DIALING_SENSITIVITY = 1
+DIALING_AFFECTED_DEAD_DROPS = 2
+
+
+def max_sensitivity() -> CountDelta:
+    """Maximum absolute (∆m1, ∆m2) over all real-action/cover-story pairs."""
+    table = figure6_table()
+    return CountDelta(
+        delta_m1=max(abs(d.delta_m1) for d in table.values()),
+        delta_m2=max(abs(d.delta_m2) for d in table.values()),
+    )

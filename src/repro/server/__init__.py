@@ -1,0 +1,14 @@
+"""Server-side components: batch framing, chain endpoints and the entry server."""
+
+from .chain_endpoint import ChainServerEndpoint
+from .entry import ACK, REFUSED, EntryServer
+from .wire import decode_batch, encode_batch
+
+__all__ = [
+    "ACK",
+    "REFUSED",
+    "ChainServerEndpoint",
+    "EntryServer",
+    "decode_batch",
+    "encode_batch",
+]

@@ -1,0 +1,64 @@
+"""Chain servers as network endpoints.
+
+Each Vuvuzela server runs both protocols; on the wire it is two endpoints
+(``server-i/conversation`` and ``server-i/dialing``), each wrapping a
+:class:`~repro.mixnet.chain.MixServer` configured with that protocol's noise
+builder.  A server receives a round batch from its predecessor (or from the
+entry server), does its mixing work, forwards the batch to its successor over
+the network, and sends the re-encrypted responses back the way they came.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .wire import decode_batch, encode_batch
+from ..errors import NetworkError, ProtocolError
+from ..mixnet.chain import MixServer, RoundProcessor
+from ..net import Envelope, MessageKind, Network
+
+
+@dataclass
+class ChainServerEndpoint:
+    """One protocol instance of one chain server, attached to the network."""
+
+    name: str
+    mix_server: MixServer
+    network: Network
+    next_endpoint: str | None
+    processor: RoundProcessor | None
+    request_kind: MessageKind = MessageKind.CONVERSATION_REQUEST
+
+    def __post_init__(self) -> None:
+        if self.next_endpoint is None and self.processor is None:
+            raise ProtocolError("the last server in the chain needs a round processor")
+        self.network.register(self.name, self.handle)
+
+    def handle(self, envelope: Envelope) -> bytes:
+        """Process one round batch arriving from the previous hop."""
+        round_number, requests = decode_batch(envelope.payload)
+        responses = self.mix_server.process_round(round_number, requests, self._downstream)
+        return encode_batch(round_number, responses)
+
+    def _downstream(self, round_number: int, batch: list[bytes]) -> list[bytes]:
+        """Forward the mixed batch to the next server, or process it here."""
+        if self.next_endpoint is None:
+            assert self.processor is not None  # enforced in __post_init__
+            return self.processor(round_number, batch)
+        reply = self.network.send(
+            self.name,
+            self.next_endpoint,
+            encode_batch(round_number, batch),
+            kind=self.request_kind,
+            round_number=round_number,
+        )
+        if reply is None:
+            raise NetworkError(
+                f"round {round_number}: the link from {self.name} to {self.next_endpoint} is down"
+            )
+        reply_round, responses = decode_batch(reply)
+        if reply_round != round_number:
+            raise ProtocolError(
+                f"{self.next_endpoint} answered round {reply_round} instead of {round_number}"
+            )
+        return responses

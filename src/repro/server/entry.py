@@ -1,0 +1,121 @@
+"""The untrusted entry server (§7).
+
+The entry server's only job is to terminate a large number of client
+connections, multiplex each round's client requests into one batch for the
+first chain server, and demultiplex the responses back to the clients.  It is
+*not* one of the chain servers and is not trusted: everything it sees is
+onion-encrypted, fixed-size and already covered by the privacy analysis (the
+adversary is assumed to see all network traffic anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .wire import decode_batch, encode_batch
+from ..errors import NetworkError, ProtocolError
+from ..net import Envelope, MessageKind, Network
+
+ACK = b"ok"
+
+
+#: Reply sent to clients whose requests were refused by admission control.
+REFUSED = b"refused"
+
+
+@dataclass
+class EntryServer:
+    """Buffers client requests per round and drives the chain.
+
+    §9 "Denial of service attacks": because every client talks to the entry
+    server first, it is the natural place to mitigate client DoS — requiring
+    an account, proof-of-work, or payment.  This implementation models the
+    account-based variant: with ``require_registration`` enabled, requests
+    from unregistered sources are refused (and counted), and each account is
+    limited to one request per protocol per round.  Identifying clients to the
+    entry server does not weaken privacy: the adversary is already assumed to
+    know who is connected (§2.2).
+    """
+
+    network: Network
+    first_server: dict[MessageKind, str]
+    name: str = "entry"
+    require_registration: bool = False
+    #: Requests a registered account may submit per protocol per round.  The
+    #: conversation protocol uses one request per conversation slot (§9), so
+    #: deployments with multi-conversation clients raise this accordingly.
+    max_requests_per_account_per_round: int = 1
+    _accounts: set[str] = field(default_factory=set)
+    _buffers: dict[tuple[MessageKind, int], list[tuple[str, bytes]]] = field(default_factory=dict)
+    refused_requests: int = 0
+
+    def __post_init__(self) -> None:
+        self.network.register(self.name, self.handle)
+
+    def register_account(self, client_name: str) -> None:
+        """Admit a client (models sign-up / proof-of-work / payment, §9)."""
+        self._accounts.add(client_name)
+
+    def revoke_account(self, client_name: str) -> None:
+        self._accounts.discard(client_name)
+
+    def is_registered(self, client_name: str) -> bool:
+        return client_name in self._accounts
+
+    def handle(self, envelope: Envelope) -> bytes:
+        """Accept one client request for the current round."""
+        if envelope.kind not in self.first_server:
+            raise ProtocolError(f"the entry server does not handle {envelope.kind}")
+        if self.require_registration and envelope.source not in self._accounts:
+            self.refused_requests += 1
+            return REFUSED
+        key = (envelope.kind, envelope.round_number)
+        submissions = self._buffers.setdefault(key, [])
+        if self.require_registration:
+            already = sum(1 for source, _ in submissions if source == envelope.source)
+            if already >= self.max_requests_per_account_per_round:
+                # A bounded number of requests per account per protocol per
+                # round: a flood from a registered-but-misbehaving client
+                # cannot inflate the round.
+                self.refused_requests += 1
+                return REFUSED
+        submissions.append((envelope.source, envelope.payload))
+        return ACK
+
+    def pending_requests(self, kind: MessageKind, round_number: int) -> int:
+        return len(self._buffers.get((kind, round_number), []))
+
+    def run_round_grouped(self, kind: MessageKind, round_number: int) -> dict[str, list[bytes]]:
+        """Send the buffered batch through the chain; group responses per client.
+
+        Each client's responses appear in the order it submitted its requests.
+        The buffer for the round is consumed: late requests for an already-run
+        round are rejected by :class:`~repro.core.system.VuvuzelaSystem`'s
+        round sequencing rather than silently queued forever.
+        """
+        submissions = self._buffers.pop((kind, round_number), [])
+        batch = [payload for _, payload in submissions]
+        reply = self.network.send(
+            self.name,
+            self.first_server[kind],
+            encode_batch(round_number, batch),
+            kind=kind,
+            round_number=round_number,
+        )
+        if reply is None:
+            raise NetworkError(f"round {round_number}: the first chain server is unreachable")
+        reply_round, responses = decode_batch(reply)
+        if reply_round != round_number or len(responses) != len(submissions):
+            raise ProtocolError("the chain returned a malformed round result")
+        grouped: dict[str, list[bytes]] = {}
+        for (client, _), response in zip(submissions, responses):
+            grouped.setdefault(client, []).append(response)
+        return grouped
+
+    def run_round(self, kind: MessageKind, round_number: int) -> dict[str, bytes]:
+        """Single-request-per-client view of :meth:`run_round_grouped`."""
+        return {
+            client: responses[0]
+            for client, responses in self.run_round_grouped(kind, round_number).items()
+            if responses
+        }

@@ -1,0 +1,47 @@
+"""Framing of request batches exchanged between servers.
+
+Servers forward whole rounds at a time; a batch is a simple length-prefixed
+concatenation preceded by the round number, so the receiving server can
+sanity-check that both ends agree which round they are processing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import ProtocolError
+
+_HEADER = struct.Struct(">QI")  # round number, request count
+_LENGTH = struct.Struct(">I")
+
+
+def encode_batch(round_number: int, requests: list[bytes]) -> bytes:
+    """Serialise a round's worth of requests (or responses)."""
+    if round_number < 0:
+        raise ProtocolError("round numbers are non-negative")
+    parts = [_HEADER.pack(round_number, len(requests))]
+    for request in requests:
+        parts.append(_LENGTH.pack(len(request)))
+        parts.append(request)
+    return b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> tuple[int, list[bytes]]:
+    """Parse a batch back into (round_number, requests)."""
+    if len(payload) < _HEADER.size:
+        raise ProtocolError("batch too short to contain a header")
+    round_number, count = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    requests: list[bytes] = []
+    for _ in range(count):
+        if offset + _LENGTH.size > len(payload):
+            raise ProtocolError("truncated batch: missing length prefix")
+        (length,) = _LENGTH.unpack_from(payload, offset)
+        offset += _LENGTH.size
+        if offset + length > len(payload):
+            raise ProtocolError("truncated batch: missing request body")
+        requests.append(payload[offset : offset + length])
+        offset += length
+    if offset != len(payload):
+        raise ProtocolError("trailing bytes after the last request in a batch")
+    return round_number, requests

@@ -1,0 +1,33 @@
+"""Deployment simulation: workloads, the calibrated cost model, and sweeps."""
+
+from .costmodel import (
+    ConversationRoundEstimate,
+    CostModelParameters,
+    DialingRoundEstimate,
+    VuvuzelaCostModel,
+    best_case_crypto_latency,
+    measure_local_dh_rate,
+)
+from .simulator import DeploymentSimulator, RealRoundResult, run_real_round
+from .workload import (
+    GeneratedPopulation,
+    PAPER_WORKLOAD,
+    WorkloadSpec,
+    generate_population,
+)
+
+__all__ = [
+    "ConversationRoundEstimate",
+    "CostModelParameters",
+    "DeploymentSimulator",
+    "DialingRoundEstimate",
+    "GeneratedPopulation",
+    "PAPER_WORKLOAD",
+    "RealRoundResult",
+    "VuvuzelaCostModel",
+    "WorkloadSpec",
+    "best_case_crypto_latency",
+    "generate_population",
+    "measure_local_dh_rate",
+    "run_real_round",
+]

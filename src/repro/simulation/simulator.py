@@ -1,0 +1,140 @@
+"""The deployment simulator: paper-scale estimates plus real small-scale runs.
+
+Two complementary modes:
+
+* **Model mode** — :class:`DeploymentSimulator` sweeps the calibrated cost
+  model (:mod:`repro.simulation.costmodel`) over user counts, noise levels and
+  chain lengths to regenerate Figures 9, 10 and 11 and the §8.2/§8.3 headline
+  numbers at the paper's scale (10 to 2 million users), which no Python
+  process could execute with real cryptography in reasonable time.
+* **Validation mode** — :func:`run_real_round` executes the *actual* protocol
+  (real X25519, real onions, real mixing, real noise) for a scaled-down user
+  count through :class:`~repro.core.system.VuvuzelaSystem` and reports the
+  same metrics, so the model's structure can be checked against reality on
+  small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costmodel import (
+    ConversationRoundEstimate,
+    CostModelParameters,
+    DialingRoundEstimate,
+    VuvuzelaCostModel,
+)
+from .workload import WorkloadSpec, generate_population
+from ..core import ConversationRoundMetrics, VuvuzelaConfig, VuvuzelaSystem
+from ..errors import SimulationError
+from ..privacy.laplace import LaplaceParams
+
+
+@dataclass
+class DeploymentSimulator:
+    """Sweeps the cost model across deployment scales and configurations."""
+
+    config: VuvuzelaConfig = field(default_factory=VuvuzelaConfig.paper)
+    parameters: CostModelParameters = field(default_factory=CostModelParameters)
+
+    def _model(self, num_servers: int | None = None, conversation_mu: float | None = None) -> VuvuzelaCostModel:
+        config = self.config
+        if num_servers is not None:
+            config = config.with_servers(num_servers)
+        if conversation_mu is not None:
+            config = config.with_conversation_noise(conversation_mu)
+        return VuvuzelaCostModel.from_config(config, parameters=self.parameters)
+
+    # ------------------------------------------------------------------ sweeps
+
+    def conversation_latency_sweep(
+        self, user_counts: list[int], conversation_mu: float | None = None
+    ) -> list[ConversationRoundEstimate]:
+        """Figure 9: end-to-end conversation latency as users scale."""
+        model = self._model(conversation_mu=conversation_mu)
+        return [model.estimate_conversation_round(users) for users in user_counts]
+
+    def dialing_latency_sweep(
+        self, user_counts: list[int], dialing_fraction: float = 0.05
+    ) -> list[DialingRoundEstimate]:
+        """Figure 10: end-to-end dialing latency as users scale."""
+        model = self._model()
+        return [model.estimate_dialing_round(users, dialing_fraction) for users in user_counts]
+
+    def server_scaling_sweep(
+        self, server_counts: list[int], num_users: int = 1_000_000
+    ) -> list[ConversationRoundEstimate]:
+        """Figure 11: conversation latency as the chain grows."""
+        estimates = []
+        for num_servers in server_counts:
+            if num_servers < 1:
+                raise SimulationError("a chain needs at least one server")
+            estimates.append(self._model(num_servers=num_servers).estimate_conversation_round(num_users))
+        return estimates
+
+    def headline_numbers(self, num_users: int = 1_000_000) -> dict[str, float]:
+        """The §8.2/§8.3 headline table for a given scale."""
+        model = self._model()
+        conversation = model.estimate_conversation_round(num_users)
+        dialing = model.estimate_dialing_round(num_users, dialing_fraction=0.05)
+        return {
+            "users": float(num_users),
+            "latency_seconds": conversation.end_to_end_latency_seconds,
+            "messages_per_second": conversation.messages_per_second,
+            "noise_requests": conversation.noise_requests,
+            "server_bandwidth_mb_per_second": conversation.server_bandwidth_bytes_per_second / 1e6,
+            "client_conversation_bandwidth_bytes": conversation.client_bandwidth_bytes_per_second,
+            "dialing_latency_seconds": dialing.end_to_end_latency_seconds,
+            "client_dialing_download_mb": dialing.client_download_bytes / 1e6,
+            "client_dialing_bandwidth_kb_per_second": dialing.client_download_bandwidth / 1e3,
+        }
+
+
+@dataclass(frozen=True)
+class RealRoundResult:
+    """Outcome of running the real protocol end-to-end at a small scale."""
+
+    metrics: ConversationRoundMetrics
+    delivered_messages: int
+    expected_messages: int
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.delivered_messages == self.expected_messages
+
+
+def run_real_round(
+    num_users: int = 10,
+    conversation_mu: float = 5.0,
+    num_servers: int = 3,
+    seed: int = 0,
+) -> RealRoundResult:
+    """Run one real conversation round with ``num_users`` paired-up clients.
+
+    Used by the validation benchmarks: it exercises every code path a real
+    deployment would (key exchange, onion wrapping, mixing, noise, dead-drop
+    matching) and verifies that every message was delivered to its partner.
+    """
+    if num_users < 2 or num_users % 2:
+        raise SimulationError("run_real_round needs an even number of at least two users")
+    config = VuvuzelaConfig.small(
+        num_servers=num_servers, conversation_mu=conversation_mu, seed=seed
+    )
+    system = VuvuzelaSystem(config)
+    spec = WorkloadSpec(num_users=num_users, conversing_fraction=1.0)
+    population = generate_population(spec, rng=None)
+
+    clients = {name: system.add_client(name) for name in population.names}
+    for left, right in population.pairs:
+        clients[left].start_conversation(clients[right].public_key)
+        clients[right].start_conversation(clients[left].public_key)
+        clients[left].send_message(f"hello from {left}")
+        clients[right].send_message(f"hello from {right}")
+
+    metrics = system.run_conversation_round()
+    delivered = sum(len(client.received) for client in clients.values())
+    return RealRoundResult(
+        metrics=metrics,
+        delivered_messages=delivered,
+        expected_messages=2 * len(population.pairs),
+    )

@@ -1,0 +1,106 @@
+"""Tests for the privacy curves (Figures 7-8) and the trade-off sweeps."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bucket_count_tradeoff,
+    chain_length_tradeoff,
+    conversation_coverage_table,
+    dialing_coverage_table,
+    figure7_curves,
+    figure8_curves,
+    noise_latency_tradeoff,
+)
+from repro.errors import ConfigurationError
+from repro.privacy import PAPER_CONVERSATION_ROUNDS, PAPER_DIALING_ROUNDS
+
+
+class TestFigure7And8Curves:
+    def test_figure7_has_three_ordered_curves(self):
+        curves = figure7_curves(round_counts=[10_000, 100_000, 1_000_000])
+        assert len(curves) == 3
+        assert [c.noise.mu for c in curves] == [150_000, 300_000, 450_000]
+        # At every k, more noise means smaller eps' and delta'.
+        for i in range(3):
+            point_low, point_mid, point_high = (c.points[i] for c in curves)
+            assert point_low.epsilon_prime > point_mid.epsilon_prime > point_high.epsilon_prime
+            assert point_low.delta_prime >= point_mid.delta_prime >= point_high.delta_prime
+
+    def test_curves_are_monotone_in_rounds(self):
+        for curve in figure7_curves() + figure8_curves():
+            epsilons = curve.epsilons()
+            deltas = curve.deltas()
+            assert epsilons == sorted(epsilons)
+            assert deltas == sorted(deltas)
+            assert curve.rounds() == sorted(curve.rounds())
+
+    def test_figure7_deniability_at_paper_coverage_points(self):
+        """At the k each noise level is rated for, e^eps' stays near 2."""
+        curves = figure7_curves(round_counts=list(PAPER_CONVERSATION_ROUNDS))
+        for curve, rated_rounds in zip(curves, PAPER_CONVERSATION_ROUNDS):
+            point = next(p for p in curve.points if p.rounds == rated_rounds)
+            assert point.deniability_factor == pytest.approx(2.0, rel=0.25)
+            assert point.delta_prime <= 2e-4
+
+    def test_figure8_deniability_at_paper_coverage_points(self):
+        curves = figure8_curves(round_counts=list(PAPER_DIALING_ROUNDS))
+        for curve, rated_rounds in zip(curves, PAPER_DIALING_ROUNDS):
+            point = next(p for p in curve.points if p.rounds == rated_rounds)
+            # Dialing coverage is rated within ~30% in this reproduction, so
+            # the deniability factor at the paper's k may exceed 2 somewhat.
+            assert point.deniability_factor == pytest.approx(2.0, rel=0.45)
+
+    def test_default_round_grid_spans_paper_axes(self):
+        figure7 = figure7_curves()[0]
+        assert figure7.rounds()[0] == 10_000
+        assert figure7.rounds()[-1] == 1_000_000
+        figure8 = figure8_curves()[0]
+        assert figure8.rounds()[0] == 1_000
+        assert figure8.rounds()[-1] == 16_000
+
+
+class TestCoverageTables:
+    def test_conversation_coverage_close_to_paper(self):
+        rows = conversation_coverage_table()
+        for row, paper_rounds in zip(rows, PAPER_CONVERSATION_ROUNDS):
+            assert row.rounds_covered == pytest.approx(paper_rounds, rel=0.15)
+
+    def test_dialing_coverage_close_to_paper(self):
+        rows = dialing_coverage_table()
+        for row, paper_rounds in zip(rows, PAPER_DIALING_ROUNDS):
+            assert row.rounds_covered == pytest.approx(paper_rounds, rel=0.30)
+
+    def test_coverage_scales_quadratically_with_mu(self):
+        rows = conversation_coverage_table()
+        ratio = rows[2].rounds_covered / rows[0].rounds_covered
+        assert ratio == pytest.approx((rows[2].mu / rows[0].mu) ** 2, rel=0.25)
+
+
+class TestTradeoffs:
+    def test_noise_latency_tradeoff(self):
+        rows = noise_latency_tradeoff([150_000, 300_000, 450_000], calibrate_scale=False)
+        assert [r.mu for r in rows] == [150_000, 300_000, 450_000]
+        # More noise buys more covered rounds but costs latency and throughput.
+        assert rows[0].rounds_covered < rows[1].rounds_covered < rows[2].rounds_covered
+        assert rows[0].latency_seconds < rows[1].latency_seconds < rows[2].latency_seconds
+        with pytest.raises(ConfigurationError):
+            noise_latency_tradeoff([-1], calibrate_scale=False)
+
+    def test_chain_length_tradeoff(self):
+        rows = chain_length_tradeoff([1, 3, 6])
+        assert [r.compromised_servers_tolerated for r in rows] == [0, 2, 5]
+        assert rows[2].latency_seconds > rows[1].latency_seconds > rows[0].latency_seconds
+        assert rows[0].noise_requests == 0  # a single-server chain adds no mix noise
+
+    def test_bucket_count_tradeoff(self):
+        rows = bucket_count_tradeoff([1, 4, 16])
+        # More buckets: smaller client downloads, more total server noise.
+        downloads = [r.client_download_mb for r in rows]
+        noise = [r.total_noise_invitations for r in rows]
+        assert downloads == sorted(downloads, reverse=True)
+        assert noise == sorted(noise)
+        assert math.isclose(rows[0].total_noise_invitations, 39_000)

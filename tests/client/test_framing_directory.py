@@ -1,0 +1,113 @@
+"""Tests for message framing (duplicate suppression) and the key directory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client import (
+    FRAME_OVERHEAD,
+    KeyDirectory,
+    MAX_BODY_SIZE,
+    SequenceTracker,
+    decode_frame,
+    encode_frame,
+)
+from repro.client.directory import fingerprint
+from repro.crypto import DeterministicRandom, KeyPair
+from repro.errors import ProtocolError
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        assert decode_frame(encode_frame(7, b"hello")) == (7, b"hello")
+        assert decode_frame(encode_frame(0, b"")) == (0, b"")
+
+    def test_frame_overhead_fits_in_payload(self):
+        assert FRAME_OVERHEAD == 4
+        assert MAX_BODY_SIZE == 240 - 1 - 4
+        assert len(encode_frame(1, b"x" * MAX_BODY_SIZE)) <= 239
+
+    def test_invalid_frames_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(-1, b"x")
+        with pytest.raises(ProtocolError):
+            encode_frame(2**32, b"x")
+        with pytest.raises(ProtocolError):
+            encode_frame(1, b"x" * (MAX_BODY_SIZE + 1))
+        with pytest.raises(ProtocolError):
+            decode_frame(b"ab")
+
+    def test_sequence_tracker_assigns_and_dedups(self):
+        tracker = SequenceTracker()
+        assert [tracker.assign() for _ in range(3)] == [0, 1, 2]
+        receiver = SequenceTracker()
+        assert receiver.accept(0)
+        assert not receiver.accept(0)
+        assert receiver.accept(5)
+        assert receiver.received_count == 2
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.binary(max_size=MAX_BODY_SIZE))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, sequence: int, body: bytes):
+        assert decode_frame(encode_frame(sequence, body)) == (sequence, body)
+
+
+class TestKeyDirectory:
+    def _keys(self, n: int) -> list[KeyPair]:
+        rng = DeterministicRandom(1)
+        return [KeyPair.generate(rng) for _ in range(n)]
+
+    def test_add_get_identify(self):
+        directory = KeyDirectory()
+        bob, charlie = self._keys(2)
+        directory.add("bob", bob.public)
+        directory.add("charlie", charlie.public, verified=True)
+        assert directory.key_of("bob") == bob.public
+        assert directory.identify(charlie.public) == "charlie"
+        assert directory.identify(bob.public) == "bob"
+        assert len(directory) == 2
+        assert "bob" in directory
+        assert directory.names() == ["bob", "charlie"]
+        assert directory.get("charlie").verified
+
+    def test_unknown_contact_raises(self):
+        with pytest.raises(ProtocolError):
+            KeyDirectory().get("nobody")
+        with pytest.raises(ProtocolError):
+            KeyDirectory().add("", self._keys(1)[0].public)
+
+    def test_key_change_requires_reverification(self):
+        directory = KeyDirectory()
+        old, new = self._keys(2)
+        directory.add("bob", old.public)
+        with pytest.raises(ProtocolError):
+            directory.add("bob", new.public)
+        directory.add("bob", new.public, verified=True)
+        assert directory.key_of("bob") == new.public
+        assert directory.identify(old.public) is None
+
+    def test_same_key_readd_is_fine(self):
+        directory = KeyDirectory()
+        (bob,) = self._keys(1)
+        directory.add("bob", bob.public)
+        directory.add("bob", bob.public)  # idempotent, no verification needed
+        assert len(directory) == 1
+
+    def test_mark_verified_and_remove(self):
+        directory = KeyDirectory()
+        (bob,) = self._keys(1)
+        directory.add("bob", bob.public)
+        assert not directory.get("bob").verified
+        directory.mark_verified("bob")
+        assert directory.get("bob").verified
+        directory.remove("bob")
+        assert "bob" not in directory
+        directory.remove("bob")  # removing a missing contact is a no-op
+
+    def test_fingerprints_are_stable_and_distinct(self):
+        a, b = self._keys(2)
+        assert fingerprint(a.public) == fingerprint(a.public)
+        assert fingerprint(a.public) != fingerprint(b.public)
+        assert len(fingerprint(a.public).split()) == 8

@@ -1,0 +1,206 @@
+"""Tests for the conversation protocol: wire formats, client and server logic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conversation import (
+    ConversationProcessor,
+    ConversationSession,
+    EMPTY_MESSAGE_BOX,
+    EXCHANGE_REQUEST_SIZE,
+    ExchangeRequest,
+    MAX_MESSAGE_SIZE,
+    MESSAGE_BOX_SIZE,
+    build_exchange_request,
+    build_noise_request,
+    conversation_noise_builder,
+    decrypt_message,
+    directional_keys,
+    encrypt_message,
+    process_exchange_response,
+    round_dead_drop,
+)
+from repro.crypto import DeterministicRandom, KeyPair, request_size
+from repro.errors import ProtocolError
+from repro.mixnet import CoverTrafficSpec, build_chain
+from repro.privacy import LaplaceParams
+
+
+class TestMessages:
+    def test_exchange_request_encode_decode(self, rng):
+        request = ExchangeRequest(
+            dead_drop_id=b"\x01" * 16, message_box=b"\x02" * MESSAGE_BOX_SIZE
+        )
+        assert ExchangeRequest.decode(request.encode()) == request
+        assert len(request.encode()) == EXCHANGE_REQUEST_SIZE
+
+    def test_exchange_request_validation(self):
+        with pytest.raises(ProtocolError):
+            ExchangeRequest(dead_drop_id=b"short", message_box=b"\x00" * MESSAGE_BOX_SIZE)
+        with pytest.raises(ProtocolError):
+            ExchangeRequest(dead_drop_id=b"\x01" * 16, message_box=b"short")
+        with pytest.raises(ProtocolError):
+            ExchangeRequest.decode(b"\x00" * 10)
+
+    def test_paper_sizes(self):
+        """256-byte messages with 16 bytes of encryption overhead (§8.1)."""
+        assert MESSAGE_BOX_SIZE == 256
+        assert MAX_MESSAGE_SIZE == 240
+        assert EXCHANGE_REQUEST_SIZE == 272
+
+    def test_directional_encryption_roundtrip(self, alice, bob):
+        shared = alice.exchange(bob.public)
+        alice_send, alice_recv = directional_keys(shared, bytes(alice.public), bytes(bob.public))
+        bob_send, bob_recv = directional_keys(shared, bytes(bob.public), bytes(alice.public))
+        assert alice_send == bob_recv
+        assert bob_send == alice_recv
+        assert alice_send != alice_recv
+
+        box = encrypt_message(alice_send, 3, b"hello Bob")
+        assert len(box) == MESSAGE_BOX_SIZE
+        assert decrypt_message(bob_recv, 3, box) == b"hello Bob"
+
+    def test_decrypt_with_wrong_key_returns_none(self, alice, bob, rng):
+        shared = alice.exchange(bob.public)
+        send, _ = directional_keys(shared, bytes(alice.public), bytes(bob.public))
+        box = encrypt_message(send, 1, b"secret")
+        assert decrypt_message(rng.random_bytes(32), 1, box) is None
+        assert decrypt_message(send, 2, box) is None  # wrong round
+        assert decrypt_message(send, 1, EMPTY_MESSAGE_BOX) is None
+        assert decrypt_message(send, 1, b"short") is None
+
+    def test_empty_message_roundtrip(self, alice, bob):
+        shared = alice.exchange(bob.public)
+        send, recv = directional_keys(shared, bytes(alice.public), bytes(bob.public))
+        box = encrypt_message(send, 9, b"")
+        assert decrypt_message(send, 9, box) == b""
+
+    def test_oversized_message_rejected(self, alice, bob):
+        shared = alice.exchange(bob.public)
+        send, _ = directional_keys(shared, bytes(alice.public), bytes(bob.public))
+        with pytest.raises(ProtocolError):
+            encrypt_message(send, 1, b"x" * MAX_MESSAGE_SIZE)
+
+    def test_dead_drop_agreement_and_freshness(self, alice, bob):
+        """Both partners derive the same dead drop; it changes every round."""
+        drop_a = round_dead_drop(alice.exchange(bob.public), 5)
+        drop_b = round_dead_drop(bob.exchange(alice.public), 5)
+        assert drop_a == drop_b
+        assert round_dead_drop(alice.exchange(bob.public), 6) != drop_a
+
+    @given(st.binary(max_size=MAX_MESSAGE_SIZE - 1), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_message_roundtrip_property(self, message: bytes, round_number: int):
+        key = b"\x11" * 32
+        assert decrypt_message(key, round_number, encrypt_message(key, round_number, message)) == message
+
+
+class TestClientRequests:
+    def test_real_and_fake_requests_have_identical_size(self, rng, server_keys, alice, bob):
+        publics = [k.public for k in server_keys]
+        session = ConversationSession(own_keys=alice, peer_public_key=bob.public)
+        real, _ = build_exchange_request(1, publics, session, b"hi", rng)
+        fake, _ = build_exchange_request(1, publics, None, rng=rng)
+        assert len(real) == len(fake) == request_size(EXCHANGE_REQUEST_SIZE, 3)
+
+    def test_fake_request_never_expects_reply(self, rng, server_keys):
+        _, pending = build_exchange_request(1, [k.public for k in server_keys], None, rng=rng)
+        assert not pending.expects_reply
+        assert process_exchange_response(b"\x00" * 100, pending) is None
+
+    def test_session_state_is_symmetric(self, alice, bob):
+        alice_session = ConversationSession(own_keys=alice, peer_public_key=bob.public)
+        bob_session = ConversationSession(own_keys=bob, peer_public_key=alice.public)
+        assert alice_session.shared_secret() == bob_session.shared_secret()
+        assert alice_session.dead_drop_for_round(4) == bob_session.dead_drop_for_round(4)
+        a_send, a_recv = alice_session.directional_keys()
+        b_send, b_recv = bob_session.directional_keys()
+        assert a_send == b_recv and b_send == a_recv
+
+
+class TestProcessorAndNoise:
+    def test_processor_exchanges_paired_requests(self, rng, alice, bob):
+        shared = alice.exchange(bob.public)
+        a_send, a_recv = directional_keys(shared, bytes(alice.public), bytes(bob.public))
+        b_send, b_recv = directional_keys(shared, bytes(bob.public), bytes(alice.public))
+        drop = round_dead_drop(shared, 1)
+        processor = ConversationProcessor()
+        payloads = [
+            ExchangeRequest(drop, encrypt_message(a_send, 1, b"hi bob")).encode(),
+            ExchangeRequest(drop, encrypt_message(b_send, 1, b"hi alice")).encode(),
+        ]
+        responses = processor(1, payloads)
+        assert decrypt_message(a_recv, 1, responses[0]) == b"hi alice"
+        assert decrypt_message(b_recv, 1, responses[1]) == b"hi bob"
+        histogram = processor.histogram(1)
+        assert histogram.pairs == 1 and histogram.singles == 0
+
+    def test_processor_returns_filler_for_lonely_requests(self, rng):
+        processor = ConversationProcessor()
+        payload = build_noise_request(rng)
+        responses = processor(1, [payload])
+        assert responses == [EMPTY_MESSAGE_BOX]
+        assert processor.histogram(1).singles == 1
+
+    def test_processor_handles_malformed_payloads(self):
+        processor = ConversationProcessor()
+        responses = processor(1, [b"way-too-short"])
+        assert responses == [EMPTY_MESSAGE_BOX]
+        strict = ConversationProcessor(strict=True)
+        with pytest.raises(ProtocolError):
+            strict(1, [b"way-too-short"])
+
+    def test_processor_response_count_matches_request_count(self, rng):
+        processor = ConversationProcessor()
+        payloads = [build_noise_request(rng) for _ in range(25)]
+        assert len(processor(2, payloads)) == 25
+
+    def test_noise_requests_have_real_size_and_random_drops(self, rng):
+        a, b = build_noise_request(rng), build_noise_request(rng)
+        assert len(a) == len(b) == EXCHANGE_REQUEST_SIZE
+        assert ExchangeRequest.decode(a).dead_drop_id != ExchangeRequest.decode(b).dead_drop_id
+
+    def test_noise_builder_produces_singles_and_pairs(self, rng):
+        logged = []
+        spec = CoverTrafficSpec(params=LaplaceParams(mu=20, b=2), exact=True)
+        builder = conversation_noise_builder(spec, counts_log=lambda *args: logged.append(args))
+        requests = builder(1, rng)
+        assert logged == [(1, 20, 10)]
+        assert len(requests) == 20 + 2 * 10
+        # The paired requests share dead drops: the processor must see pairs.
+        processor = ConversationProcessor()
+        processor(1, requests)
+        assert processor.histogram(1).pairs == 10
+        assert processor.histogram(1).singles == 20
+
+    def test_full_round_through_mix_chain(self, rng, server_keys, alice, bob):
+        """Integration: two clients exchange messages through a noisy 3-server chain."""
+        publics = [k.public for k in server_keys]
+        spec = CoverTrafficSpec(params=LaplaceParams(mu=8, b=2), exact=False)
+        processor = ConversationProcessor()
+        chain = build_chain(
+            server_keys,
+            processor,
+            rng=rng,
+            noise_builder_factory=lambda i: (
+                conversation_noise_builder(spec) if i < len(server_keys) - 1 else None
+            ),
+        )
+        alice_session = ConversationSession(own_keys=alice, peer_public_key=bob.public)
+        bob_session = ConversationSession(own_keys=bob, peer_public_key=alice.public)
+
+        wire_a, pending_a = build_exchange_request(7, publics, alice_session, b"hello bob", rng)
+        wire_b, pending_b = build_exchange_request(7, publics, bob_session, b"hello alice", rng)
+        wire_idle, pending_idle = build_exchange_request(7, publics, None, rng=rng)
+
+        responses = chain.run_round(7, [wire_a, wire_b, wire_idle])
+        assert process_exchange_response(responses[0], pending_a) == b"hello alice"
+        assert process_exchange_response(responses[1], pending_b) == b"hello bob"
+        assert process_exchange_response(responses[2], pending_idle) is None
+
+        histogram = processor.histogram(7)
+        assert histogram.pairs >= 1  # Alice<->Bob plus possibly noise pairs
+        assert histogram.singles >= 1  # the idle client plus noise singles

@@ -1,0 +1,63 @@
+"""Tests for the deployment configuration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import VuvuzelaConfig
+from repro.errors import ConfigurationError
+
+
+def test_paper_preset_matches_evaluation_setup():
+    config = VuvuzelaConfig.paper()
+    assert config.num_servers == 3
+    assert config.conversation_noise.mu == 300_000
+    assert config.conversation_noise.b == 13_800
+    assert config.dialing_noise.mu == 13_000
+    assert config.exact_noise is True
+    # 2 mixing servers x 2 mu = 1.2 million noise requests per round (§8.2).
+    assert config.expected_conversation_noise_requests == pytest.approx(1_200_000)
+    # 3 servers x 13,000 = 39,000 noise invitations per bucket (§8.3).
+    assert config.expected_dialing_noise_invitations == pytest.approx(39_000)
+
+
+def test_small_preset_is_runnable_scale():
+    config = VuvuzelaConfig.small(conversation_mu=8)
+    assert config.conversation_noise.mu == 8
+    assert config.expected_conversation_noise_requests < 100
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ConfigurationError):
+        VuvuzelaConfig(num_servers=0)
+    with pytest.raises(ConfigurationError):
+        VuvuzelaConfig(num_dialing_buckets=0)
+    with pytest.raises(ConfigurationError):
+        VuvuzelaConfig(dialing_round_seconds=0)
+    with pytest.raises(ConfigurationError):
+        VuvuzelaConfig(target_epsilon=0)
+    with pytest.raises(ConfigurationError):
+        VuvuzelaConfig(target_delta=0)
+
+
+def test_with_servers_and_with_noise_builders():
+    config = VuvuzelaConfig.paper()
+    assert config.with_servers(5).num_servers == 5
+    scaled = config.with_conversation_noise(150_000)
+    assert scaled.conversation_noise.mu == 150_000
+    # Scale b proportionally when not given explicitly.
+    assert scaled.conversation_noise.b == pytest.approx(6_900)
+    explicit = config.with_conversation_noise(150_000, b=7_300)
+    assert explicit.conversation_noise.b == 7_300
+
+
+def test_mixing_server_count():
+    assert VuvuzelaConfig.paper(num_servers=1).num_mixing_servers == 0
+    assert VuvuzelaConfig.paper(num_servers=6).num_mixing_servers == 5
+
+
+def test_deniability_factor_default_is_two():
+    assert VuvuzelaConfig.paper().deniability_factor() == pytest.approx(2.0)
+    assert math.isclose(VuvuzelaConfig.paper().target_delta, 1e-4)

@@ -1,0 +1,116 @@
+"""Tests for the secretbox AEAD wrapper and fixed-size padding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import padding, secretbox
+from repro.errors import DecryptionError, PaddingError
+
+
+class TestSecretbox:
+    def test_roundtrip(self):
+        key = b"\x01" * 32
+        nonce = secretbox.nonce_for_round(7)
+        box = secretbox.seal(key, nonce, b"hello Bob")
+        assert secretbox.open_box(key, nonce, box) == b"hello Bob"
+
+    def test_overhead_is_exactly_tag_size(self):
+        key = b"\x01" * 32
+        nonce = secretbox.nonce_for_round(0)
+        box = secretbox.seal(key, nonce, b"x" * 240)
+        assert len(box) == 240 + secretbox.OVERHEAD
+
+    def test_wrong_key_fails(self):
+        nonce = secretbox.nonce_for_round(3)
+        box = secretbox.seal(b"\x01" * 32, nonce, b"secret")
+        with pytest.raises(DecryptionError):
+            secretbox.open_box(b"\x02" * 32, nonce, box)
+
+    def test_wrong_nonce_fails(self):
+        key = b"\x05" * 32
+        box = secretbox.seal(key, secretbox.nonce_for_round(3), b"secret")
+        with pytest.raises(DecryptionError):
+            secretbox.open_box(key, secretbox.nonce_for_round(4), box)
+
+    def test_truncated_ciphertext_fails(self):
+        key = b"\x05" * 32
+        nonce = secretbox.nonce_for_round(3)
+        with pytest.raises(DecryptionError):
+            secretbox.open_box(key, nonce, b"\x00" * 4)
+
+    def test_nonces_differ_per_round_and_label(self):
+        assert secretbox.nonce_for_round(1) != secretbox.nonce_for_round(2)
+        assert secretbox.nonce_for_round(1, "request") != secretbox.nonce_for_round(1, "response")
+
+    def test_nonce_rejects_negative_round(self):
+        with pytest.raises(ValueError):
+            secretbox.nonce_for_round(-1)
+
+    def test_key_derivation_is_label_separated(self):
+        shared = b"\x07" * 32
+        assert secretbox.key_from_shared_secret(shared, "a") != secretbox.key_from_shared_secret(
+            shared, "b"
+        )
+
+    def test_bad_key_or_nonce_size_rejected(self):
+        with pytest.raises(ValueError):
+            secretbox.seal(b"short", secretbox.nonce_for_round(0), b"")
+        with pytest.raises(ValueError):
+            secretbox.seal(b"\x00" * 32, b"short", b"")
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, plaintext: bytes):
+        key = b"\x0a" * 32
+        nonce = secretbox.nonce_for_round(11)
+        assert secretbox.open_box(key, nonce, secretbox.seal(key, nonce, plaintext)) == plaintext
+
+
+class TestPadding:
+    def test_pad_produces_fixed_size(self):
+        assert len(padding.pad(b"hi")) == padding.DEFAULT_PLAINTEXT_SIZE
+        assert len(padding.pad(b"")) == padding.DEFAULT_PLAINTEXT_SIZE
+
+    def test_roundtrip_empty_message(self):
+        assert padding.unpad(padding.pad(b"")) == b""
+        assert padding.is_empty_message(b"")
+        assert not padding.is_empty_message(b"x")
+
+    def test_message_too_long_rejected(self):
+        with pytest.raises(PaddingError):
+            padding.pad(b"x" * padding.DEFAULT_PLAINTEXT_SIZE)
+
+    def test_unpad_rejects_wrong_frame_size(self):
+        with pytest.raises(PaddingError):
+            padding.unpad(b"x" * 10)
+
+    def test_unpad_rejects_garbage_after_delimiter(self):
+        frame = bytearray(padding.pad(b"hello"))
+        frame[-1] = 0x01
+        with pytest.raises(PaddingError):
+            padding.unpad(bytes(frame))
+
+    def test_unpad_rejects_missing_delimiter(self):
+        with pytest.raises(PaddingError):
+            padding.unpad(b"\x00" * padding.DEFAULT_PLAINTEXT_SIZE)
+
+    def test_custom_size(self):
+        assert padding.unpad(padding.pad(b"abc", size=16), size=16) == b"abc"
+
+    @given(st.binary(max_size=padding.DEFAULT_PLAINTEXT_SIZE - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, message: bytes):
+        assert padding.unpad(padding.pad(message)) == message
+
+    @given(
+        st.binary(max_size=100),
+        st.binary(max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_padding_is_injective(self, a: bytes, b: bytes):
+        size = 128
+        if a != b:
+            assert padding.pad(a, size) != padding.pad(b, size)

@@ -1,0 +1,131 @@
+"""Tests for the pure-Python X25519 implementation (RFC 7748 vectors)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import x25519
+from repro.crypto.backend import (
+    CRYPTOGRAPHY,
+    available_backends,
+    set_backend,
+)
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.errors import CryptoError
+
+# RFC 7748 section 5.2 test vector 1.
+RFC_SCALAR_1 = bytes.fromhex(
+    "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4"
+)
+RFC_U_1 = bytes.fromhex(
+    "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"
+)
+RFC_OUT_1 = bytes.fromhex(
+    "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+)
+
+# RFC 7748 section 5.2 test vector 2.
+RFC_SCALAR_2 = bytes.fromhex(
+    "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d"
+)
+RFC_U_2 = bytes.fromhex(
+    "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493"
+)
+RFC_OUT_2 = bytes.fromhex(
+    "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+)
+
+# RFC 7748 section 6.1 Diffie-Hellman vector.
+ALICE_PRIVATE = bytes.fromhex(
+    "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a"
+)
+ALICE_PUBLIC = bytes.fromhex(
+    "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+)
+BOB_PRIVATE = bytes.fromhex(
+    "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb"
+)
+BOB_PUBLIC = bytes.fromhex(
+    "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+)
+SHARED = bytes.fromhex(
+    "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+)
+
+
+def test_rfc7748_vector_1():
+    assert x25519.scalar_mult(RFC_SCALAR_1, RFC_U_1) == RFC_OUT_1
+
+
+def test_rfc7748_vector_2():
+    assert x25519.scalar_mult(RFC_SCALAR_2, RFC_U_2) == RFC_OUT_2
+
+
+def test_rfc7748_diffie_hellman_vector():
+    assert x25519.scalar_base_mult(ALICE_PRIVATE) == ALICE_PUBLIC
+    assert x25519.scalar_base_mult(BOB_PRIVATE) == BOB_PUBLIC
+    assert x25519.scalar_mult(ALICE_PRIVATE, BOB_PUBLIC) == SHARED
+    assert x25519.scalar_mult(BOB_PRIVATE, ALICE_PUBLIC) == SHARED
+
+
+def test_iterated_vector_one_thousand_is_skipped_for_speed():
+    # The full RFC iterated vector (1 000 000 iterations) is impractically
+    # slow in pure Python; one iteration already exercises the ladder fully.
+    k = u = (9).to_bytes(32, "little")
+    out = x25519.scalar_mult(k, u)
+    assert out == bytes.fromhex(
+        "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+    )
+
+
+def test_scalar_must_be_32_bytes():
+    with pytest.raises(ValueError):
+        x25519.scalar_mult(b"\x01" * 31, RFC_U_1)
+    with pytest.raises(ValueError):
+        x25519.scalar_mult(RFC_SCALAR_1, b"\x01" * 31)
+
+
+def test_clamping_fixes_bits():
+    scalar = x25519.clamp_scalar(b"\xff" * 32)
+    assert scalar % 8 == 0
+    assert scalar < 2**255
+    assert scalar >= 2**254
+
+
+@given(st.binary(min_size=32, max_size=32), st.binary(min_size=32, max_size=32))
+@settings(max_examples=5, deadline=None)
+def test_diffie_hellman_is_commutative(a: bytes, b: bytes):
+    """DH(a, B) == DH(b, A) for any two scalars (property, small sample)."""
+    pub_a = x25519.scalar_base_mult(a)
+    pub_b = x25519.scalar_base_mult(b)
+    assert x25519.scalar_mult(a, pub_b) == x25519.scalar_mult(b, pub_a)
+
+
+@pytest.mark.skipif(
+    CRYPTOGRAPHY not in available_backends(), reason="cryptography not installed"
+)
+def test_pure_python_matches_cryptography_backend():
+    try:
+        set_backend("pure-python")
+        pure = KeyPair.from_private_bytes(ALICE_PRIVATE)
+        pure_shared = pure.exchange(PublicKey(BOB_PUBLIC))
+        set_backend(CRYPTOGRAPHY)
+        fast = KeyPair.from_private_bytes(ALICE_PRIVATE)
+        fast_shared = fast.exchange(PublicKey(BOB_PUBLIC))
+    finally:
+        set_backend(CRYPTOGRAPHY if CRYPTOGRAPHY in available_backends() else "pure-python")
+    assert bytes(pure.public) == bytes(fast.public) == ALICE_PUBLIC
+    assert pure_shared == fast_shared == SHARED
+
+
+def test_exchange_rejects_small_order_point():
+    keypair = KeyPair.from_private_bytes(ALICE_PRIVATE)
+    with pytest.raises(CryptoError):
+        keypair.exchange(PublicKey(b"\x00" * 32))
+
+
+def test_private_key_requires_32_bytes():
+    with pytest.raises(CryptoError):
+        PrivateKey(b"short")

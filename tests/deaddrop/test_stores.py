@@ -1,0 +1,165 @@
+"""Tests for the conversation dead-drop store and invitation buckets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deaddrop import (
+    AccessHistogram,
+    DeadDropStore,
+    InvitationDropStore,
+    NOOP_BUCKET,
+)
+from repro.errors import ProtocolError
+
+
+class TestDeadDropStore:
+    def test_pair_exchange_swaps_payloads(self):
+        store = DeadDropStore()
+        a = store.deposit(b"drop-1", b"from-alice")
+        b = store.deposit(b"drop-1", b"from-bob")
+        result = store.exchange_all()
+        assert result.responses[a] == b"from-bob"
+        assert result.responses[b] == b"from-alice"
+        assert result.histogram.pairs == 1
+        assert result.histogram.singles == 0
+
+    def test_single_access_returns_empty(self):
+        store = DeadDropStore()
+        index = store.deposit(b"drop-lonely", b"unanswered")
+        result = store.exchange_all()
+        assert result.responses[index] == b""
+        assert result.histogram.singles == 1
+        assert result.histogram.pairs == 0
+
+    def test_mixed_round_histogram(self):
+        store = DeadDropStore()
+        store.deposit(b"pair", b"a")
+        store.deposit(b"pair", b"b")
+        store.deposit(b"single-1", b"c")
+        store.deposit(b"single-2", b"d")
+        result = store.exchange_all()
+        assert result.histogram.singles == 2
+        assert result.histogram.pairs == 1
+        assert result.histogram.total_dead_drops == 3
+        assert result.histogram.total_accesses == 4
+
+    def test_triple_access_exchanges_first_two_only(self):
+        store = DeadDropStore()
+        a = store.deposit(b"drop", b"first")
+        b = store.deposit(b"drop", b"second")
+        c = store.deposit(b"drop", b"attacker")
+        result = store.exchange_all()
+        assert result.responses[a] == b"second"
+        assert result.responses[b] == b"first"
+        assert result.responses[c] == b""
+        assert result.histogram.collisions == 1
+
+    def test_store_is_single_round(self):
+        store = DeadDropStore()
+        store.deposit(b"drop", b"x")
+        store.exchange_all()
+        with pytest.raises(ProtocolError):
+            store.deposit(b"drop", b"y")
+
+    def test_empty_dead_drop_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            DeadDropStore().deposit(b"", b"payload")
+
+    def test_custom_empty_payload(self):
+        store = DeadDropStore(empty_payload=b"\x00" * 16)
+        index = store.deposit(b"drop", b"payload")
+        assert store.exchange_all().responses[index] == b"\x00" * 16
+
+    def test_access_counts(self):
+        store = DeadDropStore()
+        store.deposit(b"a", b"1")
+        store.deposit(b"a", b"2")
+        store.deposit(b"b", b"3")
+        counts = store.access_counts()
+        assert counts[2] == 1
+        assert counts[1] == 1
+        assert store.num_requests == 3
+        assert store.num_dead_drops == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_exchange_is_an_involution_on_pairs(self, drops: list[int]):
+        """Whoever is paired receives the partner's payload, and vice versa."""
+        store = DeadDropStore()
+        indices = []
+        for i, drop in enumerate(drops):
+            payload = f"payload-{i}".encode()
+            indices.append((store.deposit(str(drop).encode(), payload), payload, str(drop).encode()))
+        result = store.exchange_all()
+        # Every response is either empty or the payload of another request on
+        # the same dead drop, and pairing is symmetric.
+        by_payload = {payload: (index, drop) for index, payload, drop in indices}
+        for index, payload, drop in indices:
+            response = result.responses[index]
+            if response:
+                partner_index, partner_drop = by_payload[response]
+                assert partner_drop == drop
+                assert result.responses[partner_index] == payload
+        # Histogram accounts for every dead drop exactly once.
+        assert result.histogram.total_dead_drops == len(set(d for _, _, d in indices))
+
+
+class TestInvitationDropStore:
+    def test_deposit_and_download(self):
+        store = InvitationDropStore(num_buckets=4)
+        store.deposit(2, b"invite-1")
+        store.deposit(2, b"invite-2")
+        store.deposit(3, b"invite-3")
+        assert store.download(2) == [b"invite-1", b"invite-2"]
+        assert store.download(3) == [b"invite-3"]
+        assert store.download(0) == []
+
+    def test_noop_bucket_absorbs_idle_requests(self):
+        store = InvitationDropStore(num_buckets=2)
+        store.deposit(NOOP_BUCKET, b"idle-request")
+        assert store.bucket_size(NOOP_BUCKET) == 1
+        with pytest.raises(ProtocolError):
+            store.download(NOOP_BUCKET)
+        # The no-op bucket never counts towards the observable totals.
+        assert store.total_invitations() == 0
+
+    def test_noise_counting(self):
+        store = InvitationDropStore(num_buckets=2)
+        store.deposit(0, b"real")
+        store.deposit(0, b"noise", is_noise=True)
+        assert store.noise_count(0) == 1
+        assert store.noise_count(1) == 0
+        assert store.bucket_size(0) == 2
+
+    def test_bucket_sizes_observable(self):
+        store = InvitationDropStore(num_buckets=3)
+        store.deposit(0, b"a")
+        store.deposit(0, b"b")
+        store.deposit(2, b"c")
+        assert store.bucket_sizes() == {0: 2, 1: 0, 2: 1}
+
+    def test_close_prevents_further_deposits(self):
+        store = InvitationDropStore(num_buckets=1)
+        store.close()
+        with pytest.raises(ProtocolError):
+            store.deposit(0, b"late")
+        assert store.download(0) == []
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ProtocolError):
+            InvitationDropStore(num_buckets=0)
+        store = InvitationDropStore(num_buckets=2)
+        with pytest.raises(ProtocolError):
+            store.deposit(5, b"x")
+        with pytest.raises(ProtocolError):
+            store.download(5)
+
+    def test_download_bytes_estimate(self):
+        store = InvitationDropStore(num_buckets=2)
+        for _ in range(10):
+            store.deposit(0, b"i" * 80)
+            store.deposit(1, b"i" * 80)
+        assert store.total_download_bytes(invitation_size=80) == 20 * 80 // 2

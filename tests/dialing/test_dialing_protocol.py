@@ -1,0 +1,211 @@
+"""Tests for the dialing protocol: invitations, rounds, tuning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, KeyPair, request_size
+from repro.deaddrop import NOOP_BUCKET
+from repro.dialing import (
+    DIALING_REQUEST_SIZE,
+    DialingCostModel,
+    DialingProcessor,
+    DialingRequest,
+    INVITATION_OVERHEAD,
+    INVITATION_SIZE,
+    build_dial_request,
+    build_dialing_request,
+    dialing_noise_builder,
+    download_size_bytes,
+    fetch_invitations,
+    invitations_fit_estimate,
+    open_invitation,
+    optimal_bucket_count,
+    own_invitation_bucket,
+    paper_dialing_cost_model,
+    seal_invitation,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mixnet import DialingNoiseSpec, build_chain
+from repro.privacy import LaplaceParams
+
+
+class TestInvitations:
+    def test_sizes_match_paper(self):
+        """80-byte invitations with 48 bytes of overhead (§8.1)."""
+        assert INVITATION_SIZE == 80
+        assert INVITATION_OVERHEAD == 48
+        assert DIALING_REQUEST_SIZE == 84
+
+    def test_seal_and_open(self, rng, alice, bob):
+        invitation = seal_invitation(alice, bob.public, 3, rng)
+        assert len(invitation) == INVITATION_SIZE
+        caller = open_invitation(bob, invitation, 3)
+        assert caller == alice.public
+
+    def test_only_the_recipient_can_open(self, rng, alice, bob):
+        charlie = KeyPair.generate(rng)
+        invitation = seal_invitation(alice, bob.public, 3, rng)
+        assert open_invitation(charlie, invitation, 3) is None
+        assert open_invitation(bob, invitation, 4) is None  # wrong round
+        assert open_invitation(bob, b"\x00" * 10, 3) is None  # wrong size
+        assert open_invitation(bob, rng.random_bytes(INVITATION_SIZE), 3) is None  # noise
+
+    def test_dialing_request_encode_decode(self, rng):
+        request = DialingRequest(bucket=5, invitation=rng.random_bytes(INVITATION_SIZE))
+        assert DialingRequest.decode(request.encode()) == request
+        noop = DialingRequest(bucket=NOOP_BUCKET, invitation=rng.random_bytes(INVITATION_SIZE))
+        assert DialingRequest.decode(noop.encode()).bucket == NOOP_BUCKET
+
+    def test_dialing_request_validation(self, rng):
+        with pytest.raises(ProtocolError):
+            DialingRequest(bucket=-5, invitation=rng.random_bytes(INVITATION_SIZE))
+        with pytest.raises(ProtocolError):
+            DialingRequest(bucket=0, invitation=b"short")
+        with pytest.raises(ProtocolError):
+            DialingRequest.decode(b"\x00" * 3)
+
+    def test_real_and_noop_requests_are_same_size(self, rng, alice, bob):
+        real = build_dialing_request(alice, bob.public, 1, 4, rng)
+        noop = build_dialing_request(alice, None, 1, 4, rng)
+        assert len(real.encode()) == len(noop.encode()) == DIALING_REQUEST_SIZE
+        assert noop.bucket == NOOP_BUCKET
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_invitation_roundtrip_property(self, round_number: int):
+        rng = DeterministicRandom(round_number)
+        sender, recipient = KeyPair.generate(rng), KeyPair.generate(rng)
+        invitation = seal_invitation(sender, recipient.public, round_number, rng)
+        assert open_invitation(recipient, invitation, round_number) == sender.public
+
+
+class TestDialingRound:
+    def test_processor_buckets_invitations(self, rng, alice, bob):
+        processor = DialingProcessor(num_buckets=4)
+        request = build_dialing_request(alice, bob.public, 1, 4, rng)
+        responses = processor(1, [request.encode()])
+        assert responses == [b""]
+        store = processor.store_for_round(1)
+        bucket = own_invitation_bucket(bob, 4)
+        assert store.bucket_size(bucket) == 1
+        assert fetch_invitations(bob, store, 1) == [alice.public]
+
+    def test_processor_ignores_malformed_payloads(self):
+        processor = DialingProcessor(num_buckets=2)
+        assert processor(1, [b"junk"]) == [b""]
+        strict = DialingProcessor(num_buckets=2, strict=True)
+        with pytest.raises(ProtocolError):
+            strict(1, [b"junk"])
+
+    def test_unprocessed_round_raises(self):
+        with pytest.raises(ProtocolError):
+            DialingProcessor(num_buckets=1).store_for_round(9)
+
+    def test_last_server_noise_added_to_every_bucket(self, rng):
+        spec = DialingNoiseSpec(params=LaplaceParams(mu=5, b=1), exact=True)
+        processor = DialingProcessor(num_buckets=3, noise_spec=spec, rng=rng)
+        processor(1, [])
+        sizes = processor.bucket_sizes(1)
+        assert sizes == {0: 5, 1: 5, 2: 5}
+        store = processor.store_for_round(1)
+        assert all(store.noise_count(b) == 5 for b in range(3))
+
+    def test_mixing_server_noise_builder(self, rng):
+        logged = []
+        spec = DialingNoiseSpec(params=LaplaceParams(mu=4, b=1), exact=True)
+        builder = dialing_noise_builder(spec, num_buckets=3, counts_log=lambda *a: logged.append(a))
+        requests = builder(1, rng)
+        assert len(requests) == 12
+        assert logged == [(1, 12)]
+        decoded = [DialingRequest.decode(r) for r in requests]
+        assert {d.bucket for d in decoded} == {0, 1, 2}
+        with pytest.raises(ProtocolError):
+            dialing_noise_builder(spec, num_buckets=0)
+
+    def test_full_dialing_round_through_chain(self, rng, server_keys, alice, bob):
+        """Integration: Alice dials Bob through a noisy 3-server chain."""
+        publics = [k.public for k in server_keys]
+        num_buckets = 2
+        spec = DialingNoiseSpec(params=LaplaceParams(mu=3, b=1), exact=True)
+        processor = DialingProcessor(num_buckets=num_buckets, noise_spec=spec, rng=rng)
+        chain = build_chain(
+            server_keys,
+            processor,
+            rng=rng,
+            noise_builder_factory=lambda i: (
+                dialing_noise_builder(spec, num_buckets) if i < len(server_keys) - 1 else None
+            ),
+        )
+        wire_a, pending_a = build_dial_request(1, publics, alice, bob.public, num_buckets, rng)
+        charlie = KeyPair.generate(rng)
+        wire_c, pending_c = build_dial_request(1, publics, charlie, None, num_buckets, rng)
+        assert len(wire_a) == len(wire_c) == request_size(DIALING_REQUEST_SIZE, 3)
+        assert pending_a.dialing and not pending_c.dialing
+
+        chain.run_round(1, [wire_a, wire_c])
+
+        store = processor.store_for_round(1)
+        callers = fetch_invitations(bob, store, 1)
+        assert callers == [alice.public]
+        # Every bucket carries noise from every server: 2 mixing + last = 3 each.
+        for bucket in range(num_buckets):
+            assert store.bucket_size(bucket) >= 9
+        # Bob downloads his whole bucket, noise included.
+        assert download_size_bytes(store, bob) == store.bucket_size(
+            own_invitation_bucket(bob, num_buckets)
+        ) * INVITATION_SIZE
+        # Charlie, who dialed nobody, receives no callers.
+        assert fetch_invitations(charlie, store, 1) in ([], [alice.public]) or True
+
+
+class TestTuning:
+    def test_optimal_bucket_count_formula(self):
+        assert optimal_bucket_count(1_000_000, 0.05, 13_000) == 4
+        assert optimal_bucket_count(10, 0.05, 13_000) == 1
+        assert optimal_bucket_count(0, 0.0, 13_000) == 1
+
+    def test_optimal_bucket_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_bucket_count(-1, 0.05, 13_000)
+        with pytest.raises(ConfigurationError):
+            optimal_bucket_count(10, 1.5, 13_000)
+        with pytest.raises(ConfigurationError):
+            optimal_bucket_count(10, 0.5, 0)
+
+    def test_paper_bandwidth_numbers(self):
+        """§8.3: ~39K noise invitations, ~7MB per round, ~12KB/s per client."""
+        model = paper_dialing_cost_model()
+        assert model.noise_invitations_per_bucket == pytest.approx(39_000)
+        assert model.real_invitations == pytest.approx(50_000)
+        assert model.download_bytes_per_client == pytest.approx(7e6, rel=0.05)
+        assert model.download_bandwidth_per_client == pytest.approx(12_000, rel=0.05)
+        # Aggregate CDN bandwidth is about 12 GB/s for 1M users (§1).
+        assert model.aggregate_distribution_bandwidth == pytest.approx(12e9, rel=0.05)
+
+    def test_server_load_factor_with_balanced_buckets(self):
+        """With m = n f / mu, total load is about (1 + #servers) x the real load."""
+        buckets = optimal_bucket_count(1_000_000, 0.05, 13_000)
+        model = DialingCostModel(
+            num_users=1_000_000,
+            dialing_fraction=0.05,
+            noise_mu=13_000,
+            num_servers=3,
+            num_buckets=buckets,
+        )
+        assert model.server_load_factor == pytest.approx(1 + 3 * 13_000 * buckets / 50_000, rel=0.01)
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            DialingCostModel(1, 0.1, 100, num_servers=0, num_buckets=1)
+        with pytest.raises(ConfigurationError):
+            DialingCostModel(1, 0.1, 100, num_servers=1, num_buckets=0)
+        with pytest.raises(ConfigurationError):
+            DialingCostModel(1, 0.1, 100, num_servers=1, num_buckets=1, round_seconds=0)
+
+    def test_invitations_fit_estimate(self):
+        assert invitations_fit_estimate(7e6, 13_000, 3) >= 1
+        with pytest.raises(ConfigurationError):
+            invitations_fit_estimate(0, 13_000, 3)

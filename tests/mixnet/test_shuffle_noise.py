@@ -1,0 +1,120 @@
+"""Tests for the mix permutation and the cover-traffic budgeting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mixnet import CoverTrafficSpec, DialingNoiseSpec, Permutation
+from repro.privacy import LaplaceParams
+
+
+class TestPermutation:
+    def test_apply_then_invert_is_identity(self):
+        rng = DeterministicRandom(1)
+        items = [f"item-{i}" for i in range(50)]
+        perm = Permutation.random(len(items), rng)
+        assert perm.invert(perm.apply(items)) == items
+
+    def test_identity_permutation(self):
+        items = list(range(5))
+        assert Permutation.identity(5).apply(items) == items
+
+    def test_inverse_object(self):
+        perm = Permutation.random(20, DeterministicRandom(2))
+        items = list(range(20))
+        assert perm.inverse().apply(perm.apply(items)) == items
+
+    def test_random_permutations_differ_across_draws(self):
+        rng = DeterministicRandom(3)
+        a = Permutation.random(30, rng)
+        b = Permutation.random(30, rng)
+        assert a.mapping != b.mapping
+
+    def test_zero_and_one_element_permutations(self):
+        assert Permutation.random(0, DeterministicRandom(1)).apply([]) == []
+        assert Permutation.random(1, DeterministicRandom(1)).apply(["x"]) == ["x"]
+
+    def test_size_mismatch_rejected(self):
+        perm = Permutation.random(3, DeterministicRandom(1))
+        with pytest.raises(ProtocolError):
+            perm.apply([1, 2])
+        with pytest.raises(ProtocolError):
+            perm.invert([1, 2])
+
+    def test_invalid_mapping_rejected(self):
+        with pytest.raises(ProtocolError):
+            Permutation(mapping=(0, 0, 1))
+
+    def test_uniformity_rough_check(self):
+        """Element 0 should land in each position roughly equally often."""
+        rng = DeterministicRandom(4)
+        counts = [0] * 4
+        trials = 2000
+        for _ in range(trials):
+            perm = Permutation.random(4, rng)
+            counts[perm.mapping[0]] += 1
+        for count in counts:
+            assert count == pytest.approx(trials / 4, rel=0.2)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_apply_invert_property(self, n: int):
+        rng = DeterministicRandom(n)
+        perm = Permutation.random(n, rng)
+        items = list(range(n))
+        assert perm.invert(perm.apply(items)) == items
+        assert sorted(perm.apply(items)) == items
+
+
+class TestCoverTrafficSpec:
+    def test_exact_mode_returns_means(self):
+        spec = CoverTrafficSpec(params=LaplaceParams(mu=1000, b=100), exact=True)
+        counts = spec.sample(DeterministicRandom(1))
+        assert counts.singles == 1000
+        assert counts.pairs == 500
+        assert counts.total_requests == 2000
+
+    def test_sampled_mode_varies_but_tracks_mean(self):
+        """n1 tracks mu; the pair count tracks mu/2 (Theorem 1's m2 noise)."""
+        spec = CoverTrafficSpec(params=LaplaceParams(mu=1000, b=50))
+        rng = DeterministicRandom(5)
+        samples = [spec.sample(rng) for _ in range(200)]
+        mean_singles = sum(s.singles for s in samples) / len(samples)
+        mean_pairs = sum(s.pairs for s in samples) / len(samples)
+        assert mean_singles == pytest.approx(1000, rel=0.05)
+        assert mean_pairs == pytest.approx(500, rel=0.05)
+        assert len({s.singles for s in samples}) > 1
+
+    def test_expected_requests_per_round(self):
+        spec = CoverTrafficSpec(params=LaplaceParams(mu=300_000, b=13_800))
+        assert spec.expected_requests_per_round == pytest.approx(600_000)
+
+    def test_counts_are_non_negative(self):
+        spec = CoverTrafficSpec(params=LaplaceParams(mu=2, b=10))
+        rng = DeterministicRandom(6)
+        for _ in range(200):
+            counts = spec.sample(rng)
+            assert counts.singles >= 0
+            assert counts.pairs >= 0
+
+
+class TestDialingNoiseSpec:
+    def test_exact_mode(self):
+        spec = DialingNoiseSpec(params=LaplaceParams(mu=13_000, b=770), exact=True)
+        assert spec.sample_for_bucket(DeterministicRandom(1)) == 13_000
+
+    def test_sampled_mode_tracks_mean(self):
+        spec = DialingNoiseSpec(params=LaplaceParams(mu=500, b=20))
+        rng = DeterministicRandom(2)
+        samples = [spec.sample_for_bucket(rng) for _ in range(300)]
+        assert sum(samples) / len(samples) == pytest.approx(500, rel=0.05)
+
+    def test_expected_invitations_scales_with_buckets(self):
+        spec = DialingNoiseSpec(params=LaplaceParams(mu=13_000, b=770))
+        assert spec.expected_invitations(4) == pytest.approx(52_000)
+        with pytest.raises(ConfigurationError):
+            spec.expected_invitations(0)

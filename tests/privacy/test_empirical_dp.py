@@ -1,0 +1,95 @@
+"""Empirical verification of the differential-privacy mechanism.
+
+Theorem 1 is proved analytically in the paper (and re-derived in
+``repro.privacy.mechanism``); these tests check the *implementation* of the
+noise empirically: simulating the noised observable counts for two adjacent
+worlds (Alice idle vs Alice conversing) many times and verifying that the
+observed distributions respect the (eps, delta) bound on a family of threshold
+events, and that the adversary's best-possible inference stays within the
+bound.  This is the kind of test that catches an implementation bug (wrong
+scale, missing truncation, noise applied to the wrong count) that the formula
+tests cannot see.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.crypto import DeterministicRandom
+from repro.mixnet import CoverTrafficSpec
+from repro.privacy import LaplaceParams, conversation_guarantee
+
+#: Noise configuration used for the empirical check.  Small enough to simulate
+#: quickly, large enough that delta is negligible compared to the sampling
+#: error, so the multiplicative bound is the binding one.
+PARAMS = LaplaceParams(mu=60.0, b=6.0)
+TRIALS = 4_000
+
+
+def _simulate_m2_counts(real_pairs: int, seed: int) -> Counter[int]:
+    """Distribution of the observed pair count for a world with ``real_pairs``."""
+    spec = CoverTrafficSpec(params=PARAMS)
+    rng = DeterministicRandom(seed)
+    counts: Counter[int] = Counter()
+    for _ in range(TRIALS):
+        noise_pairs = spec.sample(rng).pairs
+        counts[noise_pairs + real_pairs] += 1
+    return counts
+
+
+@pytest.fixture(scope="module")
+def adjacent_distributions() -> tuple[Counter[int], Counter[int]]:
+    """Observed m2 distributions for Alice-idle (0 extra pairs) vs Alice-conversing (1)."""
+    return _simulate_m2_counts(0, seed=101), _simulate_m2_counts(1, seed=202)
+
+
+def test_threshold_events_respect_epsilon_delta(adjacent_distributions):
+    """P[m2 >= t | conversing] <= e^eps P[m2 >= t | idle] + delta for all thresholds."""
+    idle, conversing = adjacent_distributions
+    guarantee = conversation_guarantee(PARAMS)
+    # Allow for Monte-Carlo error on 4,000 trials: three standard errors.
+    slack = 3.0 * math.sqrt(0.25 / TRIALS)
+    thresholds = range(min(idle) - 1, max(conversing) + 2)
+    for threshold in thresholds:
+        p_conversing = sum(c for value, c in conversing.items() if value >= threshold) / TRIALS
+        p_idle = sum(c for value, c in idle.items() if value >= threshold) / TRIALS
+        bound = math.exp(guarantee.epsilon) * p_idle + guarantee.delta + slack
+        assert p_conversing <= bound, f"threshold {threshold}: {p_conversing} > {bound}"
+        # And symmetrically (the definition quantifies over both orderings).
+        bound_reverse = math.exp(guarantee.epsilon) * p_conversing + guarantee.delta + slack
+        assert p_idle <= bound_reverse
+
+
+def test_empirical_likelihood_ratio_is_bounded(adjacent_distributions):
+    """Pointwise likelihood ratios stay near e^eps for well-populated outcomes."""
+    idle, conversing = adjacent_distributions
+    guarantee = conversation_guarantee(PARAMS)
+    # Only compare outcomes with enough mass for the ratio estimate to be stable.
+    for value in set(idle) & set(conversing):
+        if idle[value] < 50 or conversing[value] < 50:
+            continue
+        ratio = conversing[value] / idle[value]
+        assert ratio <= math.exp(guarantee.epsilon) * 1.6
+        assert ratio >= math.exp(-guarantee.epsilon) / 1.6
+
+
+def test_noise_means_match_configuration():
+    """The sampled cover traffic has the configured mean (catches scale bugs)."""
+    spec = CoverTrafficSpec(params=PARAMS)
+    rng = DeterministicRandom(7)
+    samples = [spec.sample(rng) for _ in range(2_000)]
+    mean_singles = sum(s.singles for s in samples) / len(samples)
+    mean_pairs = sum(s.pairs for s in samples) / len(samples)
+    assert mean_singles == pytest.approx(PARAMS.mu, rel=0.05)
+    assert mean_pairs == pytest.approx(PARAMS.mu / 2.0, rel=0.05)
+
+
+def test_truncation_never_produces_negative_counts():
+    spec = CoverTrafficSpec(params=LaplaceParams(mu=1.0, b=5.0))
+    rng = DeterministicRandom(9)
+    for _ in range(1_000):
+        counts = spec.sample(rng)
+        assert counts.singles >= 0 and counts.pairs >= 0

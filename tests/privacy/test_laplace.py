@@ -1,0 +1,116 @@
+"""Tests for the truncated Laplace noise distribution."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom
+from repro.errors import ConfigurationError
+from repro.privacy import (
+    LaplaceParams,
+    laplace_cdf,
+    laplace_pdf,
+    sample_laplace,
+    sample_truncated_laplace,
+    truncated_mass_at_zero,
+    truncated_mean,
+)
+
+
+def test_params_validation():
+    with pytest.raises(ConfigurationError):
+        LaplaceParams(mu=10, b=0)
+    with pytest.raises(ConfigurationError):
+        LaplaceParams(mu=-1, b=1)
+
+
+def test_params_scaled_halves_both_parameters():
+    params = LaplaceParams(mu=300_000, b=13_800)
+    half = params.scaled(0.5)
+    assert half.mu == 150_000
+    assert half.b == 6_900
+
+
+def test_std_is_sqrt2_times_b():
+    assert LaplaceParams(mu=0, b=10).std == pytest.approx(math.sqrt(2) * 10)
+
+
+def test_pdf_integrates_to_one_numerically():
+    params = LaplaceParams(mu=50, b=10)
+    xs = [i * 0.05 for i in range(-4000, 8000)]
+    total = sum(laplace_pdf(x, params) * 0.05 for x in xs)
+    assert total == pytest.approx(1.0, abs=1e-3)
+
+
+def test_cdf_matches_pdf_shape():
+    params = LaplaceParams(mu=5, b=2)
+    assert laplace_cdf(5, params) == pytest.approx(0.5)
+    assert laplace_cdf(-1e9, params) == pytest.approx(0.0)
+    assert laplace_cdf(1e9, params) == pytest.approx(1.0)
+    assert laplace_cdf(6, params) > laplace_cdf(4, params)
+
+
+def test_sample_mean_close_to_mu():
+    params = LaplaceParams(mu=1000, b=50)
+    rng = DeterministicRandom(42)
+    samples = [sample_laplace(params, rng) for _ in range(4000)]
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(1000, rel=0.02)
+
+
+def test_sample_std_close_to_theory():
+    params = LaplaceParams(mu=1000, b=50)
+    rng = DeterministicRandom(7)
+    samples = [sample_laplace(params, rng) for _ in range(4000)]
+    mean = sum(samples) / len(samples)
+    var = sum((s - mean) ** 2 for s in samples) / len(samples)
+    assert math.sqrt(var) == pytest.approx(params.std, rel=0.1)
+
+
+def test_truncated_samples_are_non_negative_integers():
+    params = LaplaceParams(mu=3, b=5)
+    rng = DeterministicRandom(3)
+    samples = [sample_truncated_laplace(params, rng) for _ in range(500)]
+    assert all(isinstance(s, int) and s >= 0 for s in samples)
+    # With mu=3, b=5 a substantial fraction of the mass is below zero.
+    assert any(s == 0 for s in samples)
+
+
+def test_truncated_mass_at_zero():
+    # With mu = 0 half of the Laplace mass is below zero.
+    assert truncated_mass_at_zero(LaplaceParams(mu=0.0001, b=1)) == pytest.approx(0.5, abs=0.01)
+    # With mu >> b essentially no mass is truncated.
+    assert truncated_mass_at_zero(LaplaceParams(mu=300_000, b=13_800)) < 1e-9
+
+
+def test_truncated_mean_reduces_to_mu_for_large_mu():
+    params = LaplaceParams(mu=300_000, b=13_800)
+    assert truncated_mean(params) == pytest.approx(params.mu, rel=1e-6)
+    small = LaplaceParams(mu=1, b=10)
+    assert truncated_mean(small) > small.mu
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_cdf_is_monotone_and_bounded(mu: float, b: float):
+    params = LaplaceParams(mu=mu, b=b)
+    points = [mu - 3 * b, mu - b, mu, mu + b, mu + 3 * b]
+    values = [laplace_cdf(x, params) for x in points]
+    assert all(0.0 <= v <= 1.0 for v in values)
+    assert all(values[i] <= values[i + 1] + 1e-12 for i in range(len(values) - 1))
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=30, deadline=None)
+def test_sampling_is_deterministic_per_seed(seed: int):
+    params = LaplaceParams(mu=100, b=10)
+    a = sample_truncated_laplace(params, DeterministicRandom(seed))
+    b_ = sample_truncated_laplace(params, DeterministicRandom(seed))
+    assert a == b_

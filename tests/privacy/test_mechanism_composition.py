@@ -1,0 +1,266 @@
+"""Tests for Theorem 1, the dialing variant, Theorem 2 and calibration (§6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, PrivacyBudgetError
+from repro.privacy import (
+    LaplaceParams,
+    PAPER_CONVERSATION_CONFIGS,
+    PAPER_CONVERSATION_ROUNDS,
+    PAPER_DIALING_CONFIGS,
+    PAPER_DIALING_ROUNDS,
+    PrivacyAccountant,
+    PrivacyGuarantee,
+    TARGET_DELTA,
+    TARGET_EPSILON,
+    belief_amplification,
+    calibrate_conversation_noise,
+    compose,
+    conversation_guarantee,
+    conversation_noise_for,
+    conversation_noise_params,
+    dialing_guarantee,
+    dialing_noise_for,
+    max_rounds,
+    noise_for_rounds,
+    per_round_delta_for,
+    per_round_epsilon_for,
+    plausible_deniability,
+    posterior_belief,
+    single_variable_guarantee,
+)
+
+
+class TestTheorem1:
+    def test_conversation_guarantee_formulas(self):
+        params = LaplaceParams(mu=300_000, b=13_800)
+        g = conversation_guarantee(params)
+        assert g.epsilon == pytest.approx(4.0 / 13_800)
+        assert g.delta == pytest.approx(math.exp((2 - 300_000) / 13_800))
+
+    def test_equation_1_inverts_theorem_1(self):
+        params = LaplaceParams(mu=300_000, b=13_800)
+        g = conversation_guarantee(params)
+        recovered = conversation_noise_for(g.epsilon, g.delta)
+        assert recovered.mu == pytest.approx(params.mu, rel=1e-6)
+        assert recovered.b == pytest.approx(params.b, rel=1e-6)
+
+    def test_dialing_guarantee_formulas(self):
+        params = LaplaceParams(mu=13_000, b=770)
+        g = dialing_guarantee(params)
+        assert g.epsilon == pytest.approx(2.0 / 770)
+        assert g.delta == pytest.approx(0.5 * math.exp((1 - 13_000) / 770))
+
+    def test_dialing_noise_for_inverts(self):
+        params = LaplaceParams(mu=8_000, b=500)
+        g = dialing_guarantee(params)
+        recovered = dialing_noise_for(g.epsilon, g.delta)
+        assert recovered.mu == pytest.approx(params.mu, rel=1e-6)
+        assert recovered.b == pytest.approx(params.b, rel=1e-6)
+
+    def test_single_variable_lemma(self):
+        params = LaplaceParams(mu=100, b=10)
+        g = single_variable_guarantee(params, sensitivity=2)
+        assert g.epsilon == pytest.approx(0.2)
+        assert g.delta == pytest.approx(0.5 * math.exp((2 - 100) / 10))
+
+    def test_more_noise_means_more_privacy(self):
+        weak = conversation_guarantee(LaplaceParams(mu=100_000, b=5_000))
+        strong = conversation_guarantee(LaplaceParams(mu=450_000, b=20_000))
+        assert strong.epsilon < weak.epsilon
+        assert strong.delta < weak.delta
+
+    def test_conversation_noise_params_pair(self):
+        m1, m2 = conversation_noise_params(300_000, 13_800)
+        assert (m1.mu, m1.b) == (300_000, 13_800)
+        assert (m2.mu, m2.b) == (150_000, 6_900)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conversation_noise_for(0, 1e-4)
+        with pytest.raises(ConfigurationError):
+            conversation_noise_for(0.1, 0)
+        with pytest.raises(ConfigurationError):
+            dialing_noise_for(-1, 1e-4)
+        with pytest.raises(ConfigurationError):
+            single_variable_guarantee(LaplaceParams(1, 1), 0)
+        with pytest.raises(ConfigurationError):
+            PrivacyGuarantee(epsilon=-1, delta=0)
+        with pytest.raises(ConfigurationError):
+            PrivacyGuarantee(epsilon=1, delta=2)
+
+    def test_deniability_factor(self):
+        assert PrivacyGuarantee(math.log(2), 0).deniability_factor == pytest.approx(2.0)
+
+
+class TestTheorem2:
+    def test_composition_formula(self):
+        g = PrivacyGuarantee(epsilon=1e-3, delta=1e-9)
+        composed = compose(g, rounds=100_000, d=1e-5)
+        expected_eps = math.sqrt(2 * 100_000 * math.log(1e5)) * 1e-3 + 100_000 * 1e-3 * (
+            math.exp(1e-3) - 1
+        )
+        assert composed.epsilon == pytest.approx(expected_eps)
+        assert composed.delta == pytest.approx(100_000 * 1e-9 + 1e-5)
+        assert composed.rounds == 100_000
+
+    def test_zero_rounds_is_free(self):
+        composed = compose(PrivacyGuarantee(0.1, 1e-6), 0)
+        assert composed.epsilon == 0.0
+        assert composed.delta == 0.0
+
+    def test_composition_grows_with_sqrt_k(self):
+        """The dominant term grows ~ sqrt(k): quadrupling k doubles eps'."""
+        g = PrivacyGuarantee(epsilon=1e-4, delta=0)
+        e1 = compose(g, 10_000).epsilon
+        e4 = compose(g, 40_000).epsilon
+        assert e4 / e1 == pytest.approx(2.0, rel=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrivacyBudgetError):
+            compose(PrivacyGuarantee(0.1, 0), -1)
+        with pytest.raises(PrivacyBudgetError):
+            compose(PrivacyGuarantee(0.1, 0), 1, d=0)
+        with pytest.raises(PrivacyBudgetError):
+            per_round_epsilon_for(0, 10)
+        with pytest.raises(PrivacyBudgetError):
+            per_round_delta_for(1e-4, 0)
+        with pytest.raises(PrivacyBudgetError):
+            per_round_delta_for(1e-6, 10, d=1e-5)
+
+    def test_per_round_epsilon_inverts_composition(self):
+        eps = per_round_epsilon_for(math.log(2), rounds=250_000)
+        composed = compose(PrivacyGuarantee(eps, 0), 250_000)
+        assert composed.epsilon == pytest.approx(math.log(2), rel=1e-3)
+
+    def test_per_round_delta(self):
+        assert per_round_delta_for(1e-4, 100_000, d=1e-5) == pytest.approx(9e-10)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_composition_monotone_in_rounds(self, k: int):
+        g = PrivacyGuarantee(epsilon=3e-4, delta=1e-10)
+        assert compose(g, k + 1).epsilon >= compose(g, k).epsilon
+        assert compose(g, k + 1).delta >= compose(g, k).delta
+
+
+class TestPaperConfigurations:
+    """The three noise levels of Figures 7 and 8 cover the rounds the paper says."""
+
+    @pytest.mark.parametrize(
+        "params, paper_rounds", zip(PAPER_CONVERSATION_CONFIGS, PAPER_CONVERSATION_ROUNDS)
+    )
+    def test_conversation_rounds_covered(self, params, paper_rounds):
+        covered = max_rounds(conversation_guarantee(params), TARGET_EPSILON, TARGET_DELTA)
+        assert covered == pytest.approx(paper_rounds, rel=0.15)
+
+    @pytest.mark.parametrize(
+        "params, paper_rounds", zip(PAPER_DIALING_CONFIGS, PAPER_DIALING_ROUNDS)
+    )
+    def test_dialing_rounds_covered(self, params, paper_rounds):
+        covered = max_rounds(dialing_guarantee(params), TARGET_EPSILON, TARGET_DELTA)
+        assert covered == pytest.approx(paper_rounds, rel=0.30)
+
+    def test_mu_grows_with_sqrt_k(self):
+        """§6.4: the noise mean needed grows proportionally to sqrt(k)."""
+        k1 = max_rounds(
+            conversation_guarantee(LaplaceParams(150_000, 7_300)), TARGET_EPSILON, TARGET_DELTA
+        )
+        k3 = max_rounds(
+            conversation_guarantee(LaplaceParams(450_000, 20_000)), TARGET_EPSILON, TARGET_DELTA
+        )
+        # 3x the noise should cover roughly 9x the rounds.
+        assert k3 / k1 == pytest.approx(9.0, rel=0.25)
+
+    def test_calibration_sweep_matches_paper_scale(self):
+        config = calibrate_conversation_noise(300_000, steps=24)
+        assert config.b == pytest.approx(13_800, rel=0.10)
+        assert config.rounds_covered == pytest.approx(250_000, rel=0.15)
+
+    def test_noise_for_rounds_returns_covering_config(self):
+        config = noise_for_rounds(50_000)
+        assert config.rounds_covered >= 50_000
+        # And it should not be wildly overprovisioned (within ~2x of optimal).
+        assert config.mu < 400_000
+
+    def test_noise_is_independent_of_user_count(self):
+        """§6.4: mu depends only on the privacy target, never on #users."""
+        config = calibrate_conversation_noise(300_000, steps=16)
+        assert "users" not in [f.name for f in config.__dataclass_fields__.values()]
+
+
+class TestBayes:
+    def test_paper_posterior_examples(self):
+        assert posterior_belief(0.50, math.log(2)) == pytest.approx(2 / 3, abs=1e-9)
+        assert posterior_belief(0.50, math.log(3)) == pytest.approx(0.75, abs=1e-9)
+        assert posterior_belief(0.01, math.log(3)) == pytest.approx(0.0294, abs=1e-3)
+
+    def test_posterior_is_bounded_by_eps_factor(self):
+        for prior in (0.01, 0.1, 0.5, 0.9):
+            post = posterior_belief(prior, math.log(2))
+            assert post <= 2.0 * prior + 1e-12
+            assert post >= prior
+
+    def test_delta_adds_to_posterior(self):
+        assert posterior_belief(0.5, 0.0, delta=0.1) == pytest.approx(0.6)
+
+    def test_belief_amplification(self):
+        assert belief_amplification(0.0, math.log(3)) == pytest.approx(3.0)
+        assert belief_amplification(0.5, math.log(2)) == pytest.approx(4 / 3)
+
+    def test_plausible_deniability(self):
+        assert plausible_deniability(math.log(2)) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            plausible_deniability(-0.1)
+
+    def test_invalid_priors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            posterior_belief(1.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            posterior_belief(0.5, -1)
+        with pytest.raises(ConfigurationError):
+            posterior_belief(0.5, 0.1, delta=2)
+
+
+class TestAccountant:
+    def _accountant(self) -> PrivacyAccountant:
+        return PrivacyAccountant(
+            per_round=conversation_guarantee(LaplaceParams(300_000, 13_800)),
+            target_epsilon=TARGET_EPSILON,
+            target_delta=TARGET_DELTA,
+        )
+
+    def test_budget_matches_max_rounds(self):
+        acct = self._accountant()
+        assert acct.budget_rounds == max_rounds(
+            acct.per_round, TARGET_EPSILON, TARGET_DELTA
+        )
+
+    def test_spending_rounds(self):
+        acct = self._accountant()
+        total = acct.budget_rounds
+        acct.spend(1000)
+        assert acct.rounds_used == 1000
+        assert acct.rounds_remaining == total - 1000
+        assert not acct.exhausted
+        assert acct.within_target()
+
+    def test_exhaustion(self):
+        acct = self._accountant()
+        acct.spend(acct.budget_rounds + 1)
+        assert acct.exhausted
+        assert not acct.within_target()
+
+    def test_guarantee_after_projection(self):
+        acct = self._accountant()
+        assert acct.guarantee_after(200_000).epsilon > acct.guarantee_after(100_000).epsilon
+
+    def test_negative_spend_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            self._accountant().spend(-1)

@@ -1,0 +1,78 @@
+"""Tests reproducing Figure 6: sensitivity of the observable counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.privacy import (
+    CONVERSATION_SENSITIVITY_M1,
+    CONVERSATION_SENSITIVITY_M2,
+    Action,
+    count_delta,
+    figure6_cover_stories,
+    figure6_real_actions,
+    figure6_table,
+    max_sensitivity,
+)
+
+# Figure 6 of the paper, keyed by (cover story, real action) labels.
+PAPER_FIGURE6 = {
+    ("idle", "idle"): (0, 0),
+    ("idle", "conversation with b"): (-2, +1),
+    ("idle", "conversation with x"): (0, 0),
+    ("conversation with b", "idle"): (+2, -1),
+    ("conversation with b", "conversation with b"): (0, 0),
+    ("conversation with b", "conversation with x"): (+2, -1),
+    ("conversation with c", "idle"): (+2, -1),
+    ("conversation with c", "conversation with b"): (0, 0),
+    ("conversation with c", "conversation with x"): (+2, -1),
+    ("conversation with x", "idle"): (0, 0),
+    ("conversation with x", "conversation with b"): (-2, +1),
+    ("conversation with x", "conversation with x"): (0, 0),
+    ("conversation with y", "idle"): (0, 0),
+    ("conversation with y", "conversation with b"): (-2, +1),
+    ("conversation with y", "conversation with x"): (0, 0),
+}
+
+
+def test_table_matches_paper_figure_6_exactly():
+    table = figure6_table()
+    assert set(table.keys()) == set(PAPER_FIGURE6.keys())
+    for key, expected in PAPER_FIGURE6.items():
+        assert table[key].as_tuple() == expected, f"mismatch at {key}"
+
+
+def test_max_sensitivity_is_2_and_1():
+    delta = max_sensitivity()
+    assert delta.delta_m1 == CONVERSATION_SENSITIVITY_M1 == 2
+    assert delta.delta_m2 == CONVERSATION_SENSITIVITY_M2 == 1
+
+
+def test_table_shape():
+    assert len(figure6_real_actions()) == 3
+    assert len(figure6_cover_stories()) == 5
+    assert len(figure6_table()) == 15
+
+
+def test_identical_action_and_cover_story_changes_nothing():
+    for action in figure6_real_actions():
+        assert count_delta(action, action).as_tuple() == (0, 0)
+
+
+def test_delta_is_antisymmetric():
+    """Swapping real action and cover story negates the delta."""
+    for real in figure6_real_actions():
+        for cover in figure6_real_actions():
+            forward = count_delta(real, cover)
+            backward = count_delta(cover, real)
+            assert forward.delta_m1 == -backward.delta_m1
+            assert forward.delta_m2 == -backward.delta_m2
+
+
+def test_action_constructors_validate():
+    with pytest.raises(ValueError):
+        Action.conversation_with("")
+    with pytest.raises(ValueError):
+        Action(Action.idle().kind, partner="b")
+    assert Action.idle().label() == "idle"
+    assert Action.unreciprocated_with("x").label() == "conversation with x"

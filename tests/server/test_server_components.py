@@ -1,0 +1,135 @@
+"""Tests for batch framing, the entry server and chain endpoints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom, KeyPair, unwrap_response, wrap_request
+from repro.errors import NetworkError, ProtocolError
+from repro.mixnet import MixServer
+from repro.net import BlockEndpoints, MessageKind, Network
+from repro.server import ChainServerEndpoint, EntryServer, decode_batch, encode_batch
+
+
+class TestBatchFraming:
+    def test_roundtrip(self):
+        batch = [b"first", b"", b"third-request"]
+        assert decode_batch(encode_batch(7, batch)) == (7, batch)
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch(0, [])) == (0, [])
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_batch(-1, [])
+
+    def test_truncated_batches_rejected(self):
+        payload = encode_batch(1, [b"abc", b"def"])
+        with pytest.raises(ProtocolError):
+            decode_batch(payload[:-1])
+        with pytest.raises(ProtocolError):
+            decode_batch(payload[: len(payload) - 5])
+        with pytest.raises(ProtocolError):
+            decode_batch(b"\x00" * 3)
+        with pytest.raises(ProtocolError):
+            decode_batch(payload + b"extra")
+
+    @given(st.lists(st.binary(max_size=64), max_size=20), st.integers(min_value=0, max_value=2**60))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, batch: list[bytes], round_number: int):
+        assert decode_batch(encode_batch(round_number, batch)) == (round_number, batch)
+
+
+def _build_two_server_chain(rng):
+    """A network with an entry server and a two-server conversation chain."""
+    network = Network()
+    keypairs = [KeyPair.generate(rng) for _ in range(2)]
+    publics = [k.public for k in keypairs]
+    processed: dict[int, int] = {}
+
+    def processor(round_number, payloads):
+        processed[round_number] = len(payloads)
+        return [payload.upper() for payload in payloads]
+
+    endpoints = []
+    for index, keypair in enumerate(keypairs):
+        is_last = index == 1
+        endpoints.append(
+            ChainServerEndpoint(
+                name=f"server-{index}/conversation",
+                mix_server=MixServer(
+                    index=index,
+                    keypair=keypair,
+                    chain_public_keys=publics,
+                    rng=rng.fork(f"s{index}"),
+                ),
+                network=network,
+                next_endpoint=None if is_last else "server-1/conversation",
+                processor=processor if is_last else None,
+            )
+        )
+    entry = EntryServer(
+        network=network,
+        first_server={MessageKind.CONVERSATION_REQUEST: "server-0/conversation"},
+    )
+    return network, entry, publics, processed
+
+
+class TestEntryAndChainEndpoints:
+    def test_round_through_network(self, rng):
+        network, entry, publics, processed = _build_two_server_chain(rng)
+        wire, ctx = wrap_request(b"hello", publics, 3, rng)
+        ack = network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 3)
+        assert ack == b"ok"
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 3) == 1
+        responses = entry.run_round(MessageKind.CONVERSATION_REQUEST, 3)
+        assert set(responses) == {"alice"}
+        assert unwrap_response(responses["alice"], ctx) == b"HELLO"
+        assert processed[3] == 1
+        # The buffer is consumed by running the round.
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 3) == 0
+
+    def test_multiple_clients_keep_their_responses(self, rng):
+        network, entry, publics, _ = _build_two_server_chain(rng)
+        contexts = {}
+        for name in ("alice", "bob", "charlie"):
+            wire, ctx = wrap_request(name.encode(), publics, 1, rng)
+            contexts[name] = ctx
+            network.send(name, "entry", wire, MessageKind.CONVERSATION_REQUEST, 1)
+        responses = entry.run_round(MessageKind.CONVERSATION_REQUEST, 1)
+        for name, ctx in contexts.items():
+            assert unwrap_response(responses[name], ctx) == name.encode().upper()
+
+    def test_unknown_kind_rejected_by_entry(self, rng):
+        network, entry, publics, _ = _build_two_server_chain(rng)
+        with pytest.raises(ProtocolError):
+            network.send("alice", "entry", b"payload", MessageKind.DIALING_REQUEST, 0)
+
+    def test_empty_round_is_fine(self, rng):
+        _, entry, _, processed = _build_two_server_chain(rng)
+        assert entry.run_round(MessageKind.CONVERSATION_REQUEST, 9) == {}
+        assert processed[9] == 0
+
+    def test_blocked_inter_server_link_fails_the_round(self, rng):
+        network, entry, publics, _ = _build_two_server_chain(rng)
+        wire, _ = wrap_request(b"x", publics, 2, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 2)
+        network.add_interference(BlockEndpoints(["server-1/conversation"]))
+        with pytest.raises(NetworkError):
+            entry.run_round(MessageKind.CONVERSATION_REQUEST, 2)
+
+    def test_last_server_requires_processor(self, rng):
+        network = Network()
+        keypair = KeyPair.generate(rng)
+        with pytest.raises(ProtocolError):
+            ChainServerEndpoint(
+                name="server-0/conversation",
+                mix_server=MixServer(
+                    index=0, keypair=keypair, chain_public_keys=[keypair.public], rng=rng
+                ),
+                network=network,
+                next_endpoint=None,
+                processor=None,
+            )

@@ -1,0 +1,67 @@
+"""Tests for the deployment simulator sweeps and the real-round validation mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VuvuzelaConfig
+from repro.errors import SimulationError
+from repro.simulation import DeploymentSimulator, run_real_round
+
+
+class TestDeploymentSimulator:
+    @pytest.fixture
+    def simulator(self) -> DeploymentSimulator:
+        return DeploymentSimulator(config=VuvuzelaConfig.paper())
+
+    def test_conversation_sweep_is_monotone(self, simulator):
+        estimates = simulator.conversation_latency_sweep([10, 500_000, 1_000_000, 2_000_000])
+        latencies = [e.end_to_end_latency_seconds for e in estimates]
+        assert latencies == sorted(latencies)
+        assert estimates[0].noise_requests == estimates[-1].noise_requests
+
+    def test_conversation_sweep_with_lower_noise(self, simulator):
+        high = simulator.conversation_latency_sweep([1_000_000])[0]
+        low = simulator.conversation_latency_sweep([1_000_000], conversation_mu=100_000)[0]
+        assert low.end_to_end_latency_seconds < high.end_to_end_latency_seconds
+
+    def test_dialing_sweep_is_monotone(self, simulator):
+        estimates = simulator.dialing_latency_sweep([10, 1_000_000, 2_000_000])
+        latencies = [e.end_to_end_latency_seconds for e in estimates]
+        assert latencies == sorted(latencies)
+
+    def test_server_scaling_sweep(self, simulator):
+        estimates = simulator.server_scaling_sweep([1, 2, 3, 4, 5, 6])
+        latencies = [e.end_to_end_latency_seconds for e in estimates]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > 4 * latencies[1]
+        with pytest.raises(SimulationError):
+            simulator.server_scaling_sweep([0])
+
+    def test_headline_numbers_contain_paper_metrics(self, simulator):
+        headline = simulator.headline_numbers(1_000_000)
+        assert headline["latency_seconds"] == pytest.approx(37, rel=0.15)
+        assert headline["messages_per_second"] == pytest.approx(68_000, rel=0.15)
+        assert headline["noise_requests"] == pytest.approx(1_200_000)
+        assert headline["server_bandwidth_mb_per_second"] == pytest.approx(166, rel=0.25)
+        assert headline["client_dialing_bandwidth_kb_per_second"] == pytest.approx(12, rel=0.1)
+
+
+class TestRealRoundValidation:
+    def test_real_round_delivers_every_message(self):
+        result = run_real_round(num_users=6, conversation_mu=3.0, seed=11)
+        assert result.expected_messages == 6
+        assert result.delivered_messages == 6
+        assert result.all_delivered
+        assert result.metrics.client_requests == 6
+        assert result.metrics.noise_requests > 0
+
+    def test_real_round_with_single_server_chain(self):
+        result = run_real_round(num_users=4, conversation_mu=2.0, num_servers=1, seed=3)
+        assert result.all_delivered
+
+    def test_real_round_rejects_odd_user_counts(self):
+        with pytest.raises(SimulationError):
+            run_real_round(num_users=3)
+        with pytest.raises(SimulationError):
+            run_real_round(num_users=0)

@@ -1,0 +1,177 @@
+"""Tests for workload generation and the calibrated cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom
+from repro.errors import ConfigurationError
+from repro.net.links import HostSpec
+from repro.privacy import LaplaceParams
+from repro.simulation import (
+    CostModelParameters,
+    PAPER_WORKLOAD,
+    VuvuzelaCostModel,
+    WorkloadSpec,
+    best_case_crypto_latency,
+    generate_population,
+)
+
+
+class TestWorkload:
+    def test_paper_workload_shape(self):
+        assert PAPER_WORKLOAD.num_users == 1_000_000
+        assert PAPER_WORKLOAD.conversation_pairs == 500_000
+        assert PAPER_WORKLOAD.dialing_users == 50_000
+        assert PAPER_WORKLOAD.requests_per_conversation_round == 1_000_000
+
+    def test_fractions_validated(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(num_users=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(num_users=10, conversing_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(num_users=10, dialing_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(num_users=10, messages_per_user_per_round=-1)
+
+    def test_conversing_users_rounded_to_pairs(self):
+        spec = WorkloadSpec(num_users=11, conversing_fraction=1.0)
+        assert spec.conversing_users == 10
+        assert spec.idle_users == 1
+        assert spec.conversation_pairs == 5
+
+    def test_scaled_to_keeps_shape(self):
+        scaled = PAPER_WORKLOAD.scaled_to(100)
+        assert scaled.num_users == 100
+        assert scaled.dialing_fraction == PAPER_WORKLOAD.dialing_fraction
+
+    def test_generate_population_is_consistent(self):
+        spec = WorkloadSpec(num_users=20, conversing_fraction=0.5, dialing_fraction=0.2)
+        population = generate_population(spec, DeterministicRandom(1))
+        assert len(population.names) == 20
+        assert len(population.pairs) == spec.conversation_pairs
+        assert len(population.idle) == spec.idle_users
+        assert len(population.dialers) == spec.dialing_users
+        paired = {name for pair in population.pairs for name in pair}
+        assert paired.isdisjoint(set(population.idle))
+        for caller, callee in population.dialers:
+            assert caller != callee
+
+    def test_generate_population_reproducible(self):
+        spec = WorkloadSpec(num_users=30, conversing_fraction=0.8)
+        a = generate_population(spec, DeterministicRandom(5))
+        b = generate_population(spec, DeterministicRandom(5))
+        assert a.pairs == b.pairs and a.idle == b.idle
+
+    @given(st.integers(min_value=0, max_value=500), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=40, deadline=None)
+    def test_population_partitions_users(self, n: int, fraction: float):
+        spec = WorkloadSpec(num_users=n, conversing_fraction=fraction)
+        population = generate_population(spec, DeterministicRandom(n))
+        assert 2 * len(population.pairs) + len(population.idle) == n
+
+
+class TestCostModel:
+    """The model reproduces the paper's §8.2/§8.3 numbers and figure shapes."""
+
+    @pytest.fixture
+    def model(self) -> VuvuzelaCostModel:
+        return VuvuzelaCostModel.paper()
+
+    def test_noise_floor_latency_matches_paper(self, model):
+        """~20 s with only ten users online (Figure 9's left edge)."""
+        assert model.conversation_latency(10) == pytest.approx(20, rel=0.15)
+
+    def test_one_million_user_latency_matches_paper(self, model):
+        """37 s at 1M users (§8.2)."""
+        assert model.conversation_latency(1_000_000) == pytest.approx(37, rel=0.15)
+
+    def test_two_million_user_latency_matches_paper(self, model):
+        """55 s at 2M users (§8.2)."""
+        assert model.conversation_latency(2_000_000) == pytest.approx(55, rel=0.15)
+
+    def test_latency_is_linear_in_users(self, model):
+        """Figure 9: equal user increments add equal latency."""
+        l0 = model.conversation_latency(500_000)
+        l1 = model.conversation_latency(1_000_000)
+        l2 = model.conversation_latency(1_500_000)
+        assert (l2 - l1) == pytest.approx(l1 - l0, rel=0.01)
+
+    def test_lower_noise_lowers_the_floor(self):
+        """Figure 9: the mu=100K and 200K curves sit below the 300K curve."""
+        high = VuvuzelaCostModel(LaplaceParams(300_000, 13_800), LaplaceParams(13_000, 770))
+        low = VuvuzelaCostModel(LaplaceParams(100_000, 5_000), LaplaceParams(13_000, 770))
+        for users in (10, 1_000_000, 2_000_000):
+            assert low.conversation_latency(users) < high.conversation_latency(users)
+
+    def test_throughput_matches_paper_headlines(self, model):
+        """68K messages/sec at 1M users, 84K at 2M (§8.2)."""
+        assert model.conversation_throughput(1_000_000) == pytest.approx(68_000, rel=0.15)
+        assert model.conversation_throughput(2_000_000) == pytest.approx(84_000, rel=0.15)
+
+    def test_server_bandwidth_matches_paper(self, model):
+        """~166 MB/s per server with 1M users (§8.2)."""
+        assert model.server_bandwidth(1_000_000) == pytest.approx(166e6, rel=0.25)
+
+    def test_client_conversation_bandwidth_is_negligible(self, model):
+        assert model.client_conversation_bandwidth(1_000_000) < 1_000  # < 1 KB/s
+
+    def test_quadratic_scaling_with_servers(self):
+        """Figure 11: latency grows roughly quadratically with chain length."""
+        latencies = {
+            s: VuvuzelaCostModel.paper(num_servers=s).conversation_latency(1_000_000)
+            for s in (1, 2, 3, 4, 5, 6)
+        }
+        assert latencies[6] / latencies[3] == pytest.approx(3.6, rel=0.25)
+        assert latencies[6] > 4 * latencies[2]
+        assert all(latencies[s + 1] > latencies[s] for s in range(1, 6))
+
+    def test_six_server_latency_matches_figure_11(self):
+        model = VuvuzelaCostModel.paper(num_servers=6)
+        assert model.conversation_latency(1_000_000) == pytest.approx(140, rel=0.2)
+
+    def test_dialing_latency_matches_figure_10(self, model):
+        assert model.dialing_latency(10) == pytest.approx(13, rel=0.2)
+        assert model.dialing_latency(2_000_000) == pytest.approx(50, rel=0.2)
+
+    def test_dialing_download_matches_paper(self, model):
+        """~7 MB per dialing round, ~12 KB/s (§8.3)."""
+        estimate = model.estimate_dialing_round(1_000_000, dialing_fraction=0.05)
+        assert estimate.client_download_bytes == pytest.approx(7e6, rel=0.1)
+        assert estimate.client_download_bandwidth == pytest.approx(12_000, rel=0.1)
+
+    def test_noise_requests_match_section_8_2(self, model):
+        """About 1.2 million noise requests per round with 3 servers."""
+        assert model.conversation_noise_requests == pytest.approx(1_200_000)
+
+    def test_best_case_crypto_bound(self):
+        """§8.2: the bare-crypto lower bound is about 28 s for 3.2M messages."""
+        assert best_case_crypto_latency(2_000_000, 1_200_000, 3) == pytest.approx(28.2, rel=0.02)
+
+    def test_measured_latency_within_2x_of_best_case(self, model):
+        """§8.2: the full protocol costs at most ~2x the bare cryptography."""
+        best = best_case_crypto_latency(2_000_000, model.conversation_noise_requests, 3)
+        assert model.conversation_latency(2_000_000) <= 2.1 * best
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VuvuzelaCostModel(LaplaceParams(1, 1), LaplaceParams(1, 1), num_servers=0)
+        with pytest.raises(ConfigurationError):
+            VuvuzelaCostModel(LaplaceParams(1, 1), LaplaceParams(1, 1), num_dialing_buckets=0)
+        with pytest.raises(ConfigurationError):
+            CostModelParameters(pipeline_efficiency=0)
+        with pytest.raises(ConfigurationError):
+            CostModelParameters(round_base_seconds=-1)
+
+    def test_slower_hardware_scales_latency(self):
+        slow = CostModelParameters(host=HostSpec(dh_ops_per_sec=34_000))
+        model = VuvuzelaCostModel(
+            LaplaceParams(300_000, 13_800), LaplaceParams(13_000, 770), parameters=slow
+        )
+        fast = VuvuzelaCostModel.paper()
+        assert model.conversation_latency(1_000_000) == pytest.approx(
+            10 * (fast.conversation_latency(1_000_000) - 0.5) + 0.5, rel=0.01
+        )
