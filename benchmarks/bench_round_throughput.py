@@ -1,0 +1,191 @@
+"""Round-processing throughput: batched pipeline vs. the sequential path.
+
+Vuvuzela's operating point is rounds of ~1M requests plus cover traffic, so
+the number that matters for server provisioning is *messages per second per
+server per round*, not per-message latency (§8 of the paper).  This benchmark
+measures exactly that: one mix server peeling a round of onion requests and
+wrapping the round's responses, through
+
+* the **batched** pipeline (``MixServer.process_round`` →
+  ``peel_request_batch`` / ``wrap_response_batch`` → the backend's batch
+  primitives), and
+* the **sequential** reference path (per-message ``peel_request`` /
+  ``wrap_response``, the seed implementation), measured on a capped sample of
+  the same wires in the same run and reported as msgs/sec.
+
+Both paths are byte-identical (see ``tests/mixnet/test_batch_round.py``); the
+ratio between them is the round-throughput win of batching.  Results are
+printed as a table and written to a JSON artifact so later PRs have a
+performance trajectory to compare against.
+
+Run it directly (takes a couple of minutes with the default sizes)::
+
+    PYTHONPATH=src python benchmarks/bench_round_throughput.py
+    PYTHONPATH=src python benchmarks/bench_round_throughput.py \
+        --sizes 1000,10000 --backends pure-python --output my_numbers.json
+
+Wires are generated once with the fastest available backend (request bytes
+are backend-independent) and shared across all measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_common import emit  # noqa: E402
+
+from repro.crypto import (  # noqa: E402
+    DeterministicRandom,
+    KeyPair,
+    clear_derived_key_cache,
+    peel_request,
+    wrap_request_batch,
+    wrap_response,
+)
+from repro.crypto.backend import available_backends, set_backend  # noqa: E402
+from repro.mixnet.chain import MixServer  # noqa: E402
+
+#: Innermost payload size: one conversation exchange request (§8.1).
+PAYLOAD_SIZE = 272
+#: Chain length used to shape the wires (the paper's default deployment).
+CHAIN_LENGTH = 3
+#: The response arriving from downstream at the measured server: an exchange
+#: response wrapped by the two later servers.
+DOWNSTREAM_RESPONSE_SIZE = PAYLOAD_SIZE + 2 * 16
+
+ROUND_NUMBER = 5
+
+
+def generate_wires(count: int, keypairs: list[KeyPair]) -> list[bytes]:
+    """Onion-wrap ``count`` fixed-size requests for the measured chain."""
+    set_backend(available_backends()[-1])  # fastest available; bytes identical
+    rng = DeterministicRandom("round-throughput-workload")
+    publics = [keypair.public for keypair in keypairs]
+    payloads = [b"\x00" * PAYLOAD_SIZE] * count
+    wires, _ = wrap_request_batch(payloads, publics, ROUND_NUMBER, rng)
+    return wires
+
+
+def echo_downstream(round_number: int, batch: list[bytes]) -> list[bytes]:
+    return [b"\x00" * DOWNSTREAM_RESPONSE_SIZE] * len(batch)
+
+
+def time_batch_round(keypairs: list[KeyPair], wires: list[bytes]) -> float:
+    server = MixServer(
+        index=0,
+        keypair=keypairs[0],
+        chain_public_keys=[keypair.public for keypair in keypairs],
+        rng=DeterministicRandom("bench-server"),
+    )
+    clear_derived_key_cache()
+    start = time.perf_counter()
+    responses = server.process_round(ROUND_NUMBER, wires, echo_downstream)
+    elapsed = time.perf_counter() - start
+    assert len(responses) == len(wires) and responses[0] != b""
+    return elapsed
+
+
+def time_sequential_round(keypairs: list[KeyPair], wires: list[bytes]) -> float:
+    """The seed path: per-message peel + per-message response wrap."""
+    private = keypairs[0].private
+    response = b"\x00" * DOWNSTREAM_RESPONSE_SIZE
+    clear_derived_key_cache()
+    start = time.perf_counter()
+    for wire in wires:
+        inner, layer_key = peel_request(wire, private, 0, ROUND_NUMBER)
+        wrap_response(response, layer_key, ROUND_NUMBER)
+    return time.perf_counter() - start
+
+
+def run(sizes: list[int], backends: list[str], sequential_cap: int) -> dict:
+    keypairs = [
+        KeyPair.generate(DeterministicRandom(f"bench-chain-{i}")) for i in range(CHAIN_LENGTH)
+    ]
+    wires = generate_wires(max(sizes), keypairs)
+    results: dict = {
+        "benchmark": "round_throughput",
+        "payload_size": PAYLOAD_SIZE,
+        "chain_length": CHAIN_LENGTH,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": [],
+    }
+    rows = []
+    for backend_name in backends:
+        for size in sizes:
+            set_backend(backend_name)
+            batch_seconds = time_batch_round(keypairs, wires[:size])
+            sample = min(size, sequential_cap)
+            sequential_seconds = time_sequential_round(keypairs, wires[:sample])
+            batch_rate = size / batch_seconds
+            sequential_rate = sample / sequential_seconds
+            record = {
+                "backend": backend_name,
+                "batch_size": size,
+                "batch_msgs_per_sec": round(batch_rate, 1),
+                "sequential_msgs_per_sec": round(sequential_rate, 1),
+                "sequential_sample": sample,
+                "speedup": round(batch_rate / sequential_rate, 2),
+            }
+            results["results"].append(record)
+            rows.append(record)
+            print(
+                f"  {backend_name:>12}  n={size:<7} batch {batch_rate:>10,.0f}/s  "
+                f"sequential {sequential_rate:>8,.0f}/s  speedup {record['speedup']:.2f}x",
+                file=sys.stderr,
+            )
+    emit("Round throughput (msgs/sec per server)", rows)
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--sizes",
+        default="1000,10000,100000",
+        help="comma-separated round sizes (default: 1000,10000,100000)",
+    )
+    parser.add_argument(
+        "--backends",
+        default=",".join(available_backends()),
+        help="comma-separated backends to measure (default: all available)",
+    )
+    parser.add_argument(
+        "--sequential-cap",
+        type=int,
+        default=1000,
+        help="max wires timed on the sequential path per measurement (default: 1000)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_round_throughput.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s]
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+    if not sizes or any(size <= 0 for size in sizes):
+        parser.error("--sizes needs at least one positive round size")
+    backends = [b for b in args.backends.split(",") if b]
+    for backend_name in backends:
+        if backend_name not in available_backends():
+            parser.error(f"backend {backend_name!r} is not available here")
+
+    results = run(sizes, backends, args.sequential_cap)
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {output}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from . import messages
-from ..crypto import random_dead_drop
+from ..crypto import DEAD_DROP_ID_SIZE, random_dead_drop
 from ..crypto.rng import RandomSource
 from ..deaddrop import AccessHistogram, DeadDropStore
 from ..errors import ProtocolError
@@ -40,18 +40,27 @@ class ConversationProcessor:
 
         Malformed payloads (wrong size) receive the filler box; with
         ``strict`` set they raise instead, which is useful in tests.
+
+        The batch is consumed in a single zero-copy pass: each payload is
+        length-checked and split into its dead-drop ID and message box by
+        ``memoryview`` slicing, with no per-request decode object.
         """
         store = DeadDropStore(empty_payload=messages.EMPTY_MESSAGE_BOX)
         positions: list[int | None] = []
+        deposit = store.deposit
+        id_size = DEAD_DROP_ID_SIZE
+        expected_size = messages.EXCHANGE_REQUEST_SIZE
         for payload in payloads:
-            try:
-                request = messages.ExchangeRequest.decode(payload)
-            except ProtocolError:
+            if len(payload) != expected_size:
                 if self.strict:
-                    raise
+                    raise ProtocolError(
+                        f"exchange requests must be {expected_size} bytes,"
+                        f" got {len(payload)}"
+                    )
                 positions.append(None)
                 continue
-            positions.append(store.deposit(request.dead_drop_id, request.message_box))
+            view = payload if isinstance(payload, memoryview) else memoryview(payload)
+            positions.append(deposit(bytes(view[:id_size]), view[id_size:]))
 
         result = store.exchange_all()
         responses = [

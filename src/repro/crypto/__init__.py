@@ -22,12 +22,15 @@ from .onion import (
     RESPONSE_LAYER_OVERHEAD,
     OnionContext,
     peel_request,
+    peel_request_batch,
     peel_response_layer,
     request_size,
     response_size,
     unwrap_response,
     wrap_request,
+    wrap_request_batch,
     wrap_response,
+    wrap_response_batch,
 )
 from .padding import DEFAULT_PLAINTEXT_SIZE, is_empty_message, pad, unpad
 from .rng import DeterministicRandom, RandomSource, SecureRandom, default_random
@@ -35,10 +38,14 @@ from .secretbox import (
     NONCE_SIZE,
     OVERHEAD,
     TAG_SIZE,
+    clear_derived_key_cache,
+    derive_layer_keys,
     key_from_shared_secret,
     nonce_for_round,
     open_box,
+    open_box_batch,
     seal,
+    seal_batch,
 )
 
 __all__ = [
@@ -59,26 +66,33 @@ __all__ = [
     "TAG_SIZE",
     "active_backend",
     "available_backends",
+    "clear_derived_key_cache",
     "conversation_dead_drop",
     "default_random",
     "derive_key",
+    "derive_layer_keys",
     "hkdf",
     "invitation_dead_drop",
     "is_empty_message",
     "key_from_shared_secret",
     "nonce_for_round",
     "open_box",
+    "open_box_batch",
     "pad",
     "peel_request",
+    "peel_request_batch",
     "peel_response_layer",
     "random_dead_drop",
     "request_size",
     "response_size",
     "seal",
+    "seal_batch",
     "set_backend",
     "shared_secret",
     "unpad",
     "unwrap_response",
     "wrap_request",
+    "wrap_request_batch",
     "wrap_response",
+    "wrap_response_batch",
 ]

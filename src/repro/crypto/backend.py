@@ -6,6 +6,12 @@ primitive it needs (X25519, ChaCha20, Poly1305).  When the optional
 its much faster OpenSSL-backed implementations.  Both backends are
 interchangeable at the byte level, and the test suite cross-validates them.
 
+Besides the per-message primitives, every backend exposes *batch* entry
+points shaped for round processing (see :mod:`repro.crypto.batch_kernels`):
+one AEAD nonce and many keys, one X25519 scalar and many points (peel), many
+scalars and one point (wrap).  The pure-Python backend vectorizes these; the
+``cryptography`` backend loops natively in C with per-round object reuse.
+
 The active backend can be forced with :func:`set_backend`, which is used by
 the tests and by the crypto micro-benchmarks to measure both paths.
 """
@@ -13,8 +19,9 @@ the tests and by the crypto micro-benchmarks to measure both paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
+from . import batch_kernels as _batch
 from . import chacha20 as _chacha20
 from . import poly1305 as _poly1305
 from . import x25519 as _x25519
@@ -33,6 +40,16 @@ class Backend:
     x25519_scalar_base_mult: Callable[[bytes], bytes]
     aead_encrypt: Callable[[bytes, bytes, bytes, bytes], bytes]
     aead_decrypt: Callable[[bytes, bytes, bytes, bytes], bytes]
+    #: Seal many plaintexts under one shared nonce (one key each).
+    aead_seal_batch: Callable[[Sequence[bytes], bytes, Sequence[bytes], bytes], "list[bytes]"]
+    #: Open many boxes under one shared nonce; ``None`` marks a failed box.
+    aead_open_batch: Callable[
+        [Sequence[bytes], bytes, Sequence[bytes], bytes], "list[bytes | None]"
+    ]
+    #: ``[X25519(k, u) for u in us]`` — the server-side peel shape.
+    x25519_fixed_scalar_batch: Callable[[bytes, Sequence[bytes]], "list[bytes]"]
+    #: ``[X25519(k, u) for k in ks]`` — the client/noise wrap shape.
+    x25519_fixed_point_batch: Callable[[Sequence[bytes], bytes], "list[bytes]"]
 
 
 def _pure_aead_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
@@ -70,12 +87,68 @@ def _aead_mac_data(aad: bytes, ciphertext: bytes) -> bytes:
     )
 
 
+def _pure_aead_seal_batch(
+    keys: Sequence[bytes], nonce: bytes, plaintexts: Sequence[bytes], aad: bytes = b""
+) -> list[bytes]:
+    """Batch AEAD seal: one shared nonce, per-message keys.
+
+    Messages are grouped by length so each group shares one keystream
+    schedule (block 0 yields the Poly1305 one-time key, blocks 1.. the
+    cipher keystream) and runs through the vectorized ChaCha20 kernel.
+    """
+    out: list[bytes] = [b""] * len(plaintexts)
+    for length, indices in _group_by_length(plaintexts).items():
+        nblocks = 1 + (length + 63) // 64
+        group_keys = [keys[i] for i in indices]
+        streams = _batch.chacha20_keystreams_batch(group_keys, nonce, 0, nblocks)
+        bodies = _batch.xor_batch([plaintexts[i] for i in indices], [s[64:] for s in streams])
+        for i, stream, body in zip(indices, streams, bodies):
+            tag = _poly1305.poly1305_mac(stream[:32], _aead_mac_data(aad, body))
+            out[i] = body + tag
+    return out
+
+
+def _pure_aead_open_batch(
+    keys: Sequence[bytes], nonce: bytes, ciphertexts: Sequence[bytes], aad: bytes = b""
+) -> list[bytes | None]:
+    """Batch AEAD open; returns ``None`` at positions that fail to verify."""
+    out: list[bytes | None] = [None] * len(ciphertexts)
+    long_enough = [
+        i for i, ct in enumerate(ciphertexts) if len(ct) >= _poly1305.TAG_SIZE
+    ]
+    groups = _group_by_length([ciphertexts[i] for i in long_enough])
+    for length, group in groups.items():
+        indices = [long_enough[g] for g in group]
+        body_len = length - _poly1305.TAG_SIZE
+        nblocks = 1 + (body_len + 63) // 64
+        group_keys = [keys[i] for i in indices]
+        streams = _batch.chacha20_keystreams_batch(group_keys, nonce, 0, nblocks)
+        bodies = [bytes(ciphertexts[i][:body_len]) for i in indices]
+        plaintexts = _batch.xor_batch(bodies, [s[64:] for s in streams])
+        for i, stream, body, plaintext in zip(indices, streams, bodies, plaintexts):
+            expected = _poly1305.poly1305_mac(stream[:32], _aead_mac_data(aad, body))
+            if _poly1305.verify_tag(expected, bytes(ciphertexts[i][body_len:])):
+                out[i] = plaintext
+    return out
+
+
+def _group_by_length(items: Sequence[bytes]) -> dict[int, list[int]]:
+    groups: dict[int, list[int]] = {}
+    for index, item in enumerate(items):
+        groups.setdefault(len(item), []).append(index)
+    return groups
+
+
 _PURE_BACKEND = Backend(
     name=PURE_PYTHON,
     x25519_scalar_mult=_x25519.scalar_mult,
     x25519_scalar_base_mult=_x25519.scalar_base_mult,
     aead_encrypt=_pure_aead_encrypt,
     aead_decrypt=_pure_aead_decrypt,
+    aead_seal_batch=_pure_aead_seal_batch,
+    aead_open_batch=_pure_aead_open_batch,
+    x25519_fixed_scalar_batch=_batch.x25519_fixed_scalar_batch,
+    x25519_fixed_point_batch=_batch.x25519_fixed_point_batch,
 )
 
 
@@ -113,12 +186,63 @@ def _build_cryptography_backend() -> Backend | None:
         except InvalidTag as exc:
             raise DecryptionError("AEAD tag verification failed") from exc
 
+    def aead_seal_batch(
+        keys: Sequence[bytes], nonce: bytes, plaintexts: Sequence[bytes], aad: bytes = b""
+    ) -> list[bytes]:
+        aad = aad or None
+        return [
+            ChaCha20Poly1305(key).encrypt(nonce, bytes(plaintext), aad)
+            for key, plaintext in zip(keys, plaintexts)
+        ]
+
+    def aead_open_batch(
+        keys: Sequence[bytes], nonce: bytes, ciphertexts: Sequence[bytes], aad: bytes = b""
+    ) -> list[bytes | None]:
+        aad = aad or None
+        out: list[bytes | None] = []
+        for key, ciphertext in zip(keys, ciphertexts):
+            try:
+                out.append(ChaCha20Poly1305(key).decrypt(nonce, bytes(ciphertext), aad))
+            except InvalidTag:
+                # Only authentication failures mask the position; anything
+                # else (bad key/nonce size) is a caller bug and must raise,
+                # exactly as aead_decrypt does.
+                out.append(None)
+        return out
+
+    def fixed_scalar_batch(k: bytes, us: Sequence[bytes]) -> list[bytes]:
+        # The private-key object is built once per round, not once per wire.
+        private = X25519PrivateKey.from_private_bytes(bytes(k))
+        out: list[bytes] = []
+        for u in us:
+            try:
+                out.append(private.exchange(X25519PublicKey.from_public_bytes(bytes(u))))
+            except ValueError:
+                # Small-order peer point: report the all-zero secret, exactly
+                # as the pure-Python ladder computes it.
+                out.append(b"\x00" * 32)
+        return out
+
+    def fixed_point_batch(ks: Sequence[bytes], u: bytes) -> list[bytes]:
+        public = X25519PublicKey.from_public_bytes(bytes(u))
+        out: list[bytes] = []
+        for k in ks:
+            try:
+                out.append(X25519PrivateKey.from_private_bytes(bytes(k)).exchange(public))
+            except ValueError:
+                out.append(b"\x00" * 32)
+        return out
+
     return Backend(
         name=CRYPTOGRAPHY,
         x25519_scalar_mult=scalar_mult,
         x25519_scalar_base_mult=scalar_base_mult,
         aead_encrypt=aead_encrypt,
         aead_decrypt=aead_decrypt,
+        aead_seal_batch=aead_seal_batch,
+        aead_open_batch=aead_open_batch,
+        x25519_fixed_scalar_batch=fixed_scalar_batch,
+        x25519_fixed_point_batch=fixed_point_batch,
     )
 
 

@@ -3,9 +3,11 @@
 Algorithm 1 (client) step 2: the client encrypts its request once per server,
 innermost layer for the last server, outermost for the first server.  Each
 layer uses a *fresh ephemeral* X25519 key pair whose public half is prepended
-to the layer so the server can derive the shared secret; the same shared
-secret is used to encrypt that server's response on the way back
-(Algorithm 2 step 4).
+to the layer so the server can derive the shared secret; one HKDF expansion
+of that shared secret yields both the request-direction key and the
+response-direction key of the layer (:func:`~repro.crypto.secretbox.derive_layer_keys`),
+so the server seals its response (Algorithm 2 step 4) without deriving
+anything again.
 
 Wire format of one layer::
 
@@ -15,6 +17,13 @@ Wire format of one layer::
 Every request layer therefore adds exactly ``LAYER_OVERHEAD`` bytes, and every
 response layer adds exactly ``RESPONSE_LAYER_OVERHEAD`` bytes, keeping all
 requests in a round the same size regardless of who sent them.
+
+Servers never peel one wire at a time: :func:`peel_request_batch` and
+:func:`wrap_response_batch` process a whole round through the active
+backend's batch primitives (fixed-scalar X25519, shared-nonce AEAD), and
+:func:`wrap_request_batch` onion-wraps a round's worth of cover traffic in
+one vectorized pass per layer.  The per-message functions remain as the
+reference path; the batch path is byte-identical to them.
 """
 
 from __future__ import annotations
@@ -22,9 +31,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from . import x25519
+from .backend import active_backend
 from .keys import KEY_SIZE, KeyPair, PrivateKey, PublicKey
 from .rng import RandomSource, default_random
-from .secretbox import TAG_SIZE, key_from_shared_secret, nonce_for_round, open_box, seal
+from .secretbox import (
+    TAG_SIZE,
+    derive_layer_keys,
+    nonce_for_round,
+    open_box,
+    open_box_batch,
+    seal,
+    seal_batch,
+)
 from ..errors import OnionError
 
 #: Bytes added by one request layer: ephemeral public key + AEAD tag.
@@ -40,8 +59,9 @@ _RESPONSE_LABEL = "onion-response"
 class OnionContext:
     """Client-side state needed to unwrap the response of one request.
 
-    ``layer_keys[i]`` is the secretbox key shared with server ``i`` (0-based,
-    in chain order).  The response comes back wrapped outermost by server 0.
+    ``layer_keys[i]`` is the response-direction key shared with server ``i``
+    (0-based, in chain order).  The response comes back wrapped outermost by
+    server 0.
     """
 
     round_number: int
@@ -84,12 +104,66 @@ def wrap_request(
     for index in range(len(server_public_keys) - 1, -1, -1):
         ephemeral = KeyPair.generate(rng)
         shared = ephemeral.exchange(server_public_keys[index])
-        key = key_from_shared_secret(shared, "layer")
-        layer_keys[index] = key
-        box = seal(key, nonce_for_round(round_number, _REQUEST_LABEL), payload)
+        # Wrap side: fresh ephemeral secret, nothing to memoize (see
+        # derive_layer_keys on why clients must not populate the cache).
+        request_key, response_key = derive_layer_keys(shared, cached=False)
+        layer_keys[index] = response_key
+        box = seal(request_key, nonce_for_round(round_number, _REQUEST_LABEL), payload)
         payload = bytes(ephemeral.public) + box
 
     return payload, OnionContext(round_number=round_number, layer_keys=tuple(layer_keys))
+
+
+def wrap_request_batch(
+    inners: Sequence[bytes],
+    server_public_keys: Sequence[PublicKey],
+    round_number: int,
+    rng: RandomSource | None = None,
+) -> tuple[list[bytes], list[OnionContext]]:
+    """Onion-encrypt many payloads for the same chain in one pass per layer.
+
+    This is the shape of a server's per-round cover traffic: the chain-suffix
+    key list is fixed, so each layer does one batched base-point multiply
+    (the fresh ephemeral public keys), one batched exchange against the one
+    server key, and one batched seal under the shared round nonce.  For a
+    single payload the rng draws match :func:`wrap_request` exactly, so the
+    two paths are byte-identical; for larger batches the draws are made
+    layer-major instead of message-major.
+    """
+    if not server_public_keys:
+        raise OnionError("cannot wrap a request for an empty server chain")
+    if not inners:
+        return [], []
+    rng = rng or default_random()
+    backend = active_backend()
+
+    count = len(inners)
+    depth = len(server_public_keys)
+    payloads = [bytes(inner) for inner in inners]
+    layer_keys: list[list[bytes]] = [[b""] * depth for _ in range(count)]
+    for index in range(depth - 1, -1, -1):
+        scalars = [rng.random_bytes(KEY_SIZE) for _ in range(count)]
+        publics = backend.x25519_fixed_point_batch(scalars, x25519.BASE_POINT)
+        shareds = backend.x25519_fixed_point_batch(
+            scalars, server_public_keys[index].data
+        )
+        request_keys = []
+        for message, shared in enumerate(shareds):
+            if x25519.is_all_zero(shared):
+                raise OnionError("X25519 exchange produced an all-zero shared secret")
+            request_key, response_key = derive_layer_keys(shared, cached=False)
+            request_keys.append(request_key)
+            layer_keys[message][index] = response_key
+        boxes = seal_batch(
+            request_keys, nonce_for_round(round_number, _REQUEST_LABEL), payloads
+        )
+        payloads = [public + box for public, box in zip(publics, boxes)]
+
+    contexts = [
+        OnionContext(round_number=round_number, layer_keys=tuple(keys))
+        for keys in layer_keys
+    ]
+    return payloads, contexts
 
 
 def peel_request(
@@ -100,25 +174,89 @@ def peel_request(
 ) -> tuple[bytes, bytes]:
     """Remove one onion layer on a server.
 
-    Returns ``(inner_payload, layer_key)``.  The ``layer_key`` must be kept by
-    the server to encrypt the response for this request on the way back.
+    Returns ``(inner_payload, response_key)``.  The response key must be kept
+    by the server to encrypt the response for this request on the way back —
+    it is derived here, together with the request key, from one cached HKDF
+    expansion, so the response path performs zero further derivations.
     """
     if len(wire) < LAYER_OVERHEAD:
         raise OnionError("onion layer too short to contain a key and a tag")
-    ephemeral_public = PublicKey(wire[:KEY_SIZE])
+    ephemeral_public = PublicKey(bytes(wire[:KEY_SIZE]))
     box = wire[KEY_SIZE:]
     shared = server_private_key.exchange(ephemeral_public)
-    key = key_from_shared_secret(shared, "layer")
+    request_key, response_key = derive_layer_keys(shared)
     try:
-        inner = open_box(key, nonce_for_round(round_number, _REQUEST_LABEL), box)
+        inner = open_box(request_key, nonce_for_round(round_number, _REQUEST_LABEL), box)
     except Exception as exc:
         raise OnionError(f"failed to peel onion layer {server_index}: {exc}") from exc
-    return inner, key
+    return inner, response_key
+
+
+def peel_request_batch(
+    wires: Sequence[bytes],
+    server_private_key: PrivateKey,
+    server_index: int,
+    round_number: int,
+) -> tuple[list[bytes | None], list[bytes | None]]:
+    """Remove one onion layer from every wire of a round in a single pass.
+
+    Returns ``(inners, response_keys)`` aligned with ``wires``; malformed
+    positions (short wire, small-order ephemeral key, failed authentication)
+    hold ``None`` in both lists instead of raising, so one bad wire cannot
+    stall a round.  Valid positions are byte-identical to
+    :func:`peel_request`.
+    """
+    count = len(wires)
+    inners: list[bytes | None] = [None] * count
+    response_keys: list[bytes | None] = [None] * count
+
+    views = [memoryview(wire) if not isinstance(wire, memoryview) else wire for wire in wires]
+    candidates = [i for i in range(count) if len(views[i]) >= LAYER_OVERHEAD]
+    if not candidates:
+        return inners, response_keys
+
+    points = [bytes(views[i][:KEY_SIZE]) for i in candidates]
+    shareds = active_backend().x25519_fixed_scalar_batch(server_private_key.data, points)
+
+    positions: list[int] = []
+    request_keys: list[bytes] = []
+    kept_response_keys: list[bytes] = []
+    boxes: list[memoryview] = []
+    for i, shared in zip(candidates, shareds):
+        if x25519.is_all_zero(shared):
+            continue
+        request_key, response_key = derive_layer_keys(shared)
+        positions.append(i)
+        request_keys.append(request_key)
+        kept_response_keys.append(response_key)
+        boxes.append(views[i][KEY_SIZE:])
+
+    opened = open_box_batch(
+        request_keys, nonce_for_round(round_number, _REQUEST_LABEL), boxes
+    )
+    for i, response_key, inner in zip(positions, kept_response_keys, opened):
+        if inner is None:
+            continue
+        inners[i] = inner
+        response_keys[i] = response_key
+    return inners, response_keys
 
 
 def wrap_response(inner: bytes, layer_key: bytes, round_number: int) -> bytes:
     """Add one response layer (server side, Algorithm 2 step 4)."""
     return seal(layer_key, nonce_for_round(round_number, _RESPONSE_LABEL), inner)
+
+
+def wrap_response_batch(
+    inners: Sequence[bytes], layer_keys: Sequence[bytes], round_number: int
+) -> list[bytes]:
+    """Add one response layer to every response of a round in one pass.
+
+    ``layer_keys`` are the response keys returned by the peel; the whole
+    round shares one nonce, so the batch runs through the backend's batched
+    seal.  Byte-identical to calling :func:`wrap_response` per message.
+    """
+    return seal_batch(layer_keys, nonce_for_round(round_number, _RESPONSE_LABEL), inners)
 
 
 def unwrap_response(wire: bytes, context: OnionContext) -> bytes:

@@ -23,8 +23,13 @@ from typing import Callable, Protocol, Sequence
 
 from .shuffle import Permutation
 from ..crypto.keys import KeyPair, PublicKey
-from ..crypto.onion import peel_request, wrap_request, wrap_response
+from ..crypto.onion import (
+    peel_request_batch,
+    wrap_request_batch,
+    wrap_response_batch,
+)
 from ..crypto.rng import RandomSource, default_random
+from ..crypto.secretbox import clear_derived_key_cache
 from ..errors import ProtocolError
 
 #: Builds the innermost payloads of one server's noise requests for a round.
@@ -71,13 +76,19 @@ class MixServer:
     def is_last(self) -> bool:
         return self.index == len(self.chain_public_keys) - 1
 
-    def _wrap_noise_payload(self, payload: bytes, round_number: int) -> bytes:
-        """Onion-wrap a noise payload for the servers after this one."""
-        remaining = list(self.chain_public_keys[self.index + 1 :])
-        if not remaining:
-            return payload
-        wire, _ = wrap_request(payload, remaining, round_number, self.rng)
-        return wire
+    def _wrap_noise_batch(self, payloads: list[bytes], round_number: int) -> list[bytes]:
+        """Onion-wrap a round's noise payloads for the servers after this one.
+
+        The chain-suffix key list is built once per round and the whole batch
+        goes through :func:`wrap_request_batch`, so noise generation costs
+        one vectorized pass per remaining layer instead of a full
+        client-style wrap per payload.
+        """
+        remaining = self.chain_public_keys[self.index + 1 :]
+        if not remaining or not payloads:
+            return list(payloads)
+        wires, _ = wrap_request_batch(payloads, remaining, round_number, self.rng)
+        return wires
 
     def process_round(
         self,
@@ -92,21 +103,20 @@ class MixServer:
         any other server it is the next server's ``process_round`` bound to
         the same round.  Returns one response per incoming request (malformed
         requests receive an empty response).
+
+        The whole round moves through the crypto layer as a batch: one
+        fixed-scalar X25519 pass and one shared-nonce AEAD pass to peel, the
+        same to wrap the responses, with malformed wires masked out instead
+        of handled one exception at a time.
         """
         # Step 1: decrypt this server's onion layer of every request.
-        peeled: list[bytes] = []
-        layer_keys: list[bytes] = []
-        valid_positions: list[int] = []
-        malformed = 0
-        for position, wire in enumerate(requests):
-            try:
-                inner, layer_key = peel_request(wire, self.keypair.private, self.index, round_number)
-            except Exception:
-                malformed += 1
-                continue
-            peeled.append(inner)
-            layer_keys.append(layer_key)
-            valid_positions.append(position)
+        inners, keys = peel_request_batch(
+            requests, self.keypair.private, self.index, round_number
+        )
+        valid_positions = [i for i, inner in enumerate(inners) if inner is not None]
+        peeled = [inners[i] for i in valid_positions]
+        layer_keys = [keys[i] for i in valid_positions]
+        malformed = len(requests) - len(valid_positions)
 
         # A compromised server may tamper with the peeled batch (drop or
         # replace requests) before it adds noise and mixes.
@@ -117,7 +127,7 @@ class MixServer:
 
         # Step 2: generate cover traffic, wrapped for the rest of the chain.
         noise_payloads = self.noise_builder(round_number, self.rng) if self.noise_builder else []
-        noise_wires = [self._wrap_noise_payload(p, round_number) for p in noise_payloads]
+        noise_wires = self._wrap_noise_batch(noise_payloads, round_number)
 
         # Step 3a: shuffle the combined batch and forward it.
         combined = list(peeled) + noise_wires
@@ -133,8 +143,9 @@ class MixServer:
         unshuffled = permutation.invert(downstream_responses)
         real_responses = unshuffled[: len(peeled)]
         responses: list[bytes] = [b""] * len(requests)
-        for layer_key, position, response in zip(layer_keys, valid_positions, real_responses):
-            responses[position] = wrap_response(response, layer_key, round_number)
+        wrapped = wrap_response_batch(real_responses, layer_keys, round_number)
+        for position, response in zip(valid_positions, wrapped):
+            responses[position] = response
 
         if self.observer is not None:
             self.observer(
@@ -169,7 +180,13 @@ class MixChain:
         return len(self.servers)
 
     def run_round(self, round_number: int, requests: Sequence[bytes]) -> list[bytes]:
-        """Run one complete round through every server and the processor."""
+        """Run one complete round through every server and the processor.
+
+        When the round is over, the memoized key derivations it populated
+        (client wraps included, when clients share the process) are dropped:
+        the cache must not outlive the round, or the ephemeral DH secrets it
+        is keyed by would stay recoverable from process memory.
+        """
 
         def downstream_for(position: int) -> RoundProcessor:
             if position == len(self.servers):
@@ -180,7 +197,10 @@ class MixChain:
 
             return handle
 
-        return downstream_for(0)(round_number, list(requests))
+        try:
+            return downstream_for(0)(round_number, list(requests))
+        finally:
+            clear_derived_key_cache()
 
 
 def build_chain(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .wire import decode_batch, encode_batch
+from ..crypto.secretbox import clear_derived_key_cache
 from ..errors import NetworkError, ProtocolError
 from ..mixnet.chain import MixServer, RoundProcessor
 from ..net import Envelope, MessageKind, Network
@@ -35,10 +36,20 @@ class ChainServerEndpoint:
         self.network.register(self.name, self.handle)
 
     def handle(self, envelope: Envelope) -> bytes:
-        """Process one round batch arriving from the previous hop."""
+        """Process one round batch arriving from the previous hop.
+
+        Once the round's responses are encoded, the key-derivation cache the
+        round populated is dropped — a server must not retain DH shared
+        secrets past the round they belong to (forward secrecy).
+        """
         round_number, requests = decode_batch(envelope.payload)
-        responses = self.mix_server.process_round(round_number, requests, self._downstream)
-        return encode_batch(round_number, responses)
+        try:
+            responses = self.mix_server.process_round(
+                round_number, requests, self._downstream
+            )
+            return encode_batch(round_number, responses)
+        finally:
+            clear_derived_key_cache()
 
     def _downstream(self, round_number: int, batch: list[bytes]) -> list[bytes]:
         """Forward the mixed batch to the next server, or process it here."""

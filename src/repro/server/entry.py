@@ -109,7 +109,10 @@ class EntryServer:
             raise ProtocolError("the chain returned a malformed round result")
         grouped: dict[str, list[bytes]] = {}
         for (client, _), response in zip(submissions, responses):
-            grouped.setdefault(client, []).append(response)
+            # The zero-copy views from decode_batch stop here: clients get
+            # real bytes (the documented contract), and retaining a response
+            # must not pin the whole round's reply buffer alive.
+            grouped.setdefault(client, []).append(bytes(response))
         return grouped
 
     def run_round(self, kind: MessageKind, round_number: int) -> dict[str, bytes]:

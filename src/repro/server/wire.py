@@ -16,32 +16,45 @@ _LENGTH = struct.Struct(">I")
 
 
 def encode_batch(round_number: int, requests: list[bytes]) -> bytes:
-    """Serialise a round's worth of requests (or responses)."""
+    """Serialise a round's worth of requests (or responses).
+
+    Accepts any bytes-like entries (``bytes.join`` reads them through the
+    buffer protocol), so zero-copy slices from :func:`decode_batch` can be
+    re-encoded without materialising copies.
+    """
     if round_number < 0:
         raise ProtocolError("round numbers are non-negative")
-    parts = [_HEADER.pack(round_number, len(requests))]
+    parts: list[bytes] = [_HEADER.pack(round_number, len(requests))]
     for request in requests:
         parts.append(_LENGTH.pack(len(request)))
         parts.append(request)
     return b"".join(parts)
 
 
-def decode_batch(payload: bytes) -> tuple[int, list[bytes]]:
-    """Parse a batch back into (round_number, requests)."""
+def decode_batch(payload: bytes) -> tuple[int, list[memoryview]]:
+    """Parse a batch back into (round_number, requests) without copying.
+
+    The returned requests are read-only :class:`memoryview` slices of
+    ``payload`` — a round is parsed in one pass with zero per-request
+    allocations.  Views compare equal to the bytes they alias; callers that
+    need to outlive ``payload`` take ``bytes(request)`` explicitly.
+    """
     if len(payload) < _HEADER.size:
         raise ProtocolError("batch too short to contain a header")
     round_number, count = _HEADER.unpack_from(payload, 0)
+    view = memoryview(payload)
+    total = len(payload)
     offset = _HEADER.size
-    requests: list[bytes] = []
+    requests: list[memoryview] = []
     for _ in range(count):
-        if offset + _LENGTH.size > len(payload):
+        if offset + _LENGTH.size > total:
             raise ProtocolError("truncated batch: missing length prefix")
         (length,) = _LENGTH.unpack_from(payload, offset)
         offset += _LENGTH.size
-        if offset + length > len(payload):
+        if offset + length > total:
             raise ProtocolError("truncated batch: missing request body")
-        requests.append(payload[offset : offset + length])
+        requests.append(view[offset : offset + length])
         offset += length
-    if offset != len(payload):
+    if offset != total:
         raise ProtocolError("trailing bytes after the last request in a batch")
     return round_number, requests
