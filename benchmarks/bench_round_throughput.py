@@ -1,4 +1,4 @@
-"""Round-processing throughput: batched pipeline vs. the sequential path.
+"""Round-processing throughput: batched pipeline, engine sharding, seed path.
 
 Vuvuzela's operating point is rounds of ~1M requests plus cover traffic, so
 the number that matters for server provisioning is *messages per second per
@@ -6,23 +6,30 @@ server per round*, not per-message latency (§8 of the paper).  This benchmark
 measures exactly that: one mix server peeling a round of onion requests and
 wrapping the round's responses, through
 
-* the **batched** pipeline (``MixServer.process_round`` →
-  ``peel_request_batch`` / ``wrap_response_batch`` → the backend's batch
-  primitives), and
+* the **batched** pipeline (``MixServer.process_round`` → the serial
+  :class:`~repro.runtime.RoundEngine`, which chunks the batch kernels to
+  keep their working set cache-resident),
+* the **process-sharded** engine at a sweep of worker counts (the
+  multi-core path: chunks executed by worker processes over zero-pickle
+  shared-memory blocks), and
 * the **sequential** reference path (per-message ``peel_request`` /
   ``wrap_response``, the seed implementation), measured on a capped sample of
   the same wires in the same run and reported as msgs/sec.
 
-Both paths are byte-identical (see ``tests/mixnet/test_batch_round.py``); the
-ratio between them is the round-throughput win of batching.  Results are
-printed as a table and written to a JSON artifact so later PRs have a
-performance trajectory to compare against.
+All paths are byte-identical (see ``tests/runtime/test_engine.py``); the
+ratios between them are the batching win and the multi-core scaling curve.
+Results are printed as a table and written to a JSON artifact (including the
+host's CPU count — scaling numbers are meaningless without it) so later PRs
+have a performance trajectory to compare against.
 
 Run it directly (takes a couple of minutes with the default sizes)::
 
     PYTHONPATH=src python benchmarks/bench_round_throughput.py
     PYTHONPATH=src python benchmarks/bench_round_throughput.py \
-        --sizes 1000,10000 --backends pure-python --output my_numbers.json
+        --sizes 1000,10000 --backends pure-python --engine-workers 1,2,4
+
+CI runs ``--smoke --engine-workers 2``: one small round through the
+process-sharded engine, asserted byte-identical to the serial path.
 
 Wires are generated once with the fastest available backend (request bytes
 are backend-independent) and shared across all measurements.
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -52,6 +60,7 @@ from repro.crypto import (  # noqa: E402
 )
 from repro.crypto.backend import available_backends, set_backend  # noqa: E402
 from repro.mixnet.chain import MixServer  # noqa: E402
+from repro.runtime import PROCESS, RoundEngine  # noqa: E402
 
 #: Innermost payload size: one conversation exchange request (§8.1).
 PAYLOAD_SIZE = 272
@@ -78,19 +87,27 @@ def echo_downstream(round_number: int, batch: list[bytes]) -> list[bytes]:
     return [b"\x00" * DOWNSTREAM_RESPONSE_SIZE] * len(batch)
 
 
-def time_batch_round(keypairs: list[KeyPair], wires: list[bytes]) -> float:
+def run_engine_round(
+    keypairs: list[KeyPair], wires: list[bytes], engine: RoundEngine | None
+) -> tuple[float, list[bytes]]:
+    """One full server round through ``engine``; returns (seconds, responses)."""
     server = MixServer(
         index=0,
         keypair=keypairs[0],
         chain_public_keys=[keypair.public for keypair in keypairs],
         rng=DeterministicRandom("bench-server"),
+        engine=engine,
     )
     clear_derived_key_cache()
     start = time.perf_counter()
     responses = server.process_round(ROUND_NUMBER, wires, echo_downstream)
     elapsed = time.perf_counter() - start
     assert len(responses) == len(wires) and responses[0] != b""
-    return elapsed
+    return elapsed, responses
+
+
+def time_batch_round(keypairs: list[KeyPair], wires: list[bytes]) -> float:
+    return run_engine_round(keypairs, wires, None)[0]
 
 
 def time_sequential_round(keypairs: list[KeyPair], wires: list[bytes]) -> float:
@@ -105,10 +122,18 @@ def time_sequential_round(keypairs: list[KeyPair], wires: list[bytes]) -> float:
     return time.perf_counter() - start
 
 
-def run(sizes: list[int], backends: list[str], sequential_cap: int) -> dict:
+def run(
+    sizes: list[int],
+    backends: list[str],
+    sequential_cap: int,
+    engine_workers: list[int],
+    sweep_size: int,
+    chunk_size: int,
+) -> dict:
     keypairs = [
         KeyPair.generate(DeterministicRandom(f"bench-chain-{i}")) for i in range(CHAIN_LENGTH)
     ]
+    sweep_size = min(sweep_size, max(sizes))
     wires = generate_wires(max(sizes), keypairs)
     results: dict = {
         "benchmark": "round_throughput",
@@ -116,6 +141,14 @@ def run(sizes: list[int], backends: list[str], sequential_cap: int) -> dict:
         "chain_length": CHAIN_LENGTH,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        # Scaling rows are only meaningful relative to the host's core count:
+        # a worker sweep on a 1-core container measures sharding overhead,
+        # not parallel speedup.
+        "note": (
+            f"process-engine scaling is bounded by the host's {os.cpu_count()} "
+            f"CPU core(s); worker counts beyond that measure overhead only"
+        ),
         "results": [],
     }
     rows = []
@@ -129,6 +162,8 @@ def run(sizes: list[int], backends: list[str], sequential_cap: int) -> dict:
             sequential_rate = sample / sequential_seconds
             record = {
                 "backend": backend_name,
+                "mode": "batch",
+                "workers": 1,
                 "batch_size": size,
                 "batch_msgs_per_sec": round(batch_rate, 1),
                 "sequential_msgs_per_sec": round(sequential_rate, 1),
@@ -142,8 +177,71 @@ def run(sizes: list[int], backends: list[str], sequential_cap: int) -> dict:
                 f"sequential {sequential_rate:>8,.0f}/s  speedup {record['speedup']:.2f}x",
                 file=sys.stderr,
             )
-    emit("Round throughput (msgs/sec per server)", rows)
+
+        # Worker-count sweep through the process-sharded engine at one size.
+        # A true 1-worker baseline is always measured first, so the
+        # speedup_vs_one_worker field means what it says even when the
+        # requested sweep starts higher.
+        sweep = engine_workers if (not engine_workers or engine_workers[0] == 1) else [1, *engine_workers]
+        one_worker_rate: float | None = None
+        for workers in sweep:
+            set_backend(backend_name)
+            engine = RoundEngine(mode=PROCESS, workers=workers, chunk_size=chunk_size)
+            try:
+                # Warm the pool outside the measurement: pool start-up is a
+                # per-deployment cost, not a per-round one.
+                run_engine_round(keypairs, wires[: min(256, sweep_size)], engine)
+                seconds, _ = run_engine_round(keypairs, wires[:sweep_size], engine)
+            finally:
+                engine.close()
+            rate = sweep_size / seconds
+            if one_worker_rate is None:
+                one_worker_rate = rate
+            record = {
+                "backend": backend_name,
+                "mode": "process",
+                "workers": workers,
+                "batch_size": sweep_size,
+                "batch_msgs_per_sec": round(rate, 1),
+                "speedup_vs_one_worker": round(rate / one_worker_rate, 2),
+            }
+            results["results"].append(record)
+            rows.append(record)
+            print(
+                f"  {backend_name:>12}  n={sweep_size:<7} process x{workers} "
+                f"{rate:>10,.0f}/s  vs-1-worker {record['speedup_vs_one_worker']:.2f}x",
+                file=sys.stderr,
+            )
+    emit(
+        "Round throughput (msgs/sec per server)",
+        [row for row in rows if row["mode"] == "batch"],
+    )
+    emit(
+        "Process-sharded engine worker sweep",
+        [row for row in rows if row["mode"] == "process"],
+    )
     return results
+
+
+def run_smoke(workers: int, chunk_size: int) -> None:
+    """CI gate: a small process-sharded round, byte-identical to serial."""
+    keypairs = [
+        KeyPair.generate(DeterministicRandom(f"bench-chain-{i}")) for i in range(CHAIN_LENGTH)
+    ]
+    wires = generate_wires(256, keypairs)
+    _, serial_responses = run_engine_round(keypairs, wires, None)
+    engine = RoundEngine(mode=PROCESS, workers=workers, chunk_size=chunk_size or 64)
+    try:
+        seconds, sharded_responses = run_engine_round(keypairs, wires, engine)
+    finally:
+        engine.close()
+    if sharded_responses != serial_responses:
+        print("SMOKE FAILED: process-sharded round differs from serial", file=sys.stderr)
+        raise SystemExit(1)
+    print(
+        f"smoke ok: 256-wire round, {workers} workers, {seconds:.2f}s, byte-identical",
+        file=sys.stderr,
+    )
 
 
 def main() -> None:
@@ -165,11 +263,44 @@ def main() -> None:
         help="max wires timed on the sequential path per measurement (default: 1000)",
     )
     parser.add_argument(
+        "--engine-workers",
+        default="1,2,4,8",
+        help="worker counts for the process-engine sweep; empty disables (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--engine-size",
+        type=int,
+        default=10_000,
+        help="round size for the worker sweep, clamped to max --sizes (default: 10000)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        help="engine chunk size; 0 picks the kernel sweet spot (default: 0)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run one small process-sharded round, verify byte-identity, and exit",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_round_throughput.json"),
         help="where to write the JSON artifact",
     )
     args = parser.parse_args()
+    try:
+        engine_workers = [int(w) for w in args.engine_workers.split(",") if w]
+    except ValueError:
+        parser.error(f"--engine-workers must be comma-separated integers, got {args.engine_workers!r}")
+    if any(w <= 0 for w in engine_workers):
+        parser.error("--engine-workers must be positive")
+
+    if args.smoke:
+        run_smoke(engine_workers[0] if engine_workers else 2, args.chunk_size)
+        return
+
     try:
         sizes = [int(s) for s in args.sizes.split(",") if s]
     except ValueError:
@@ -181,7 +312,9 @@ def main() -> None:
         if backend_name not in available_backends():
             parser.error(f"backend {backend_name!r} is not available here")
 
-    results = run(sizes, backends, args.sequential_cap)
+    results = run(
+        sizes, backends, args.sequential_cap, engine_workers, args.engine_size, args.chunk_size
+    )
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {output}", file=sys.stderr)

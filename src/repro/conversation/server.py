@@ -96,15 +96,34 @@ def conversation_noise_builder(
 
     ``counts_log`` (round_number, singles, pairs), when given, lets tests and
     the simulator record exactly how much cover traffic was generated.
+
+    The round's randomness is drawn in **one** ``random_bytes`` call and
+    sliced per request instead of paying two rng calls per noise message —
+    at the paper's operating point that is ~600k requests per server per
+    round.  Both rng flavours are byte streams (``DeterministicRandom``
+    hands out consecutive bytes regardless of call boundaries), so the bulk
+    draw yields requests byte-identical to the per-request loop.
     """
+    id_size = DEAD_DROP_ID_SIZE
+    box_size = messages.MESSAGE_BOX_SIZE
+    single_span = id_size + box_size
+    pair_span = id_size + 2 * box_size
 
     def build(round_number: int, rng: RandomSource) -> list[bytes]:
         counts = spec.sample(rng)
-        requests = [build_noise_request(rng) for _ in range(counts.singles)]
+        blob = rng.random_bytes(counts.singles * single_span + counts.pairs * pair_span)
+        requests: list[bytes] = []
+        offset = 0
+        for _ in range(counts.singles):
+            requests.append(blob[offset : offset + single_span])
+            offset += single_span
         for _ in range(counts.pairs):
-            drop = random_dead_drop(rng.random_bytes(16))
-            requests.append(build_noise_request(rng, drop))
-            requests.append(build_noise_request(rng, drop))
+            drop = blob[offset : offset + id_size]
+            first_box = offset + id_size
+            second_box = first_box + box_size
+            requests.append(blob[offset : offset + single_span])
+            requests.append(drop + blob[second_box : second_box + box_size])
+            offset += pair_span
         if counts_log is not None:
             counts_log(round_number, counts.singles, counts.pairs)
         return requests

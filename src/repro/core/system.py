@@ -29,6 +29,7 @@ from ..errors import ProtocolError
 from ..mixnet import CoverTrafficSpec, DialingNoiseSpec, MixServer, ServerRoundView
 from ..net import MessageKind, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
+from ..runtime import RoundEngine
 from ..server import ACK, ChainServerEndpoint, EntryServer
 
 
@@ -68,6 +69,14 @@ class VuvuzelaSystem:
             for i in range(self.config.num_servers)
         ]
         self.server_public_keys = [kp.public for kp in self.server_keypairs]
+
+        # One engine for the whole deployment: every chain server of both
+        # protocols shards its round crypto onto the same worker pool.
+        self.engine = RoundEngine(
+            mode=self.config.engine_mode,
+            workers=self.config.engine_workers,
+            chunk_size=self.config.engine_chunk_size,
+        )
 
         self._conversation_noise_ledger = _NoiseLedger()
         self._dialing_noise_ledger = _NoiseLedger()
@@ -128,6 +137,7 @@ class VuvuzelaSystem:
                     else conversation_noise_builder(conversation_spec)
                 ),
                 observer=self._conversation_noise_ledger.observer,
+                engine=self.engine,
             )
             self.conversation_endpoints.append(
                 ChainServerEndpoint(
@@ -153,6 +163,7 @@ class VuvuzelaSystem:
                     else dialing_noise_builder(dialing_spec, config.num_dialing_buckets)
                 ),
                 observer=self._dialing_noise_ledger.observer,
+                engine=self.engine,
             )
             self.dialing_endpoints.append(
                 ChainServerEndpoint(
@@ -310,6 +321,22 @@ class VuvuzelaSystem:
         )
         self.metrics.record_dialing(metrics)
         return metrics
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Shut the round engine's worker pool down (idempotent).
+
+        Only needed for deployments configured with a threaded or
+        process-sharded engine; the default serial engine owns no pool.
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "VuvuzelaSystem":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # -------------------------------------------------------------- observability
 

@@ -44,6 +44,16 @@ HAVE_NUMPY = _np is not None
 #: overhead; the pure-Python paths are used instead.
 MIN_NUMPY_BATCH = 64
 
+#: Sweet-spot kernel batch width for round-scale work.  The vectorized
+#: ladder allocates a few dozen int64 limb arrays per step; past ~10k
+#: messages those temporaries outgrow the cache hierarchy and throughput
+#: *drops* (measured: 100k-wide batches run ~40% slower per message than
+#: 10k-wide ones), while far below it the 255-step Python loop's fixed
+#: overhead dominates.  The round engine shards batches into chunks of this
+#: size by default so working-set size stays bounded regardless of round
+#: size.
+PREFERRED_CHUNK = 8192
+
 _MASK32 = 0xFFFFFFFF
 _MASK255 = (1 << 255) - 1
 

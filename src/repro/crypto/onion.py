@@ -114,11 +114,34 @@ def wrap_request(
     return payload, OnionContext(round_number=round_number, layer_keys=tuple(layer_keys))
 
 
+def draw_request_scalars(
+    count: int,
+    depth: int,
+    rng: RandomSource | None = None,
+) -> list[list[bytes]]:
+    """Pre-draw the ephemeral scalars :func:`wrap_request_batch` consumes.
+
+    Returns ``scalars`` with ``scalars[index][message]`` holding layer
+    ``index``'s scalar for ``message``, drawn in the batch wrap's exact order
+    (innermost layer first, then message-major within a layer).  Separating
+    the draws from the crypto lets the round engine chunk a wrap — or ship
+    chunks to worker processes — while keeping every rng draw in the calling
+    thread, so chunked and unchunked wraps stay byte-identical.
+    """
+    rng = rng or default_random()
+    scalars: list[list[bytes]] = [[] for _ in range(depth)]
+    for index in range(depth - 1, -1, -1):
+        scalars[index] = [rng.random_bytes(KEY_SIZE) for _ in range(count)]
+    return scalars
+
+
 def wrap_request_batch(
     inners: Sequence[bytes],
     server_public_keys: Sequence[PublicKey],
     round_number: int,
     rng: RandomSource | None = None,
+    *,
+    scalars: Sequence[Sequence[bytes]] | None = None,
 ) -> tuple[list[bytes], list[OnionContext]]:
     """Onion-encrypt many payloads for the same chain in one pass per layer.
 
@@ -129,6 +152,10 @@ def wrap_request_batch(
     single payload the rng draws match :func:`wrap_request` exactly, so the
     two paths are byte-identical; for larger batches the draws are made
     layer-major instead of message-major.
+
+    ``scalars`` — a pre-drawn matrix from :func:`draw_request_scalars` (or a
+    per-message slice of one) — replaces the internal rng draws entirely,
+    which is how the round engine wraps one batch in deterministic chunks.
     """
     if not server_public_keys:
         raise OnionError("cannot wrap a request for an empty server chain")
@@ -139,13 +166,21 @@ def wrap_request_batch(
 
     count = len(inners)
     depth = len(server_public_keys)
+    if scalars is not None and (
+        len(scalars) != depth or any(len(layer) != count for layer in scalars)
+    ):
+        raise OnionError("pre-drawn scalars must cover every layer of every payload")
     payloads = [bytes(inner) for inner in inners]
     layer_keys: list[list[bytes]] = [[b""] * depth for _ in range(count)]
     for index in range(depth - 1, -1, -1):
-        scalars = [rng.random_bytes(KEY_SIZE) for _ in range(count)]
-        publics = backend.x25519_fixed_point_batch(scalars, x25519.BASE_POINT)
+        layer_scalars = (
+            list(scalars[index])
+            if scalars is not None
+            else [rng.random_bytes(KEY_SIZE) for _ in range(count)]
+        )
+        publics = backend.x25519_fixed_point_batch(layer_scalars, x25519.BASE_POINT)
         shareds = backend.x25519_fixed_point_batch(
-            scalars, server_public_keys[index].data
+            layer_scalars, server_public_keys[index].data
         )
         request_keys = []
         for message, shared in enumerate(shareds):

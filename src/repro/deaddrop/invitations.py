@@ -41,13 +41,24 @@ class InvitationDropStore:
 
     def deposit(self, bucket: int, invitation: bytes, is_noise: bool = False) -> None:
         """Add an invitation (real or noise) to a bucket."""
+        self.deposit_many(bucket, [invitation], is_noise=is_noise)
+
+    def deposit_many(
+        self, bucket: int, invitations: list[bytes], is_noise: bool = False
+    ) -> None:
+        """Add a whole batch of invitations to one bucket in a single pass.
+
+        The round-scale path: the last server groups a round's requests by
+        bucket and deposits each group with one extend instead of one call
+        (and one validation) per invitation.
+        """
         if self._closed:
             raise ProtocolError("this dialing round is already over")
         if bucket != NOOP_BUCKET and not 0 <= bucket < self.num_buckets:
             raise ProtocolError(f"invitation dead drop {bucket} does not exist")
-        self._buckets[bucket].append(invitation)
+        self._buckets[bucket].extend(invitations)
         if is_noise and bucket != NOOP_BUCKET:
-            self._noise_counts[bucket] += 1
+            self._noise_counts[bucket] += len(invitations)
 
     def close(self) -> None:
         """End the round; further deposits are rejected, downloads allowed."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..crypto import (
     KEY_SIZE,
@@ -116,6 +117,44 @@ class DialingRequest:
         (wire_bucket,) = struct.unpack(">I", payload[:4])
         bucket = NOOP_BUCKET if wire_bucket == _NOOP_WIRE else wire_bucket
         return cls(bucket=bucket, invitation=payload[4:])
+
+
+def split_dialing_requests(
+    payloads: Sequence[bytes],
+    num_buckets: int,
+    strict: bool = False,
+) -> tuple[dict[int, list[bytes]], int]:
+    """Bulk-decode a round's dialing payloads, grouped by bucket.
+
+    This is the last server's hot path: a round is every client's request
+    plus every earlier server's noise, so it is split with one length check
+    and one ``unpack_from`` per payload — no per-payload dataclass, no
+    try/except control flow — into ``{bucket: [invitation, ...]}`` with
+    per-bucket arrival order preserved.  Returns the grouping and the number
+    of payloads dropped as malformed (wrong size or nonexistent bucket);
+    with ``strict`` set those raise instead, with the same errors the
+    per-payload :meth:`DialingRequest.decode` / store-deposit path raised.
+    """
+    grouped: dict[int, list[bytes]] = {}
+    malformed = 0
+    for payload in payloads:
+        if len(payload) != DIALING_REQUEST_SIZE:
+            if strict:
+                raise ProtocolError(
+                    f"dialing requests must be {DIALING_REQUEST_SIZE} bytes,"
+                    f" got {len(payload)}"
+                )
+            malformed += 1
+            continue
+        (wire_bucket,) = struct.unpack_from(">I", payload, 0)
+        bucket = NOOP_BUCKET if wire_bucket == _NOOP_WIRE else wire_bucket
+        if bucket != NOOP_BUCKET and bucket >= num_buckets:
+            if strict:
+                raise ProtocolError(f"invitation dead drop {bucket} does not exist")
+            malformed += 1
+            continue
+        grouped.setdefault(bucket, []).append(bytes(payload[4:]))
+    return grouped, malformed
 
 
 def build_dialing_request(

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from .invitation import INVITATION_SIZE, DialingRequest
+import struct
+
+from .invitation import INVITATION_SIZE, split_dialing_requests
 from ..crypto.rng import RandomSource
 from ..deaddrop import InvitationDropStore
 from ..errors import ProtocolError
@@ -45,23 +47,36 @@ class DialingProcessor:
         acknowledgement — invitations are *downloaded* out of band (from a
         CDN in the paper's design, from :meth:`store_for_round` here), so the
         response carries no information.
+
+        The round is consumed in bulk: one grouping pass splits every
+        payload by bucket (:func:`split_dialing_requests`, no per-payload
+        decode object or try/except), one deposit per bucket lands the
+        groups, and the last server's own noise is drawn as one count pass
+        plus one ``random_bytes`` call sliced per invitation.
         """
         store = InvitationDropStore(num_buckets=self.num_buckets)
-        for payload in payloads:
-            try:
-                request = DialingRequest.decode(payload)
-                store.deposit(request.bucket, request.invitation)
-            except ProtocolError:
-                if self.strict:
-                    raise
-                continue
+        grouped, _ = split_dialing_requests(payloads, self.num_buckets, strict=self.strict)
+        for bucket, invitations in grouped.items():
+            store.deposit_many(bucket, invitations)
 
         # §5.3: the last server, too, must add noise to every bucket, because
         # it may be the only honest server and bucket sizes are public.
         if self.noise_spec is not None and self.rng is not None:
-            for bucket in range(self.num_buckets):
-                for _ in range(self.noise_spec.sample_for_bucket(self.rng)):
-                    store.deposit(bucket, self.rng.random_bytes(INVITATION_SIZE), is_noise=True)
+            counts = [
+                self.noise_spec.sample_for_bucket(self.rng) for _ in range(self.num_buckets)
+            ]
+            blob = self.rng.random_bytes(sum(counts) * INVITATION_SIZE)
+            offset = 0
+            for bucket, how_many in enumerate(counts):
+                store.deposit_many(
+                    bucket,
+                    [
+                        blob[offset + i * INVITATION_SIZE : offset + (i + 1) * INVITATION_SIZE]
+                        for i in range(how_many)
+                    ],
+                    is_noise=True,
+                )
+                offset += how_many * INVITATION_SIZE
 
         store.close()
         self.stores[round_number] = store
@@ -88,16 +103,26 @@ def dialing_noise_builder(
     For every invitation dead drop, the server adds a truncated-Laplace number
     of fake invitations — random bytes of the right size, indistinguishable
     from real sealed invitations.
+
+    Built vectorized: all bucket counts are sampled in one pass, the fake
+    invitations come from a single ``random_bytes`` draw sliced per
+    invitation, and the wire header is packed once per bucket — the
+    per-invitation :class:`DialingRequest` construction (and its field
+    validation, vacuous for generated noise) is skipped entirely.
     """
     if num_buckets <= 0:
         raise ProtocolError("a dialing round needs at least one invitation dead drop")
 
     def build(round_number: int, rng: RandomSource) -> list[bytes]:
+        counts = [spec.sample_for_bucket(rng) for _ in range(num_buckets)]
+        blob = rng.random_bytes(sum(counts) * INVITATION_SIZE)
         requests: list[bytes] = []
-        for bucket in range(num_buckets):
-            for _ in range(spec.sample_for_bucket(rng)):
-                fake = DialingRequest(bucket=bucket, invitation=rng.random_bytes(INVITATION_SIZE))
-                requests.append(fake.encode())
+        offset = 0
+        for bucket, how_many in enumerate(counts):
+            header = struct.pack(">I", bucket)
+            for _ in range(how_many):
+                requests.append(header + blob[offset : offset + INVITATION_SIZE])
+                offset += INVITATION_SIZE
         if counts_log is not None:
             counts_log(round_number, len(requests))
         return requests

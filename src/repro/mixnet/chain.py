@@ -11,6 +11,16 @@ encrypt results), while the protocol supplies two callables:
 * a *processor* that plays the role of the last server's step 3b (match dead
   drops / collect invitations) on the fully peeled payloads.
 
+All batch crypto a round performs is routed through a
+:class:`~repro.runtime.RoundEngine`: by default the process-wide serial
+engine (which already chunks kernels to bound their working set), or an
+explicitly configured threaded / process-sharded engine shared by the whole
+chain for multi-core rounds.  The engine only ever executes pure functions
+of bytes — noise payloads, wrap scalars and the mix permutation are all
+drawn from the server's own rng in this thread, in a fixed order — so every
+engine mode produces byte-identical rounds under a fixed
+:class:`~repro.crypto.rng.RandomSource`.
+
 The chain also exposes the hooks the adversary model needs: a compromised
 server can report everything it sees and can tamper with the batch before
 mixing (e.g. discard all requests except Alice's and Bob's, the §4.2 attack).
@@ -18,19 +28,16 @@ mixing (e.g. discard all requests except Alice's and Bob's, the §4.2 attack).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Protocol, Sequence, Union
 
 from .shuffle import Permutation
 from ..crypto.keys import KeyPair, PublicKey
-from ..crypto.onion import (
-    peel_request_batch,
-    wrap_request_batch,
-    wrap_response_batch,
-)
 from ..crypto.rng import RandomSource, default_random
 from ..crypto.secretbox import clear_derived_key_cache
 from ..errors import ProtocolError
+from ..runtime import RoundEngine, default_engine
 
 #: Builds the innermost payloads of one server's noise requests for a round.
 NoiseBuilder = Callable[[int, RandomSource], list[bytes]]
@@ -38,8 +45,55 @@ NoiseBuilder = Callable[[int, RandomSource], list[bytes]]
 #: one response per payload, aligned by index.
 RoundProcessor = Callable[[int, list[bytes]], list[bytes]]
 #: Optional adversarial filter applied to the peeled batch of a compromised
-#: server; returns the (possibly reduced or altered) batch to forward.
-IngressFilter = Callable[[int, list[bytes]], list[bytes]]
+#: server.  It may return just the (reduced or altered) batch to forward, or
+#: a ``(batch, kept_indices)`` pair where ``kept_indices[i]`` names the
+#: position in the *peeled* batch that entry ``i`` came from (``None`` for
+#: payloads the filter injected).  Plain-batch filters are realigned by
+#: matching surviving payloads back to their original slots, so a filter
+#: that drops requests from the middle of the batch can no longer pair the
+#: survivors with the wrong response keys.
+IngressFilter = Callable[
+    [int, list[bytes]],
+    Union[list[bytes], tuple[list[bytes], "list[int | None]"]],
+]
+
+
+def _align_filtered_payloads(
+    original: list[bytes], kept: list[bytes]
+) -> list[int | None]:
+    """Map each surviving payload back to its index in the peeled batch.
+
+    Identity matches win (the common case: a filter returns a subset of the
+    very objects it was given), equal-value matches cover filters that
+    re-materialise bytes, and each original slot is consumed at most once so
+    duplicated payloads stay one-to-one.  Payloads the filter invented match
+    nothing and map to ``None`` — they are forwarded, but no response key or
+    client slot is ever associated with them.
+    """
+    by_identity: dict[int, deque[int]] = {}
+    by_value: dict[bytes, deque[int]] = {}
+    for index, payload in enumerate(original):
+        by_identity.setdefault(id(payload), deque()).append(index)
+        by_value.setdefault(bytes(payload), deque()).append(index)
+
+    taken: set[int] = set()
+
+    def claim(queue: deque[int] | None) -> int | None:
+        while queue:
+            candidate = queue.popleft()
+            if candidate not in taken:
+                return candidate
+        return None
+
+    aligned: list[int | None] = []
+    for payload in kept:
+        index = claim(by_identity.get(id(payload)))
+        if index is None:
+            index = claim(by_value.get(bytes(payload)))
+        if index is not None:
+            taken.add(index)
+        aligned.append(index)
+    return aligned
 
 
 @dataclass(frozen=True)
@@ -71,24 +125,67 @@ class MixServer:
     noise_builder: NoiseBuilder | None = None
     observer: RoundObserver | None = None
     ingress_filter: IngressFilter | None = None
+    #: Execution engine for the round's batch crypto; ``None`` selects the
+    #: process-wide serial engine.  Chains share one engine instance so the
+    #: worker pool is shared too.
+    engine: RoundEngine | None = None
 
     @property
     def is_last(self) -> bool:
         return self.index == len(self.chain_public_keys) - 1
 
+    def _engine(self) -> RoundEngine:
+        return self.engine if self.engine is not None else default_engine()
+
     def _wrap_noise_batch(self, payloads: list[bytes], round_number: int) -> list[bytes]:
         """Onion-wrap a round's noise payloads for the servers after this one.
 
         The chain-suffix key list is built once per round and the whole batch
-        goes through :func:`wrap_request_batch`, so noise generation costs
-        one vectorized pass per remaining layer instead of a full
-        client-style wrap per payload.
+        goes through the engine's chunked request wrap: the ephemeral scalars
+        are drawn from this server's rng up front (in the serial wrap's exact
+        order) and only the pure crypto is sharded, so noise generation costs
+        one vectorized pass per remaining layer per chunk and is identical
+        in every engine mode.
         """
         remaining = self.chain_public_keys[self.index + 1 :]
         if not remaining or not payloads:
             return list(payloads)
-        wires, _ = wrap_request_batch(payloads, remaining, round_number, self.rng)
-        return wires
+        return self._engine().wrap_noise_chunks(payloads, remaining, round_number, self.rng)
+
+    def _apply_ingress_filter(
+        self,
+        round_number: int,
+        peeled: list[bytes],
+        layer_keys: list[bytes],
+        valid_positions: list[int],
+    ) -> tuple[list[bytes], "list[bytes | None]", "list[int | None]"]:
+        """Run the adversarial filter and keep keys/positions aligned.
+
+        Whatever the filter drops, reorders or injects, entry ``i`` of the
+        returned lists always describes the same request: its payload, the
+        response key from its peel (``None`` for injected payloads), and the
+        position in the incoming batch its response must land in.
+        """
+        result = self.ingress_filter(round_number, peeled)  # type: ignore[misc]
+        if isinstance(result, tuple):
+            kept, indices = list(result[0]), list(result[1])
+            if len(kept) != len(indices):
+                raise ProtocolError(
+                    "ingress filter returned mismatched payloads and kept indices"
+                )
+            seen: set[int] = set()
+            for index in indices:
+                if index is None:
+                    continue
+                if not 0 <= index < len(peeled) or index in seen:
+                    raise ProtocolError("ingress filter returned invalid kept indices")
+                seen.add(index)
+        else:
+            kept = list(result)
+            indices = _align_filtered_payloads(peeled, kept)
+        kept_keys = [layer_keys[i] if i is not None else None for i in indices]
+        kept_positions = [valid_positions[i] if i is not None else None for i in indices]
+        return kept, kept_keys, kept_positions
 
     def process_round(
         self,
@@ -104,26 +201,32 @@ class MixServer:
         the same round.  Returns one response per incoming request (malformed
         requests receive an empty response).
 
-        The whole round moves through the crypto layer as a batch: one
-        fixed-scalar X25519 pass and one shared-nonce AEAD pass to peel, the
-        same to wrap the responses, with malformed wires masked out instead
-        of handled one exception at a time.
+        The whole round moves through the engine as chunked batches: one
+        fixed-scalar X25519 pass and one shared-nonce AEAD pass per chunk to
+        peel, the same to wrap the responses, with malformed wires masked out
+        instead of handled one exception at a time, and chunk ``k`` collected
+        while chunk ``k+1`` is still in flight.
         """
+        engine = self._engine()
+        requests = list(requests)
+
         # Step 1: decrypt this server's onion layer of every request.
-        inners, keys = peel_request_batch(
+        inners, keys = engine.peel_request_chunks(
             requests, self.keypair.private, self.index, round_number
         )
-        valid_positions = [i for i, inner in enumerate(inners) if inner is not None]
+        valid_positions: list[int | None] = [
+            i for i, inner in enumerate(inners) if inner is not None
+        ]
         peeled = [inners[i] for i in valid_positions]
-        layer_keys = [keys[i] for i in valid_positions]
+        layer_keys: list[bytes | None] = [keys[i] for i in valid_positions]
         malformed = len(requests) - len(valid_positions)
 
-        # A compromised server may tamper with the peeled batch (drop or
-        # replace requests) before it adds noise and mixes.
+        # A compromised server may tamper with the peeled batch (drop,
+        # reorder, replace or inject requests) before it adds noise and mixes.
         if self.ingress_filter is not None:
-            peeled = self.ingress_filter(round_number, peeled)
-            layer_keys = layer_keys[: len(peeled)]
-            valid_positions = valid_positions[: len(peeled)]
+            peeled, layer_keys, valid_positions = self._apply_ingress_filter(
+                round_number, peeled, layer_keys, valid_positions
+            )
 
         # Step 2: generate cover traffic, wrapped for the rest of the chain.
         noise_payloads = self.noise_builder(round_number, self.rng) if self.noise_builder else []
@@ -143,9 +246,14 @@ class MixServer:
         unshuffled = permutation.invert(downstream_responses)
         real_responses = unshuffled[: len(peeled)]
         responses: list[bytes] = [b""] * len(requests)
-        wrapped = wrap_response_batch(real_responses, layer_keys, round_number)
-        for position, response in zip(valid_positions, wrapped):
-            responses[position] = response
+        keyed = [i for i, key in enumerate(layer_keys) if key is not None]
+        wrapped = engine.wrap_response_chunks(
+            [real_responses[i] for i in keyed],
+            [layer_keys[i] for i in keyed],
+            round_number,
+        )
+        for i, response in zip(keyed, wrapped):
+            responses[valid_positions[i]] = response
 
         if self.observer is not None:
             self.observer(
@@ -167,6 +275,9 @@ class MixChain:
 
     servers: list[MixServer]
     processor: RoundProcessor
+    #: The engine shared by the chain's servers, kept here so deployments can
+    #: shut its worker pool down (``chain.engine.close()``) when they stop.
+    engine: RoundEngine | None = None
 
     def __post_init__(self) -> None:
         if not self.servers:
@@ -185,7 +296,8 @@ class MixChain:
         When the round is over, the memoized key derivations it populated
         (client wraps included, when clients share the process) are dropped:
         the cache must not outlive the round, or the ephemeral DH secrets it
-        is keyed by would stay recoverable from process memory.
+        is keyed by would stay recoverable from process memory.  (Engine
+        workers clear their own per-process caches chunk by chunk.)
         """
 
         def downstream_for(position: int) -> RoundProcessor:
@@ -208,12 +320,15 @@ def build_chain(
     processor: RoundProcessor,
     rng: RandomSource | None = None,
     noise_builder_factory: Callable[[int], NoiseBuilder | None] | None = None,
+    engine: RoundEngine | None = None,
 ) -> MixChain:
     """Convenience constructor wiring up a chain from key pairs.
 
     ``noise_builder_factory`` maps a server index to that server's noise
     builder (or ``None`` for servers that add no noise, e.g. the last server
-    in the conversation protocol).
+    in the conversation protocol).  ``engine`` — one
+    :class:`~repro.runtime.RoundEngine` shared by every server — selects how
+    the chain executes its batch crypto (serial by default).
     """
     rng = rng or default_random()
     public_keys = [kp.public for kp in server_keypairs]
@@ -227,6 +342,7 @@ def build_chain(
                 chain_public_keys=public_keys,
                 rng=rng.fork(f"server-{index}") if hasattr(rng, "fork") else rng,
                 noise_builder=noise_builder,
+                engine=engine,
             )
         )
-    return MixChain(servers=servers, processor=processor)
+    return MixChain(servers=servers, processor=processor, engine=engine)

@@ -1,0 +1,28 @@
+"""Parallel round execution: chunk-sharded, multi-core batch crypto.
+
+The paper's servers saturate all their cores on a round's crypto (§8); a
+single-threaded Python pipeline cannot.  This package supplies the execution
+layer that closes the gap: :class:`RoundEngine` shards a round's peel, noise
+and response batches into fixed-size chunks, schedules them serially, on
+threads, or on a process pool over zero-pickle shared-memory blocks, and
+pipelines chunk results back in order with bounded in-flight memory — while
+keeping every execution mode byte-identical under a fixed rng.
+"""
+
+from .engine import (
+    ENGINE_MODES,
+    PROCESS,
+    SERIAL,
+    THREADED,
+    RoundEngine,
+    default_engine,
+)
+
+__all__ = [
+    "ENGINE_MODES",
+    "PROCESS",
+    "SERIAL",
+    "THREADED",
+    "RoundEngine",
+    "default_engine",
+]

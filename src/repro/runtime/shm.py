@@ -1,0 +1,152 @@
+"""Zero-pickle transport of round batches between engine processes.
+
+A round's wires are variable-length byte strings; shipping them to worker
+processes through the usual ``multiprocessing`` machinery would pickle every
+chunk twice (parent → worker, worker → parent).  Instead the engine packs a
+batch into one flat *entry block* — an offset table followed by the
+concatenated payloads — and places it in a ``multiprocessing.shared_memory``
+segment.  Workers attach by name and read their chunk as ``memoryview``
+slices straight out of the mapping; only the segment name and a pair of
+chunk bounds ever cross the task pipe.
+
+Block layout (little-endian, 8-byte aligned so the offset table can be read
+through ``memoryview.cast("Q")`` without copying)::
+
+    u64 count
+    u64 offsets[count + 1]     # relative to the payload area
+    u8  mask[count]            # 1 = entry present, 0 = entry is None
+    payload bytes
+
+``None`` entries (the batch pipeline uses them to mark malformed wires) are
+encoded with a zero-length payload span and a cleared mask bit, so peel
+results round-trip through workers unchanged.
+
+The creating side of a segment is responsible for ``unlink``; attaching
+sides only ``close``.  The engine follows one discipline: the parent unlinks
+every segment — its own input blocks after the round's chunks complete, and
+each worker-created output block right after reading it — so a crashed round
+cannot leak segments past the resource tracker.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+from typing import Sequence
+
+_COUNT = struct.Struct("<Q")
+
+
+def pack_entries(entries: Sequence[bytes | memoryview | None]) -> bytes:
+    """Serialise a batch of (possibly ``None``) byte strings into one block."""
+    count = len(entries)
+    offsets = [0] * (count + 1)
+    mask = bytearray(count)
+    parts: list[bytes | memoryview] = []
+    position = 0
+    for index, entry in enumerate(entries):
+        if entry is not None:
+            mask[index] = 1
+            parts.append(entry)
+            position += len(entry)
+        offsets[index + 1] = position
+    header = (
+        _COUNT.pack(count)
+        + struct.pack(f"<{count + 1}Q", *offsets)
+        + bytes(mask)
+    )
+    return b"".join([header, *parts])
+
+
+class BlockView:
+    """Read-side view of a packed entry block over a borrowed buffer.
+
+    Never copies: :meth:`slices` returns ``memoryview`` windows into the
+    underlying buffer (``None`` for masked-out entries).  Every view handed
+    out is tracked and released by :meth:`close`, so a shared-memory segment
+    can be unmapped deterministically afterwards.
+    """
+
+    def __init__(self, buffer) -> None:
+        view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+        self._root = view
+        (self.count,) = _COUNT.unpack_from(view, 0)
+        offsets_end = 8 + (self.count + 1) * 8
+        self._offsets = view[8:offsets_end].cast("Q")
+        self._mask = view[offsets_end : offsets_end + self.count]
+        self._payload_base = offsets_end + self.count
+        self._children: list[memoryview] = []
+
+    def slices(self, lo: int = 0, hi: int | None = None) -> list[memoryview | None]:
+        """Entry windows ``[lo, hi)``; ``None`` where the mask bit is clear."""
+        hi = self.count if hi is None else hi
+        if not 0 <= lo <= hi <= self.count:
+            raise ValueError(f"entry range [{lo}, {hi}) outside block of {self.count}")
+        base = self._payload_base
+        out: list[memoryview | None] = []
+        for index in range(lo, hi):
+            if not self._mask[index]:
+                out.append(None)
+                continue
+            window = self._root[base + self._offsets[index] : base + self._offsets[index + 1]]
+            self._children.append(window)
+            out.append(window)
+        return out
+
+    def close(self) -> None:
+        for child in self._children:
+            child.release()
+        self._children.clear()
+        self._offsets.release()
+        self._mask.release()
+
+
+def unpack_entries(buffer) -> list[bytes | None]:
+    """Copy a packed block back out into owned byte strings."""
+    block = BlockView(buffer)
+    try:
+        return [None if entry is None else bytes(entry) for entry in block.slices()]
+    finally:
+        block.close()
+
+
+def share_entries(entries: Sequence[bytes | memoryview | None]) -> shared_memory.SharedMemory:
+    """Pack ``entries`` into a fresh shared-memory segment.
+
+    The caller owns the returned segment and must ``close()`` *and*
+    ``unlink()`` it (see :func:`release_shared`) once every worker chunk that
+    reads it has completed.
+    """
+    return share_packed(pack_entries(entries))
+
+
+def share_packed(packed: bytes) -> shared_memory.SharedMemory:
+    """Place an already-packed block into a fresh shared-memory segment."""
+    segment = shared_memory.SharedMemory(create=True, size=max(len(packed), 1))
+    segment.buf[: len(packed)] = packed
+    return segment
+
+
+def read_shared_entries(name: str, *, unlink: bool) -> list[bytes | None]:
+    """Attach a segment by name, copy its entries out, and detach.
+
+    With ``unlink`` set the segment is removed after reading — the engine
+    uses this for worker-produced output blocks, which the parent consumes
+    exactly once.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return unpack_entries(segment.buf)
+    finally:
+        segment.close()
+        if unlink:
+            segment.unlink()
+
+
+def release_shared(segment: shared_memory.SharedMemory) -> None:
+    """Detach and remove a segment this process created."""
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone (crash cleanup)
+        pass

@@ -104,6 +104,33 @@ class TestDialingRound:
         with pytest.raises(ProtocolError):
             DialingProcessor(num_buckets=1).store_for_round(9)
 
+    def test_bulk_pass_groups_mixed_buckets_and_preserves_order(self, rng):
+        """The single-pass decode matches the per-payload path: grouped by
+        bucket, arrival order kept, out-of-range buckets and bad sizes
+        skipped (or raised in strict mode), no-op bucket absorbed."""
+        import struct
+
+        invitations = [rng.random_bytes(INVITATION_SIZE) for _ in range(5)]
+        payloads = [
+            struct.pack(">I", 1) + invitations[0],
+            struct.pack(">I", 0) + invitations[1],
+            b"junk",  # wrong size
+            struct.pack(">I", 1) + invitations[2],
+            struct.pack(">I", 7) + invitations[3],  # bucket out of range
+            DialingRequest(bucket=NOOP_BUCKET, invitation=invitations[4]).encode(),
+        ]
+        processor = DialingProcessor(num_buckets=2)
+        responses = processor(3, [memoryview(p) for p in payloads])
+        assert responses == [b""] * len(payloads)
+        store = processor.store_for_round(3)
+        assert store.download(1) == [invitations[0], invitations[2]]
+        assert store.download(0) == [invitations[1]]
+        assert store.bucket_size(NOOP_BUCKET) == 1
+
+        strict = DialingProcessor(num_buckets=2, strict=True)
+        with pytest.raises(ProtocolError):
+            strict(4, [struct.pack(">I", 7) + invitations[3]])
+
     def test_last_server_noise_added_to_every_bucket(self, rng):
         spec = DialingNoiseSpec(params=LaplaceParams(mu=5, b=1), exact=True)
         processor = DialingProcessor(num_buckets=3, noise_spec=spec, rng=rng)

@@ -118,6 +118,62 @@ class TestMixChain:
         assert seen == [1]
         assert len(responses) == 5
 
+    def test_ingress_filter_dropping_middle_keeps_keys_aligned(self, rng):
+        """Regression: dropping a *non-suffix* request must not shift the
+        response keys of the survivors (they used to be paired with the
+        wrong keys, producing undecryptable responses)."""
+        keypairs, chain = make_chain(2, rng)
+        publics = [k.public for k in keypairs]
+        wires, contexts = [], []
+        for i in range(6):
+            wire, ctx = wrap_request(f"user-{i}".encode(), publics, 9, rng)
+            wires.append(wire)
+            contexts.append(ctx)
+        # Drop requests 1 and 3 from the middle of the peeled batch.
+        chain.servers[0].ingress_filter = lambda rn, batch: [
+            batch[0], batch[2], batch[4], batch[5]
+        ]
+        responses = chain.run_round(9, wires)
+        for position in (0, 2, 4, 5):
+            assert unwrap_response(responses[position], contexts[position]) == (
+                f"user-{position}".encode().upper()
+            )
+        for position in (1, 3):
+            assert responses[position] == b""
+
+    def test_ingress_filter_can_return_kept_indices(self, rng):
+        keypairs, chain = make_chain(2, rng)
+        publics = [k.public for k in keypairs]
+        wires, contexts = [], []
+        for i in range(5):
+            wire, ctx = wrap_request(f"idx-{i}".encode(), publics, 9, rng)
+            wires.append(wire)
+            contexts.append(ctx)
+        # Keep requests 4 and 1, reordered, plus one injected payload the
+        # filter invented (forwarded, but owed no response slot).
+        chain.servers[0].ingress_filter = lambda rn, batch: (
+            [batch[4], b"injected-by-the-adversary", batch[1]],
+            [4, None, 1],
+        )
+        responses = chain.run_round(9, wires)
+        for position in (1, 4):
+            assert unwrap_response(responses[position], contexts[position]) == (
+                f"idx-{position}".encode().upper()
+            )
+        for position in (0, 2, 3):
+            assert responses[position] == b""
+
+    def test_ingress_filter_invalid_indices_rejected(self, rng):
+        keypairs, chain = make_chain(2, rng)
+        publics = [k.public for k in keypairs]
+        wires = [wrap_request(b"a", publics, 9, rng)[0], wrap_request(b"b", publics, 9, rng)[0]]
+        chain.servers[0].ingress_filter = lambda rn, batch: (batch, [0, 0])
+        with pytest.raises(ProtocolError):
+            chain.run_round(9, wires)
+        chain.servers[0].ingress_filter = lambda rn, batch: (batch, [0])
+        with pytest.raises(ProtocolError):
+            chain.run_round(9, wires)
+
     def test_mismatched_downstream_response_count_raises(self, rng):
         def bad_processor(round_number, payloads):
             return [b"only-one"]
