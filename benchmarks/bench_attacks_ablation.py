@@ -18,10 +18,12 @@ from bench_common import emit
 
 from repro import VuvuzelaConfig, VuvuzelaSystem
 from repro.adversary import run_discard_attack, run_intersection_attack
-from repro.baselines import build_unnoised_system
+from repro.baselines import unnoised_config
 
 
 def _paired_system(config) -> VuvuzelaSystem:
+    # Used as a context manager at every call site so the system's engine
+    # pools and shared memory are always released.
     system = VuvuzelaSystem(config)
     alice, bob = system.add_client("alice"), system.add_client("bob")
     alice.start_conversation(bob.public_key)
@@ -35,14 +37,12 @@ def test_intersection_attack_ablation(benchmark):
     """Blocking Alice reveals her conversation without noise, not with it."""
 
     def run() -> dict[str, object]:
-        unnoised = run_intersection_attack(
-            _paired_system(build_unnoised_system(seed=11).config), "alice", rounds_per_phase=3
-        )
-        noised = run_intersection_attack(
-            _paired_system(VuvuzelaConfig.small(seed=12, conversation_mu=50, dialing_mu=3)),
-            "alice",
-            rounds_per_phase=3,
-        )
+        with _paired_system(unnoised_config(seed=11)) as system:
+            unnoised = run_intersection_attack(system, "alice", rounds_per_phase=3)
+        with _paired_system(
+            VuvuzelaConfig.small(seed=12, conversation_mu=50, dialing_mu=3)
+        ) as system:
+            noised = run_intersection_attack(system, "alice", rounds_per_phase=3)
         return {"unnoised": unnoised, "noised": noised}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -66,14 +66,12 @@ def test_discard_attack_ablation(benchmark):
     """A compromised first server forwarding only Alice+Bob learns nothing under noise."""
 
     def run() -> dict[str, object]:
-        unnoised = run_discard_attack(
-            _paired_system(build_unnoised_system(seed=13).config), ("alice", "bob"), rounds=2
-        )
-        noised = run_discard_attack(
-            _paired_system(VuvuzelaConfig.small(seed=14, conversation_mu=40, dialing_mu=3)),
-            ("alice", "bob"),
-            rounds=2,
-        )
+        with _paired_system(unnoised_config(seed=13)) as system:
+            unnoised = run_discard_attack(system, ("alice", "bob"), rounds=2)
+        with _paired_system(
+            VuvuzelaConfig.small(seed=14, conversation_mu=40, dialing_mu=3)
+        ) as system:
+            noised = run_discard_attack(system, ("alice", "bob"), rounds=2)
         return {"unnoised": unnoised, "noised": noised}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,207 @@
+"""Round-trip latency of a full Vuvuzela round: in-process vs localhost TCP.
+
+The pluggable transport layer runs the same protocol through two deployment
+shapes: everything in one process over the synchronous
+:class:`~repro.net.transport.Network`, and a real multi-process deployment —
+entry server + chain as subprocesses — over asyncio TCP
+(:class:`~repro.core.deployment.DeploymentLauncher`).  This benchmark
+measures what that costs: wall-clock seconds per complete conversation round
+(submission window open → all clients submitted → chain forward/backward →
+responses delivered) in both shapes, at a sweep of client counts.
+
+The TCP number includes everything a real deployment pays per round —
+framing, socket hops between four processes, the coordinator's window
+bookkeeping, client long-polls — so the ratio against the in-process number
+is the transport overhead, not a crypto difference (the crypto work is
+byte-identical, same seed).
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_net_round_trip.py
+    PYTHONPATH=src python benchmarks/bench_net_round_trip.py --clients 2,8 --rounds 3
+
+CI runs ``--smoke``: one dialing + two conversation rounds through real
+subprocess servers with the outcome asserted against the in-process run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_common import emit  # noqa: E402
+
+from repro import DeploymentLauncher, VuvuzelaConfig, VuvuzelaSystem  # noqa: E402
+
+SEED = 9090
+
+
+def bench_config(num_clients: int) -> VuvuzelaConfig:
+    # Little noise: this benchmark times the transport and sequencing, and
+    # the round size should be dominated by the configured client count.
+    return VuvuzelaConfig.small(
+        num_servers=3, conversation_mu=2.0, dialing_mu=1.0, seed=SEED + num_clients
+    )
+
+
+def time_in_process(num_clients: int, rounds: int) -> list[float]:
+    config = bench_config(num_clients)
+    with VuvuzelaSystem(config) as system:
+        for i in range(num_clients):
+            system.add_client(f"client-{i}")
+        seconds = []
+        for _ in range(rounds):
+            seconds.append(system.run_conversation_round().wall_clock_seconds)
+        return seconds
+
+
+def time_tcp(num_clients: int, rounds: int) -> list[float]:
+    config = bench_config(num_clients)
+    with DeploymentLauncher(config, request_timeout=300.0) as deployment:
+        connections = [deployment.add_client(f"client-{i}") for i in range(num_clients)]
+        seconds = []
+        for _ in range(rounds):
+            seconds.append(
+                deployment.run_conversation_round(connections).wall_clock_seconds
+            )
+        return seconds
+
+
+def run(client_counts: list[int], rounds: int) -> dict:
+    results: dict = {
+        "benchmark": "net_round_trip",
+        "rounds_per_point": rounds,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "tcp rounds run through 4 real processes (entry + 3 chain servers) "
+            "on localhost; in-process rounds run the same crypto through the "
+            "synchronous Network"
+        ),
+        "results": [],
+    }
+    rows = []
+    for num_clients in client_counts:
+        local = time_in_process(num_clients, rounds)
+        tcp = time_tcp(num_clients, rounds)
+        record = {
+            "clients": num_clients,
+            "in_process_round_ms": round(statistics.mean(local) * 1000, 2),
+            "tcp_round_ms": round(statistics.mean(tcp) * 1000, 2),
+            "tcp_overhead_factor": round(statistics.mean(tcp) / statistics.mean(local), 2),
+        }
+        results["results"].append(record)
+        rows.append(record)
+        print(
+            f"  clients={num_clients:<4} in-process {record['in_process_round_ms']:>8.2f} ms  "
+            f"tcp {record['tcp_round_ms']:>8.2f} ms  overhead {record['tcp_overhead_factor']:.2f}x",
+            file=sys.stderr,
+        )
+    emit("Conversation round trip: in-process vs localhost TCP", rows)
+    return results
+
+
+def run_smoke() -> None:
+    """CI gate: a short real deployment round-trip, checked against in-process."""
+    config = VuvuzelaConfig.small(seed=SEED)
+    started = time.perf_counter()
+
+    with VuvuzelaSystem(config) as system:
+        alice, bob = system.add_client("alice"), system.add_client("bob")
+        alice.dial(bob.public_key)
+        system.run_dialing_round()
+        bob.accept_call(bob.incoming_calls[0])
+        alice.start_conversation(bob.public_key)
+        alice.send_message("smoke over the wire")
+        local_noise = [
+            system.run_conversation_round().noise_requests for _ in range(2)
+        ]
+        local_received = bob.messages_from(alice.public_key)
+
+    with DeploymentLauncher(config, request_timeout=120.0) as deployment:
+        alice_c = deployment.add_client("alice")
+        bob_c = deployment.add_client("bob")
+        alice_c.client.dial(bob_c.client.public_key)
+        deployment.run_dialing_round()
+        assert bob_c.client.incoming_calls, "smoke: invitation not delivered over TCP"
+        bob_c.client.accept_call(bob_c.client.incoming_calls[0])
+        alice_c.client.start_conversation(bob_c.client.public_key)
+        alice_c.client.send_message("smoke over the wire")
+        tcp_noise = []
+        for _ in range(2):
+            result = deployment.run_conversation_round()
+            tcp_noise.append(deployment.chain_noise("conversation", result.round_number))
+        tcp_received = bob_c.client.messages_from(alice_c.client.public_key)
+
+    if tcp_received != local_received or tcp_received != [b"smoke over the wire"]:
+        print(
+            f"SMOKE FAILED: delivery mismatch (tcp={tcp_received!r}, local={local_received!r})",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    if tcp_noise != local_noise:
+        print(
+            f"SMOKE FAILED: noise accounting mismatch (tcp={tcp_noise}, local={local_noise})",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    print(
+        f"smoke ok: dialing + 2 conversation rounds over subprocess TCP, outcomes "
+        f"identical to in-process, {time.perf_counter() - started:.1f}s total",
+        file=sys.stderr,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--clients",
+        default="2,8,32",
+        help="comma-separated client counts (default: 2,8,32)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5, help="measured rounds per point (default: 5)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a short TCP deployment, assert outcomes match in-process, exit",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_net_round_trip.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        run_smoke()
+        return
+
+    try:
+        client_counts = [int(c) for c in args.clients.split(",") if c]
+    except ValueError:
+        parser.error(f"--clients must be comma-separated integers, got {args.clients!r}")
+    if not client_counts or any(c <= 0 for c in client_counts):
+        parser.error("--clients needs at least one positive count")
+    if args.rounds <= 0:
+        parser.error("--rounds must be positive")
+
+    results = run(client_counts, args.rounds)
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {output}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

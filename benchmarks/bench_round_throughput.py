@@ -135,6 +135,16 @@ def run(
     ]
     sweep_size = min(sweep_size, max(sizes))
     wires = generate_wires(max(sizes), keypairs)
+    # Scaling rows are only meaningful relative to the host's core count: a
+    # worker sweep on a 1-core host measures sharding overhead, not parallel
+    # speedup — a flat, misleading curve.  Skip it (noted in the artifact).
+    single_core = os.cpu_count() == 1
+    if single_core and engine_workers:
+        engine_workers = []
+        print(
+            "  skipping the process-engine worker sweep: single-core host",
+            file=sys.stderr,
+        )
     results: dict = {
         "benchmark": "round_throughput",
         "payload_size": PAYLOAD_SIZE,
@@ -142,12 +152,16 @@ def run(
         "python": platform.python_version(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
-        # Scaling rows are only meaningful relative to the host's core count:
-        # a worker sweep on a 1-core container measures sharding overhead,
-        # not parallel speedup.
+        "engine_sweep_skipped": single_core,
         "note": (
-            f"process-engine scaling is bounded by the host's {os.cpu_count()} "
-            f"CPU core(s); worker counts beyond that measure overhead only"
+            "process-engine worker sweep skipped: this host has 1 CPU core, so "
+            "the sweep would measure sharding overhead only — rerun on a "
+            "multi-core host for scaling numbers"
+            if single_core
+            else (
+                f"process-engine scaling is bounded by the host's {os.cpu_count()} "
+                f"CPU core(s); worker counts beyond that measure overhead only"
+            )
         ),
         "results": [],
     }

@@ -22,52 +22,53 @@ def main() -> None:
     # A small but structurally faithful deployment: 3 servers, real crypto,
     # sampled Laplace cover traffic.
     config = VuvuzelaConfig.small(num_servers=3, conversation_mu=12, dialing_mu=4, seed=42)
-    system = VuvuzelaSystem(config)
+    # The system owns worker pools when a parallel engine is configured; the
+    # context manager guarantees they are released.
+    with VuvuzelaSystem(config) as system:
+        alice = system.add_client("alice")
+        bob = system.add_client("bob")
+        # A few more users who are just running their clients (always-on, idle).
+        for i in range(4):
+            system.add_client(f"bystander-{i}")
 
-    alice = system.add_client("alice")
-    bob = system.add_client("bob")
-    # A few more users who are just running their clients (always-on, idle).
-    for i in range(4):
-        system.add_client(f"bystander-{i}")
+        print("=== Dialing ===")
+        alice.dial(bob.public_key)
+        dial_metrics = system.run_dialing_round()
+        print(f"dialing round {dial_metrics.round_number}: "
+              f"{dial_metrics.real_invitations} real invitation(s), "
+              f"{dial_metrics.noise_invitations} noise invitations")
 
-    print("=== Dialing ===")
-    alice.dial(bob.public_key)
-    dial_metrics = system.run_dialing_round()
-    print(f"dialing round {dial_metrics.round_number}: "
-          f"{dial_metrics.real_invitations} real invitation(s), "
-          f"{dial_metrics.noise_invitations} noise invitations")
+        call = bob.incoming_calls[0]
+        print(f"bob received a call from {call.caller.hex()[:16]}... "
+              f"(alice is {alice.public_key.hex()[:16]}...)")
+        bob.accept_call(call)
+        alice.start_conversation(bob.public_key)
 
-    call = bob.incoming_calls[0]
-    print(f"bob received a call from {call.caller.hex()[:16]}... "
-          f"(alice is {alice.public_key.hex()[:16]}...)")
-    bob.accept_call(call)
-    alice.start_conversation(bob.public_key)
+        print("\n=== Conversation ===")
+        alice.send_message("Hi Bob! This message is metadata-private.")
+        bob.send_message("Hi Alice! Nobody can tell we are talking.")
+        alice.send_message("Even the servers only see noise.")
 
-    print("\n=== Conversation ===")
-    alice.send_message("Hi Bob! This message is metadata-private.")
-    bob.send_message("Hi Alice! Nobody can tell we are talking.")
-    alice.send_message("Even the servers only see noise.")
+        for _ in range(3):
+            metrics = system.run_conversation_round()
+            histogram = metrics.histogram
+            print(f"round {metrics.round_number}: {metrics.client_requests} client requests, "
+                  f"{metrics.noise_requests} noise requests, "
+                  f"observable counts m1={histogram.singles} m2={histogram.pairs}, "
+                  f"{metrics.wall_clock_seconds * 1000:.0f} ms")
 
-    for _ in range(3):
-        metrics = system.run_conversation_round()
-        histogram = metrics.histogram
-        print(f"round {metrics.round_number}: {metrics.client_requests} client requests, "
-              f"{metrics.noise_requests} noise requests, "
-              f"observable counts m1={histogram.singles} m2={histogram.pairs}, "
-              f"{metrics.wall_clock_seconds * 1000:.0f} ms")
+        print("\nBob received:")
+        for message in bob.messages_from(alice.public_key):
+            print(f"  {message.decode()}")
+        print("Alice received:")
+        for message in alice.messages_from(bob.public_key):
+            print(f"  {message.decode()}")
 
-    print("\nBob received:")
-    for message in bob.messages_from(alice.public_key):
-        print(f"  {message.decode()}")
-    print("Alice received:")
-    for message in alice.messages_from(bob.public_key):
-        print(f"  {message.decode()}")
-
-    guarantee = system.conversation_accountant.current_guarantee()
-    print(f"\nPrivacy spent after {system.conversation_accountant.rounds_used} rounds at this "
-          f"demo noise level: eps'={guarantee.epsilon:.3f}, delta'={guarantee.delta:.2e}")
-    print("(a real deployment uses mu=300,000 noise per server, which keeps eps'=ln 2 "
-          "for 200,000+ rounds — see examples/capacity_planning.py)")
+        guarantee = system.conversation_accountant.current_guarantee()
+        print(f"\nPrivacy spent after {system.conversation_accountant.rounds_used} rounds at this "
+              f"demo noise level: eps'={guarantee.epsilon:.3f}, delta'={guarantee.delta:.2e}")
+        print("(a real deployment uses mu=300,000 noise per server, which keeps eps'=ln 2 "
+              "for 200,000+ rounds — see examples/capacity_planning.py)")
 
 
 if __name__ == "__main__":

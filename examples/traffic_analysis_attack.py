@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro import VuvuzelaConfig, VuvuzelaSystem
 from repro.adversary import run_discard_attack, run_intersection_attack
-from repro.baselines import StrawmanServer, build_unnoised_system
+from repro.baselines import StrawmanServer, unnoised_config
 from repro.conversation import ConversationSession, ExchangeRequest, encrypt_message, round_dead_drop
 from repro.crypto import DeterministicRandom, KeyPair
 
@@ -49,6 +49,8 @@ def strawman_attack() -> None:
 
 
 def _paired_system(config) -> VuvuzelaSystem:
+    # Used as a context manager at every call site so the system's engine
+    # pools and shared memory are always released.
     system = VuvuzelaSystem(config)
     alice, bob = system.add_client("alice"), system.add_client("bob")
     alice.start_conversation(bob.public_key)
@@ -60,15 +62,15 @@ def _paired_system(config) -> VuvuzelaSystem:
 
 def mixnet_without_noise() -> None:
     print("=== 2. Mixnet without cover traffic (ablation) ===")
-    system = _paired_system(build_unnoised_system(seed=2).config)
-    result = run_intersection_attack(system, target="alice", rounds_per_phase=3)
+    with _paired_system(unnoised_config(seed=2)) as system:
+        result = run_intersection_attack(system, target="alice", rounds_per_phase=3)
     print(f"  m2 while alice online : {result.online_pair_counts}")
     print(f"  m2 while alice blocked: {result.offline_pair_counts}")
     print(f"  adversary concludes alice is conversing -> "
           f"{result.concludes_target_is_conversing()}")
 
-    system = _paired_system(build_unnoised_system(seed=3).config)
-    discard = run_discard_attack(system, keep_clients=("alice", "bob"), rounds=2)
+    with _paired_system(unnoised_config(seed=3)) as system:
+        discard = run_discard_attack(system, keep_clients=("alice", "bob"), rounds=2)
     print(f"  discard attack: pair counts with only alice+bob forwarded = {discard.pair_counts}")
     print(f"  adversary concludes they are talking -> "
           f"{discard.concludes_targets_are_conversing()}\n")
@@ -77,16 +79,16 @@ def mixnet_without_noise() -> None:
 def full_vuvuzela() -> None:
     print("=== 3. Vuvuzela (mixing + Laplace noise) ===")
     config = VuvuzelaConfig.small(seed=4, conversation_mu=60, dialing_mu=3)
-    system = _paired_system(config)
-    result = run_intersection_attack(system, target="alice", rounds_per_phase=4)
+    with _paired_system(config) as system:
+        result = run_intersection_attack(system, target="alice", rounds_per_phase=4)
     print(f"  m2 while alice online : {result.online_pair_counts}")
     print(f"  m2 while alice blocked: {result.offline_pair_counts}")
     print(f"  signal-to-noise = {result.signal_to_noise:.2f}")
     print(f"  adversary concludes alice is conversing -> "
           f"{result.concludes_target_is_conversing()}")
 
-    system = _paired_system(config)
-    discard = run_discard_attack(system, keep_clients=("alice", "bob"), rounds=2)
+    with _paired_system(config) as system:
+        discard = run_discard_attack(system, keep_clients=("alice", "bob"), rounds=2)
     print(f"  discard attack: pair counts = {discard.pair_counts} "
           f"(expected noise alone ~{discard.expected_noise_pairs:.0f})")
     print(f"  adversary concludes they are talking -> "

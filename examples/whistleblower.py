@@ -26,60 +26,59 @@ from repro.privacy import LaplaceParams
 
 def main() -> None:
     config = VuvuzelaConfig.small(num_servers=3, conversation_mu=50, dialing_mu=4, seed=7)
-    system = VuvuzelaSystem(config)
+    with VuvuzelaSystem(config) as system:
+        source = system.add_client("source")
+        reporter = system.add_client("reporter")
+        # Other users of the system; the adversary may control some of them, which
+        # is why Vuvuzela's analysis never relies on their behaviour.
+        for i in range(6):
+            system.add_client(f"user-{i}")
 
-    source = system.add_client("source")
-    reporter = system.add_client("reporter")
-    # Other users of the system; the adversary may control some of them, which
-    # is why Vuvuzela's analysis never relies on their behaviour.
-    for i in range(6):
-        system.add_client(f"user-{i}")
+        source.start_conversation(reporter.public_key)
+        reporter.start_conversation(source.public_key)
+        source.send_message("The documents are ready.")
+        reporter.send_message("Use the usual channel.")
 
-    source.start_conversation(reporter.public_key)
-    reporter.start_conversation(source.public_key)
-    source.send_message("The documents are ready.")
-    reporter.send_message("Use the usual channel.")
+        observer = GlobalObserver(system, last_server_compromised=True)
 
-    observer = GlobalObserver(system, last_server_compromised=True)
+        print("=== Passive observation ===")
+        for _ in range(3):
+            metrics = system.run_conversation_round()
+            view = observer.observe_conversation_round(metrics.round_number)
+            print(f"round {view.round_number}: adversary sees {len(view.connected_clients)} connected "
+                  f"clients, m1={view.m1}, m2={view.m2}")
+        print("the adversary sees WHO is connected, but the counts are dominated by noise\n")
 
-    print("=== Passive observation ===")
-    for _ in range(3):
-        metrics = system.run_conversation_round()
-        view = observer.observe_conversation_round(metrics.round_number)
-        print(f"round {view.round_number}: adversary sees {len(view.connected_clients)} connected "
-              f"clients, m1={view.m1}, m2={view.m2}")
-    print("the adversary sees WHO is connected, but the counts are dominated by noise\n")
+        print("=== Active attack: knock the source offline ===")
+        result = run_intersection_attack(system, target="source", rounds_per_phase=4, observer=observer)
+        print(f"mean m2 while source online : {sum(result.online_pair_counts) / len(result.online_pair_counts):.1f}")
+        print(f"mean m2 while source blocked: {sum(result.offline_pair_counts) / len(result.offline_pair_counts):.1f}")
+        print(f"signal-to-noise ratio       : {result.signal_to_noise:.2f}")
+        verdict = result.concludes_target_is_conversing()
+        print(f"adversary concludes the source is conversing: {verdict}")
+        print("(the one-exchange signal is buried in the servers' Laplace noise)\n")
 
-    print("=== Active attack: knock the source offline ===")
-    result = run_intersection_attack(system, target="source", rounds_per_phase=4, observer=observer)
-    print(f"mean m2 while source online : {sum(result.online_pair_counts) / len(result.online_pair_counts):.1f}")
-    print(f"mean m2 while source blocked: {sum(result.offline_pair_counts) / len(result.offline_pair_counts):.1f}")
-    print(f"signal-to-noise ratio       : {result.signal_to_noise:.2f}")
-    verdict = result.concludes_target_is_conversing()
-    print(f"adversary concludes the source is conversing: {verdict}")
-    print("(the one-exchange signal is buried in the servers' Laplace noise)\n")
+        print("=== Bayesian bound check ===")
+        noise = system.config.conversation_noise
+        mixing = system.config.num_mixing_servers
+        attacker = BayesianAttacker(
+            noise_params=LaplaceParams(mu=noise.mu / 2 * mixing, b=noise.b / 2 * mixing),
+            baseline_pairs=0,
+            prior=0.5,
+        )
+        for round_number in range(system.next_conversation_round):
+            view = observer.observe_conversation_round(round_number)
+            attacker.update(view.m2)
+        print(f"prior belief 'source talks to reporter': {attacker.prior:.2f}")
+        print(f"posterior after {attacker.observations} observed rounds: {attacker.posterior:.2f}")
+        per_round_gain = attacker.belief_gain ** (1.0 / max(attacker.observations, 1))
+        print(f"empirical per-round odds gain: {per_round_gain:.3f} "
+              f"(theory caps it at e^eps = {attacker.theoretical_single_round_bound():.3f})")
+        print("at the production noise level (mu=300,000, b=13,800) the per-round cap is "
+              "e^0.0003, so 200,000 rounds still leave the adversary within 2x of its prior")
 
-    print("=== Bayesian bound check ===")
-    noise = system.config.conversation_noise
-    mixing = system.config.num_mixing_servers
-    attacker = BayesianAttacker(
-        noise_params=LaplaceParams(mu=noise.mu / 2 * mixing, b=noise.b / 2 * mixing),
-        baseline_pairs=0,
-        prior=0.5,
-    )
-    for round_number in range(system.next_conversation_round):
-        view = observer.observe_conversation_round(round_number)
-        attacker.update(view.m2)
-    print(f"prior belief 'source talks to reporter': {attacker.prior:.2f}")
-    print(f"posterior after {attacker.observations} observed rounds: {attacker.posterior:.2f}")
-    per_round_gain = attacker.belief_gain ** (1.0 / max(attacker.observations, 1))
-    print(f"empirical per-round odds gain: {per_round_gain:.3f} "
-          f"(theory caps it at e^eps = {attacker.theoretical_single_round_bound():.3f})")
-    print("at the production noise level (mu=300,000, b=13,800) the per-round cap is "
-          "e^0.0003, so 200,000 rounds still leave the adversary within 2x of its prior")
-
-    # The reporter still received the message, of course.
-    print("\nreporter's inbox:", [m.decode() for m in reporter.messages_from(source.public_key)])
+        # The reporter still received the message, of course.
+        print("\nreporter's inbox:", [m.decode() for m in reporter.messages_from(source.public_key)])
 
 
 if __name__ == "__main__":

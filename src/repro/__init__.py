@@ -25,18 +25,21 @@ Quickstart::
 
 from .core import (
     ConversationRoundMetrics,
+    DeploymentLauncher,
     DialingRoundMetrics,
     SystemMetrics,
     VuvuzelaConfig,
     VuvuzelaSystem,
 )
-from .client import VuvuzelaClient
+from .client import ClientConnection, VuvuzelaClient
 from .errors import ReproError
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "ClientConnection",
     "ConversationRoundMetrics",
+    "DeploymentLauncher",
     "DialingRoundMetrics",
     "ReproError",
     "SystemMetrics",

@@ -1,0 +1,92 @@
+"""A client's connection to a deployment over a transport.
+
+:class:`VuvuzelaClient` is transport-agnostic: it builds and consumes byte
+strings.  :class:`ClientConnection` is the piece that moves those bytes — it
+submits each round's requests to the entry server over any
+:class:`~repro.net.transport.Transport` and feeds the replies back into the
+client's ``handle_*`` methods.
+
+It speaks the *blocking-response* protocol of the networked entry server
+(:mod:`repro.server.entry_main`): a submission's transport reply IS the
+round response — the onion-wrapped response bytes once the round resolves,
+or the :data:`~repro.server.entry.REFUSED` / :data:`~repro.runtime.LATE`
+markers, both of which the client experiences as a lost round (it
+retransmits, §3.1).  A client with several conversation slots submits its
+requests concurrently, one connection each, since every submission blocks
+until the round closes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from .client import VuvuzelaClient
+from ..deaddrop import InvitationDropStore
+from ..net import MessageKind, Transport
+from ..runtime import LATE
+from ..server import REFUSED
+
+
+@dataclass
+class ClientConnection:
+    """Drives one :class:`VuvuzelaClient` over a transport, round by round."""
+
+    client: VuvuzelaClient
+    transport: Transport
+    entry_name: str = "entry"
+    #: Rounds in which at least one of this client's requests was refused or
+    #: arrived late — the client-visible face of §7/§9 admission control.
+    refused_rounds: int = field(default=0, init=False)
+    late_rounds: int = field(default=0, init=False)
+
+    @property
+    def name(self) -> str:
+        return self.client.name
+
+    def _decode(self, reply: bytes | None) -> bytes | None:
+        """Map entry markers onto the ``None`` (= lost round) the client expects."""
+        if reply is None:
+            return None
+        reply = bytes(reply)
+        if reply == REFUSED:
+            self.refused_rounds += 1
+            return None
+        if reply == LATE:
+            self.late_rounds += 1
+            return None
+        return reply
+
+    def _submit(self, wire: bytes, kind: MessageKind, round_number: int) -> bytes | None:
+        return self._decode(
+            self.transport.send(self.name, self.entry_name, wire, kind, round_number)
+        )
+
+    def run_conversation_round(self, round_number: int) -> list[bytes | None]:
+        """Build, submit and resolve one conversation round's requests."""
+        wires = self.client.build_conversation_requests(round_number)
+        if len(wires) == 1:
+            responses = [self._submit(wires[0], MessageKind.CONVERSATION_REQUEST, round_number)]
+        else:
+            # Every submission long-polls until the round closes, so a
+            # multi-slot client must put each request on its own connection.
+            with ThreadPoolExecutor(max_workers=len(wires)) as pool:
+                responses = list(
+                    pool.map(
+                        lambda wire: self._submit(
+                            wire, MessageKind.CONVERSATION_REQUEST, round_number
+                        ),
+                        wires,
+                    )
+                )
+        return self.client.handle_conversation_responses(round_number, responses)
+
+    def run_dialing_round(self, round_number: int, num_buckets: int) -> None:
+        """Build, submit and resolve one dialing round's request."""
+        wire = self.client.build_dialing_request(round_number, num_buckets)
+        response = self._submit(wire, MessageKind.DIALING_REQUEST, round_number)
+        self.client.handle_dialing_response(round_number, response)
+
+    def poll_invitations(self, round_number: int, store: InvitationDropStore):
+        """Scan a downloaded invitation store for calls addressed to us."""
+        return self.client.poll_invitations(round_number, store)

@@ -1,12 +1,15 @@
-"""Core public API: configuration, the runnable system, and round metrics."""
+"""Core public API: configuration, the runnable system, deployment, metrics."""
 
 from .config import VuvuzelaConfig
+from .deployment import DeploymentLauncher, NetworkRoundResult
 from .metrics import ConversationRoundMetrics, DialingRoundMetrics, SystemMetrics
 from .system import VuvuzelaSystem
 
 __all__ = [
     "ConversationRoundMetrics",
+    "DeploymentLauncher",
     "DialingRoundMetrics",
+    "NetworkRoundResult",
     "SystemMetrics",
     "VuvuzelaConfig",
     "VuvuzelaSystem",

@@ -17,8 +17,9 @@ Two presets are provided:
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from ..errors import ConfigurationError
 from ..runtime import ENGINE_MODES
@@ -61,6 +62,15 @@ class VuvuzelaConfig:
     engine_workers: int = 1
     #: Messages per engine chunk; 0 picks the measured kernel sweet spot.
     engine_chunk_size: int = 0
+    #: Submission-window deadline per round (§7: the coordinator collects
+    #: client requests until a deadline; stragglers are refused).  ``None``
+    #: closes windows on demand — the right choice for the synchronous
+    #: in-process system, where the driver submits and closes itself.
+    round_deadline_seconds: float | None = None
+    #: Per-hop transport deadline for a networked deployment; a hop that
+    #: exceeds it surfaces as a ProtocolError at the coordinator.  ``None``
+    #: waits forever (the in-process transport never times out anyway).
+    hop_timeout_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -81,6 +91,10 @@ class VuvuzelaConfig:
             raise ConfigurationError("dialing rounds must have positive length")
         if self.target_epsilon <= 0 or not 0 < self.target_delta < 1:
             raise ConfigurationError("the privacy target must have eps > 0 and 0 < delta < 1")
+        if self.round_deadline_seconds is not None and self.round_deadline_seconds < 0:
+            raise ConfigurationError("round deadlines cannot be negative")
+        if self.hop_timeout_seconds is not None and self.hop_timeout_seconds <= 0:
+            raise ConfigurationError("hop timeouts must be positive")
 
     # ------------------------------------------------------------------ presets
 
@@ -145,3 +159,35 @@ class VuvuzelaConfig:
     def deniability_factor(self) -> float:
         """The e^eps' plausible-deniability factor of the configured target."""
         return math.exp(self.target_epsilon)
+
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict; the form the launcher ships to server processes."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["conversation_noise"] = {"mu": self.conversation_noise.mu, "b": self.conversation_noise.b}
+        data["dialing_noise"] = {"mu": self.dialing_noise.mu, "b": self.dialing_noise.b}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VuvuzelaConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown config fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        for key in ("conversation_noise", "dialing_noise"):
+            if key in kwargs and isinstance(kwargs[key], dict):
+                kwargs[key] = LaplaceParams(**kwargs[key])
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "VuvuzelaConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"malformed config JSON: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,420 @@
+"""Launch a real multi-process Vuvuzela deployment on localhost TCP.
+
+:class:`DeploymentLauncher` spawns the deployment shape the paper evaluates
+(§8.1) — one untrusted entry server in front of a chain of N mix servers,
+each a separate OS process listening on its own socket — from a single
+:class:`VuvuzelaConfig`, and wires clients to the entry over
+:class:`~repro.net.tcp.TcpTransport` connections.
+
+Because every process derives its keys and noise streams from the shared
+config seed (:mod:`repro.core.topology`), a scenario run through the
+launcher produces *identical protocol outcomes* to the same scenario run
+through the in-process :class:`~repro.core.system.VuvuzelaSystem` — the
+integration tests assert exactly that.
+
+Typical use::
+
+    config = VuvuzelaConfig.small(seed=7)
+    with DeploymentLauncher(config) as deployment:
+        alice = deployment.add_client("alice")
+        bob = deployment.add_client("bob")
+        alice.client.dial(bob.client.public_key)
+        deployment.run_dialing_round([alice, bob])
+        ...
+
+Rounds are driven through the entry server's control API: the launcher opens
+a submission window (deadline and/or expected request count), the client
+connections submit — each submission long-polls until the round resolves —
+and the launcher collects the round's accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from queue import Empty, Queue
+
+from . import topology
+from .config import VuvuzelaConfig
+from ..client import ClientConnection
+from ..deaddrop import InvitationDropStore
+from ..errors import NetworkError, ProtocolError
+from ..net import TcpTransport
+
+
+@dataclass
+class ServerProcess:
+    """One spawned server process and where it listens."""
+
+    name: str
+    process: subprocess.Popen
+    host: str
+    port: int
+
+
+@dataclass
+class NetworkRoundResult:
+    """The launcher's view of one networked round."""
+
+    protocol: str
+    round_number: int
+    accepted: int
+    refused: int
+    late: int
+    responded: int
+    wall_clock_seconds: float
+
+
+class DeploymentLauncher:
+    """Spawns entry + N chain servers as subprocesses and connects clients."""
+
+    def __init__(
+        self,
+        config: VuvuzelaConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        python: str = sys.executable,
+        startup_timeout: float = 60.0,
+        request_timeout: float = 120.0,
+        round_deadline_seconds: float | None = None,
+    ) -> None:
+        self.config = config or VuvuzelaConfig.small()
+        topology.require_seed(self.config)
+        self.host = host
+        self.python = python
+        self.startup_timeout = startup_timeout
+        #: Client/control request timeout; must out-wait a full round
+        #: (submission window + chain) since submissions long-poll.
+        self.request_timeout = request_timeout
+        self.round_deadline_seconds = (
+            round_deadline_seconds
+            if round_deadline_seconds is not None
+            else self.config.round_deadline_seconds
+        )
+        self.servers: list[ServerProcess] = []
+        self.entry_process: ServerProcess | None = None
+        #: Every process ever spawned, in spawn order — the teardown list.
+        #: ``servers`` is only assigned once the whole chain is up, so a
+        #: failed startup must still be able to reap its partial chain.
+        self._spawned: list[ServerProcess] = []
+        self._root = topology.root_rng(self.config)
+        self._server_publics = [
+            kp.public for kp in topology.server_keypairs(self.config, self._root)
+        ]
+        self._connections: dict[str, ClientConnection] = {}
+        self._control: TcpTransport | None = None
+        self._started = False
+
+    # ------------------------------------------------------------- subprocesses
+
+    def _spawn(self, name: str, args: list[str]) -> ServerProcess:
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [self.python, *args],
+            stdout=subprocess.PIPE,
+            stderr=None,  # server stderr passes through for debuggability
+            env=env,
+            text=True,
+        )
+        port = self._await_ready(name, process)
+        server = ServerProcess(name=name, process=process, host=self.host, port=port)
+        self._spawned.append(server)
+        return server
+
+    def _await_ready(self, name: str, process: subprocess.Popen) -> int:
+        """Wait for the child's ``READY <port>`` line (ports are OS-assigned)."""
+        lines: Queue[str | None] = Queue()
+
+        def pump() -> None:
+            assert process.stdout is not None
+            for line in process.stdout:
+                lines.put(line)
+            lines.put(None)
+
+        threading.Thread(target=pump, name=f"{name}-stdout", daemon=True).start()
+        deadline = time.monotonic() + self.startup_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                process.kill()
+                raise NetworkError(f"{name} did not report READY within {self.startup_timeout}s")
+            try:
+                line = lines.get(timeout=remaining)
+            except Empty:
+                continue
+            if line is None:
+                raise NetworkError(
+                    f"{name} exited during startup (code {process.poll()})"
+                )
+            if line.startswith("READY "):
+                return int(line.split()[1])
+
+    def start(self) -> "DeploymentLauncher":
+        """Spawn the chain (last server first, so --next targets exist) + entry."""
+        if self._started:
+            return self
+        self._started = True
+        config_json = self.config.to_json()
+        next_port: int | None = None
+        chain: list[ServerProcess] = []
+        try:
+            for index in reversed(range(self.config.num_servers)):
+                args = [
+                    "-m",
+                    "repro.server.chain_main",
+                    "--config",
+                    config_json,
+                    "--index",
+                    str(index),
+                    "--host",
+                    self.host,
+                ]
+                if next_port is not None:
+                    args += ["--next", f"{self.host}:{next_port}"]
+                server = self._spawn(f"server-{index}", args)
+                chain.append(server)
+                next_port = server.port
+            self.servers = list(reversed(chain))
+            self.entry_process = self._spawn(
+                "entry",
+                [
+                    "-m",
+                    "repro.server.entry_main",
+                    "--config",
+                    config_json,
+                    "--host",
+                    self.host,
+                    "--first-server",
+                    f"{self.host}:{self.servers[0].port}",
+                ],
+            )
+        except Exception:
+            self.stop()
+            raise
+        self._control = self._client_transport()
+        return self
+
+    def stop(self) -> None:
+        """Shut every process down (politely, then firmly) and close sockets."""
+        if self._control is not None:
+            for server in self.servers:
+                try:
+                    self.server_control(server.name, {"cmd": "shutdown"})
+                except (NetworkError, ProtocolError):
+                    pass
+            try:
+                self.entry_control({"cmd": "shutdown"})
+            except (NetworkError, ProtocolError):
+                pass
+        polite = self._control is not None  # shutdown RPCs were sent above
+        for process in [s.process for s in self._spawned]:
+            if not polite:
+                process.terminate()
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+        for connection in self._connections.values():
+            if isinstance(connection.transport, TcpTransport):
+                connection.transport.close()
+        if self._control is not None:
+            self._control.close()
+        self.servers = []
+        self.entry_process = None
+        self._spawned = []
+        self._control = None
+
+    def __enter__(self) -> "DeploymentLauncher":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ control plane
+
+    def _client_transport(self) -> TcpTransport:
+        """A fresh transport routed at the deployment (entry + server controls)."""
+        assert self.entry_process is not None, "deployment not started"
+        transport = TcpTransport(request_timeout=self.request_timeout)
+        transport.add_route("entry", self.entry_process.host, self.entry_process.port)
+        for index, server in enumerate(self.servers):
+            transport.add_route(topology.control_name(index), server.host, server.port)
+        return transport
+
+    def _control_rpc(self, endpoint: str, command: dict) -> dict:
+        assert self._control is not None, "deployment not started"
+        reply = self._control.send("launcher", endpoint, json.dumps(command).encode("utf-8"))
+        if reply is None:
+            raise NetworkError(f"control request to {endpoint} got no reply")
+        return json.loads(reply.decode("utf-8"))
+
+    def entry_control(self, command: dict) -> dict:
+        return self._control_rpc("entry", command)
+
+    def server_control(self, name_or_index: str | int, command: dict) -> dict:
+        if isinstance(name_or_index, int):
+            endpoint = topology.control_name(name_or_index)
+        else:
+            index = int(str(name_or_index).split("-")[-1])
+            endpoint = topology.control_name(index)
+        return self._control_rpc(endpoint, command)
+
+    # ----------------------------------------------------------------- clients
+
+    def add_client(self, name: str, *, register: bool = True) -> ClientConnection:
+        """Create a client with deployment-deterministic keys, on its own TCP
+        connection to the entry server (the §7 many-connections shape)."""
+        if name in self._connections:
+            raise ProtocolError(f"a client named {name!r} already exists")
+        assert self.entry_process is not None, "deployment not started"
+        client = topology.build_client(self.config, name, self._root, self._server_publics)
+        transport = TcpTransport(request_timeout=self.request_timeout)
+        transport.add_route("entry", self.entry_process.host, self.entry_process.port)
+        connection = ClientConnection(client=client, transport=transport)
+        if register and self.config.require_registration:
+            self.entry_control({"cmd": "register", "name": name})
+        self._connections[name] = connection
+        return connection
+
+    def connection(self, name: str) -> ClientConnection:
+        return self._connections[name]
+
+    # ------------------------------------------------------------------ rounds
+
+    def open_round(
+        self,
+        protocol: str,
+        *,
+        deadline: float | None = None,
+        expected: int | None = None,
+    ) -> int:
+        command: dict = {"cmd": "open-round", "protocol": protocol}
+        if deadline is not None or self.round_deadline_seconds is not None:
+            command["deadline"] = deadline if deadline is not None else self.round_deadline_seconds
+        if expected is not None:
+            command["expected"] = expected
+        return int(self.entry_control(command)["round"])
+
+    def wait_round(self, protocol: str, round_number: int, *, wait: float = 60.0) -> dict:
+        result = self.entry_control(
+            {"cmd": "round-result", "protocol": protocol, "round": round_number, "wait": wait}
+        )
+        if "error" in result:
+            raise ProtocolError(f"{protocol} round {round_number}: {result['error']}")
+        return result
+
+    def run_conversation_round(
+        self,
+        connections: list[ClientConnection] | None = None,
+        *,
+        deadline: float | None = None,
+    ) -> NetworkRoundResult:
+        """One full conversation round: open, submit all clients, resolve.
+
+        The window closes as soon as every participating client's requests
+        arrived (or at the deadline, whichever is first) — each submission
+        long-polls, so clients submit concurrently on their own connections.
+        """
+        connections = list(self._connections.values()) if connections is None else connections
+        expected = sum(c.client.max_conversations for c in connections)
+        started = time.perf_counter()
+        round_number = self.open_round("conversation", deadline=deadline, expected=expected or None)
+        if connections:
+            with ThreadPoolExecutor(max_workers=len(connections)) as pool:
+                list(
+                    pool.map(
+                        lambda connection: connection.run_conversation_round(round_number),
+                        connections,
+                    )
+                )
+        result = self.wait_round("conversation", round_number)
+        return NetworkRoundResult(
+            protocol="conversation",
+            round_number=round_number,
+            accepted=result["accepted"],
+            refused=result["refused"],
+            late=result["late"],
+            responded=result["responded"],
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+    def run_dialing_round(
+        self,
+        connections: list[ClientConnection] | None = None,
+        *,
+        deadline: float | None = None,
+        poll: bool = True,
+    ) -> NetworkRoundResult:
+        """One full dialing round, including the out-of-band invitation poll."""
+        connections = list(self._connections.values()) if connections is None else connections
+        started = time.perf_counter()
+        round_number = self.open_round(
+            "dialing", deadline=deadline, expected=len(connections) or None
+        )
+        if connections:
+            with ThreadPoolExecutor(max_workers=len(connections)) as pool:
+                list(
+                    pool.map(
+                        lambda connection: connection.run_dialing_round(
+                            round_number, self.config.num_dialing_buckets
+                        ),
+                        connections,
+                    )
+                )
+        result = self.wait_round("dialing", round_number)
+        if poll and connections:
+            store = self.invitation_store(round_number)
+            for connection in connections:
+                connection.poll_invitations(round_number, store)
+        return NetworkRoundResult(
+            protocol="dialing",
+            round_number=round_number,
+            accepted=result["accepted"],
+            refused=result["refused"],
+            late=result["late"],
+            responded=result["responded"],
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------ observability
+
+    def invitation_store(self, round_number: int) -> InvitationDropStore:
+        """Download a dialing round's invitation store from the last server
+        (the paper serves this from a CDN; here it is a control RPC)."""
+        reply = self.server_control(
+            self.config.num_servers - 1, {"cmd": "invitations", "round": round_number}
+        )
+        return InvitationDropStore.restore(reply["store"])
+
+    def chain_noise(self, protocol: str, round_number: int) -> int:
+        """Total cover traffic the chain added to one round (all servers)."""
+        return sum(
+            self.server_control(index, {"cmd": "noise", "protocol": protocol, "round": round_number})[
+                "count"
+            ]
+            for index in range(self.config.num_servers)
+        )
+
+    def access_histogram(self, round_number: int) -> dict:
+        """The last server's observable (m1, m2) histogram for one round."""
+        return self.server_control(
+            self.config.num_servers - 1, {"cmd": "histogram", "round": round_number}
+        )
+
+    def refused_total(self) -> int:
+        return int(self.entry_control({"cmd": "refused-total"})["refused"])
+
+    def late_total(self) -> int:
+        return int(self.entry_control({"cmd": "late-total"})["late"])

@@ -22,6 +22,10 @@ class ConversationRoundMetrics:
     delivered_responses: int = 0
     lost_requests: int = 0
     noise_requests: int = 0
+    #: Requests the entry server's §9 admission control turned away.
+    refused_requests: int = 0
+    #: Stragglers that missed the round's submission window (§7 deadlines).
+    late_requests: int = 0
     histogram: AccessHistogram | None = None
     bytes_moved: int = 0
     wall_clock_seconds: float = 0.0
@@ -44,6 +48,8 @@ class DialingRoundMetrics:
     client_requests: int = 0
     real_invitations: int = 0
     noise_invitations: int = 0
+    refused_requests: int = 0
+    late_requests: int = 0
     bucket_sizes: dict[int, int] = field(default_factory=dict)
     bytes_moved: int = 0
     wall_clock_seconds: float = 0.0

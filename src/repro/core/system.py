@@ -15,37 +15,18 @@ cryptography with a calibrated cost model to reach the paper's scale.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
+from . import topology
 from .config import VuvuzelaConfig
 from .metrics import ConversationRoundMetrics, DialingRoundMetrics, SystemMetrics
+from .topology import NoiseLedger
 from ..client import VuvuzelaClient
-from ..conversation import ConversationProcessor, conversation_noise_builder
-from ..crypto import DeterministicRandom, KeyPair
-from ..crypto.rng import SecureRandom
 from ..deaddrop import InvitationDropStore
-from ..dialing import DialingProcessor, dialing_noise_builder
 from ..errors import ProtocolError
-from ..mixnet import CoverTrafficSpec, DialingNoiseSpec, MixServer, ServerRoundView
 from ..net import MessageKind, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
-from ..runtime import RoundEngine
+from ..runtime import RoundCoordinator, RoundEngine
 from ..server import ACK, ChainServerEndpoint, EntryServer
-
-
-@dataclass
-class _NoiseLedger:
-    """Accumulates, per round, how much cover traffic the chain added."""
-
-    per_round: dict[int, int] = field(default_factory=dict)
-
-    def observer(self, view: ServerRoundView) -> None:
-        self.per_round[view.round_number] = (
-            self.per_round.get(view.round_number, 0) + view.noise_requests_added
-        )
-
-    def for_round(self, round_number: int) -> int:
-        return self.per_round.get(round_number, 0)
 
 
 class VuvuzelaSystem:
@@ -53,21 +34,14 @@ class VuvuzelaSystem:
 
     def __init__(self, config: VuvuzelaConfig | None = None) -> None:
         self.config = config or VuvuzelaConfig.small()
-        self._rng = (
-            DeterministicRandom(self.config.seed)
-            if self.config.seed is not None
-            else DeterministicRandom(SecureRandom().random_uint(64))
-        )
+        self._rng = topology.root_rng(self.config)
         self.network = Network()
         self.metrics = SystemMetrics()
         self.clients: dict[str, VuvuzelaClient] = {}
         self._conversation_round = 0
         self._dialing_round = 0
 
-        self.server_keypairs = [
-            KeyPair.generate(self._rng.fork(f"server-key-{i}"))
-            for i in range(self.config.num_servers)
-        ]
+        self.server_keypairs = topology.server_keypairs(self.config, self._rng)
         self.server_public_keys = [kp.public for kp in self.server_keypairs]
 
         # One engine for the whole deployment: every chain server of both
@@ -78,14 +52,10 @@ class VuvuzelaSystem:
             chunk_size=self.config.engine_chunk_size,
         )
 
-        self._conversation_noise_ledger = _NoiseLedger()
-        self._dialing_noise_ledger = _NoiseLedger()
-        self.conversation_processor = ConversationProcessor()
-        self.dialing_processor = DialingProcessor(
-            num_buckets=self.config.num_dialing_buckets,
-            noise_spec=DialingNoiseSpec(self.config.dialing_noise, exact=self.config.exact_noise),
-            rng=self._rng.fork("dialing-last-server-noise"),
-        )
+        self._conversation_noise_ledger = NoiseLedger()
+        self._dialing_noise_ledger = NoiseLedger()
+        self.conversation_processor = topology.build_conversation_processor()
+        self.dialing_processor = topology.build_dialing_processor(self.config, self._rng)
         self._build_chain_endpoints()
 
         self.entry = EntryServer(
@@ -96,6 +66,15 @@ class VuvuzelaSystem:
             },
             require_registration=self.config.require_registration,
             max_requests_per_account_per_round=self.config.max_conversations_per_client,
+        )
+        # The coordinator takes over the entry endpoint: every submission now
+        # passes through its round window (deadlines, straggler refusal)
+        # before reaching the entry server's admission control.
+        self.coordinator = RoundCoordinator(
+            self.network,
+            self.entry,
+            deadline_seconds=self.config.round_deadline_seconds,
+            hop_timeout_seconds=self.config.hop_timeout_seconds,
         )
 
         self.conversation_accountant = PrivacyAccountant(
@@ -115,66 +94,27 @@ class VuvuzelaSystem:
 
     @staticmethod
     def _endpoint_name(index: int, protocol: str) -> str:
-        return f"server-{index}/{protocol}"
+        return topology.endpoint_name(index, protocol)
 
     def _build_chain_endpoints(self) -> None:
-        config = self.config
-        conversation_spec = CoverTrafficSpec(config.conversation_noise, exact=config.exact_noise)
-        dialing_spec = DialingNoiseSpec(config.dialing_noise, exact=config.exact_noise)
         self.conversation_endpoints: list[ChainServerEndpoint] = []
         self.dialing_endpoints: list[ChainServerEndpoint] = []
-
-        for index, keypair in enumerate(self.server_keypairs):
-            is_last = index == config.num_servers - 1
-            conversation_server = MixServer(
-                index=index,
-                keypair=keypair,
-                chain_public_keys=self.server_public_keys,
-                rng=self._rng.fork(f"conversation-server-{index}"),
-                noise_builder=(
-                    None
-                    if is_last
-                    else conversation_noise_builder(conversation_spec)
-                ),
-                observer=self._conversation_noise_ledger.observer,
+        last = self.config.num_servers - 1
+        for index in range(self.config.num_servers):
+            conversation_endpoint, dialing_endpoint = topology.build_server_endpoints(
+                self.config,
+                index,
+                self.network,
+                self._rng,
                 engine=self.engine,
+                keypairs=self.server_keypairs,
+                conversation_processor=self.conversation_processor if index == last else None,
+                dialing_processor=self.dialing_processor if index == last else None,
+                conversation_observer=self._conversation_noise_ledger.observer,
+                dialing_observer=self._dialing_noise_ledger.observer,
             )
-            self.conversation_endpoints.append(
-                ChainServerEndpoint(
-                    name=self._endpoint_name(index, "conversation"),
-                    mix_server=conversation_server,
-                    network=self.network,
-                    next_endpoint=(
-                        None if is_last else self._endpoint_name(index + 1, "conversation")
-                    ),
-                    processor=self.conversation_processor if is_last else None,
-                    request_kind=MessageKind.CONVERSATION_REQUEST,
-                )
-            )
-
-            dialing_server = MixServer(
-                index=index,
-                keypair=keypair,
-                chain_public_keys=self.server_public_keys,
-                rng=self._rng.fork(f"dialing-server-{index}"),
-                noise_builder=(
-                    None
-                    if is_last
-                    else dialing_noise_builder(dialing_spec, config.num_dialing_buckets)
-                ),
-                observer=self._dialing_noise_ledger.observer,
-                engine=self.engine,
-            )
-            self.dialing_endpoints.append(
-                ChainServerEndpoint(
-                    name=self._endpoint_name(index, "dialing"),
-                    mix_server=dialing_server,
-                    network=self.network,
-                    next_endpoint=None if is_last else self._endpoint_name(index + 1, "dialing"),
-                    processor=self.dialing_processor if is_last else None,
-                    request_kind=MessageKind.DIALING_REQUEST,
-                )
-            )
+            self.conversation_endpoints.append(conversation_endpoint)
+            self.dialing_endpoints.append(dialing_endpoint)
 
     # ----------------------------------------------------------------- clients
 
@@ -182,13 +122,7 @@ class VuvuzelaSystem:
         """Create a client, register it on the network and return it."""
         if name in self.clients:
             raise ProtocolError(f"a client named {name!r} already exists")
-        client = VuvuzelaClient(
-            name=name,
-            keys=KeyPair.generate(self._rng.fork(f"client-key-{name}")),
-            server_public_keys=list(self.server_public_keys),
-            rng=self._rng.fork(f"client-rng-{name}"),
-            max_conversations=self.config.max_conversations_per_client,
-        )
+        client = topology.build_client(self.config, name, self._rng, self.server_public_keys)
         # Clients are passive endpoints: the system pushes responses to them.
         self.network.register(name, lambda envelope: b"")
         if self.config.require_registration:
@@ -216,6 +150,7 @@ class VuvuzelaSystem:
         started = time.perf_counter()
         bytes_before = self.network.total_bytes()
 
+        window = self.coordinator.open_round(MessageKind.CONVERSATION_REQUEST, round_number)
         submitted: dict[str, list[bool]] = {}
         total_requests = 0
         for name, client in self.clients.items():
@@ -232,7 +167,8 @@ class VuvuzelaSystem:
             submitted[name] = flags
             total_requests += len(flags)
 
-        grouped = self.entry.run_round_grouped(MessageKind.CONVERSATION_REQUEST, round_number)
+        result = self.coordinator.close_round(window)
+        grouped = result.responses
 
         delivered = lost = 0
         for name, client in self.clients.items():
@@ -265,6 +201,8 @@ class VuvuzelaSystem:
             delivered_responses=delivered,
             lost_requests=lost,
             noise_requests=self._conversation_noise_ledger.for_round(round_number),
+            refused_requests=result.refused,
+            late_requests=result.late,
             histogram=self.conversation_processor.histograms.get(round_number),
             bytes_moved=self.network.total_bytes() - bytes_before,
             wall_clock_seconds=time.perf_counter() - started,
@@ -279,6 +217,7 @@ class VuvuzelaSystem:
         started = time.perf_counter()
         bytes_before = self.network.total_bytes()
 
+        window = self.coordinator.open_round(MessageKind.DIALING_REQUEST, round_number)
         real_invitations = sum(1 for c in self.clients.values() if c.dial_target is not None)
         submitted: dict[str, bool] = {}
         for name, client in self.clients.items():
@@ -292,7 +231,10 @@ class VuvuzelaSystem:
             )
             submitted[name] = ack == ACK
 
-        responses = self.entry.run_round(MessageKind.DIALING_REQUEST, round_number)
+        result = self.coordinator.close_round(window)
+        responses = {
+            client: per_client[0] for client, per_client in result.responses.items() if per_client
+        }
         for name, client in self.clients.items():
             response = responses.get(name) if submitted[name] else None
             client.handle_dialing_response(round_number, response)
@@ -315,6 +257,8 @@ class VuvuzelaSystem:
             real_invitations=real_invitations,
             noise_invitations=self._dialing_noise_ledger.for_round(round_number)
             + noise_invitations,
+            refused_requests=result.refused,
+            late_requests=result.late,
             bucket_sizes=store.bucket_sizes(),
             bytes_moved=self.network.total_bytes() - bytes_before,
             wall_clock_seconds=time.perf_counter() - started,

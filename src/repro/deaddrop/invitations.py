@@ -13,6 +13,7 @@ therefore adds noise invitations to every bucket (§5.3).
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass, field
 
 from ..errors import ProtocolError
@@ -93,3 +94,33 @@ class InvitationDropStore:
         if self.num_buckets == 0:
             return 0
         return self.total_invitations() * invitation_size // self.num_buckets
+
+    # ---------------------------------------------------------- serialization
+
+    def snapshot(self) -> dict:
+        """A JSON-safe dump of the closed store — what the paper's CDN serves.
+
+        The no-op bucket is omitted: it is never downloaded and its contents
+        carry no information (§5.2).
+        """
+        return {
+            "num_buckets": self.num_buckets,
+            "buckets": {
+                str(index): [base64.b64encode(inv).decode("ascii") for inv in self._buckets[index]]
+                for index in range(self.num_buckets)
+            },
+            "noise": {str(index): self._noise_counts[index] for index in range(self.num_buckets)},
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "InvitationDropStore":
+        """Rebuild a (closed) store from :meth:`snapshot` on the client side."""
+        store = cls(num_buckets=int(snapshot["num_buckets"]))
+        for index, invitations in snapshot["buckets"].items():
+            store.deposit_many(
+                int(index), [base64.b64decode(inv) for inv in invitations]
+            )
+        for index, count in snapshot.get("noise", {}).items():
+            store._noise_counts[int(index)] = int(count)
+        store.close()
+        return store

@@ -45,7 +45,16 @@ class PrivacyBudgetError(ReproError):
 
 
 class NetworkError(ReproError):
-    """A simulated network operation failed (unknown peer, link down, ...)."""
+    """A network operation failed (unknown peer, link down, ...)."""
+
+
+class TransportTimeout(NetworkError):
+    """A transport operation exceeded its configured deadline.
+
+    Kept distinct from plain :class:`NetworkError` so the round coordinator
+    can surface a timed-out chain hop as a :class:`ProtocolError` while an
+    unreachable endpoint stays a network failure.
+    """
 
 
 class SimulationError(ReproError):

@@ -1,4 +1,4 @@
-"""In-process network substrate: transport, traffic observation, link models."""
+"""Network substrate: transport interface, in-process and TCP transports, link models."""
 
 from .links import (
     CLIENT_DSL_LINK,
@@ -8,6 +8,7 @@ from .links import (
     LinkSpec,
 )
 from .messages import Envelope, MessageKind, Observation
+from .tcp import TcpTransport, parse_address
 from .transport import (
     AllowOnlyEndpoints,
     BlockEndpoints,
@@ -15,6 +16,7 @@ from .transport import (
     Interference,
     Network,
     TrafficStats,
+    Transport,
 )
 
 __all__ = [
@@ -31,5 +33,8 @@ __all__ = [
     "Observation",
     "PAPER_DATACENTER_LINK",
     "PAPER_SERVER",
+    "TcpTransport",
     "TrafficStats",
+    "Transport",
+    "parse_address",
 ]

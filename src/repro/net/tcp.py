@@ -1,0 +1,462 @@
+"""Asyncio TCP transport: the deployment-shaped implementation of :class:`Transport`.
+
+This is the substrate the standalone server processes
+(:mod:`repro.server.entry_main`, :mod:`repro.server.chain_main`) and the
+networked clients run on.  One :class:`TcpTransport` plays both roles at
+once, exactly like a real Vuvuzela node:
+
+* **server side** — ``register()``-ed endpoints are served from a single
+  asyncio listener.  Each inbound connection is read sequentially
+  (request → handler → reply), with the handler running on a thread pool so
+  a long-poll (a client waiting for its round to resolve) only occupies its
+  own connection, never the event loop.
+* **client side** — ``send()`` is the same blocking request/response call
+  the in-process :class:`~repro.net.transport.Network` provides.  Under the
+  hood it resolves the destination name through a route table, checks a
+  connection out of a per-address pool (connections are reused across
+  rounds; concurrent senders get their own), writes one length-prefixed
+  frame and waits for the reply frame.
+
+Framing is deliberately simple: a 4-byte big-endian length, then the frame
+body.  Request bodies carry (kind, round number, source, destination,
+payload); reply bodies carry a status byte and either the reply payload or
+an error message.  Errors raised by a remote handler are re-raised at the
+sender with their type preserved across the three cases the protocol layers
+distinguish: :class:`NetworkError`, :class:`ProtocolError` and
+:class:`TransportTimeout` — so a timed-out hop deep in the chain surfaces at
+the entry server as a timeout, not a generic failure.
+
+The whole event loop lives on one daemon thread per transport; every public
+method is thread-safe and blocking, so the synchronous protocol stack runs
+unchanged over real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import sys
+import threading
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from .messages import Envelope, MessageKind
+from .transport import Handler, TrafficStats, Transport
+from ..errors import NetworkError, ProtocolError, TransportTimeout
+
+_LENGTH = struct.Struct(">I")
+_REQUEST_HEAD = struct.Struct(">BQHH")  # kind index, round number, source len, destination len
+
+#: Hard cap on one frame; a malformed peer cannot make us buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+_KINDS = list(MessageKind)
+_KIND_INDEX = {kind: index for index, kind in enumerate(_KINDS)}
+
+# Reply status bytes.
+_OK = 0
+_NONE = 1
+_NETWORK_ERROR = 2
+_PROTOCOL_ERROR = 3
+_TIMEOUT = 4
+
+
+def encode_request(envelope: Envelope) -> bytes:
+    """Serialise one request frame body (without the length prefix)."""
+    source = envelope.source.encode("utf-8")
+    destination = envelope.destination.encode("utf-8")
+    return b"".join(
+        (
+            _REQUEST_HEAD.pack(
+                _KIND_INDEX[envelope.kind],
+                envelope.round_number,
+                len(source),
+                len(destination),
+            ),
+            source,
+            destination,
+            envelope.payload,
+        )
+    )
+
+
+def decode_request(body: bytes) -> Envelope:
+    """Parse a request frame body back into an :class:`Envelope`."""
+    if len(body) < _REQUEST_HEAD.size:
+        raise ProtocolError("TCP request frame too short for its header")
+    kind_index, round_number, source_len, destination_len = _REQUEST_HEAD.unpack_from(body, 0)
+    if kind_index >= len(_KINDS):
+        raise ProtocolError(f"unknown message kind index {kind_index} in TCP frame")
+    offset = _REQUEST_HEAD.size
+    if len(body) < offset + source_len + destination_len:
+        raise ProtocolError("truncated endpoint names in TCP request frame")
+    source = body[offset : offset + source_len].decode("utf-8")
+    offset += source_len
+    destination = body[offset : offset + destination_len].decode("utf-8")
+    offset += destination_len
+    return Envelope(
+        source=source,
+        destination=destination,
+        payload=body[offset:],
+        kind=_KINDS[kind_index],
+        round_number=round_number,
+    )
+
+
+def encode_reply(status: int, payload: bytes) -> bytes:
+    return bytes([status]) + payload
+
+
+def decode_reply(body: bytes) -> bytes | None:
+    """Parse a reply frame body, re-raising remote errors with their type."""
+    if not body:
+        raise ProtocolError("empty TCP reply frame")
+    status, payload = body[0], body[1:]
+    if status == _OK:
+        return payload
+    if status == _NONE:
+        return None
+    message = payload.decode("utf-8", "replace")
+    if status == _TIMEOUT:
+        raise TransportTimeout(message)
+    if status == _PROTOCOL_ERROR:
+        raise ProtocolError(message)
+    if status == _NETWORK_ERROR:
+        raise NetworkError(message)
+    raise ProtocolError(f"unknown TCP reply status {status}: {message}")
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one length-prefixed frame; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LENGTH.unpack(head)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"TCP frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return await reader.readexactly(length)
+
+
+def _frame(body: bytes) -> bytes:
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"TCP frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return _LENGTH.pack(len(body)) + body
+
+
+class _ConnectionPool:
+    """Reusable connections to one remote address, one checkout at a time each.
+
+    A transport keeps a pool per (host, port): sequential requests reuse the
+    same socket (connection reuse across rounds is what makes the per-hop
+    latency flat), while concurrent senders — e.g. a multi-slot client
+    submitting its requests in parallel — transparently get additional
+    connections.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._all: list[asyncio.StreamWriter] = []
+
+    async def acquire(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.connect_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise TransportTimeout(
+                f"connecting to {self.host}:{self.port} exceeded {self.connect_timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise NetworkError(f"cannot connect to {self.host}:{self.port}: {exc}") from exc
+        self._all.append(writer)
+        return reader, writer
+
+    def release(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        if not writer.is_closing():
+            self._idle.append((reader, writer))
+
+    def discard(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            self._all.remove(writer)
+        except ValueError:
+            pass
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    def close_all(self) -> None:
+        for writer in list(self._all):
+            self.discard(writer)
+        self._idle.clear()
+
+
+class TcpTransport(Transport):
+    """Length-prefixed request/response transport over asyncio TCP."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        routes: dict[str, tuple[str, int]] | None = None,
+        connect_timeout: float = 10.0,
+        request_timeout: float | None = 60.0,
+        handler_workers: int = 32,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        #: Per-request deadline covering write + remote handling + reply.
+        #: ``None`` waits forever.  Note an entry→chain send spans the whole
+        #: downstream sub-chain, so upstream hops need larger budgets.
+        self.request_timeout = request_timeout
+        self._routes: dict[str, tuple[str, int]] = dict(routes or {})
+        self._handlers: dict[str, Handler] = {}
+        self._stats: dict[tuple[str, str], TrafficStats] = defaultdict(TrafficStats)
+        self._stats_lock = threading.Lock()
+        self._pools: dict[tuple[str, int], _ConnectionPool] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=handler_workers, thread_name_prefix="tcp-handler"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._lifecycle = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------- event loop
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._lifecycle:
+            if self._closed:
+                raise NetworkError("this transport is closed")
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(
+                    target=loop.run_forever, name="tcp-transport-loop", daemon=True
+                )
+                thread.start()
+                self._loop = loop
+                self._loop_thread = thread
+            return self._loop
+
+    def _call(self, coroutine, timeout: float | None = None):
+        """Run a coroutine on the transport loop from any thread."""
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._ensure_loop())
+        return future.result(timeout)
+
+    # ------------------------------------------------------------ server side
+
+    def register(self, name: str, handler: Handler) -> None:
+        if not name:
+            raise NetworkError("endpoint names must be non-empty")
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def listen(self) -> tuple[str, int]:
+        """Start serving registered endpoints; returns the bound (host, port)."""
+        if self._server is None:
+            self._server = self._call(self._start_server())
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def _start_server(self) -> asyncio.base_events.Server:
+        return await asyncio.start_server(self._serve_connection, self.host, self.port)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One inbound connection: strict request → reply, until EOF.
+
+        Requests on a connection are handled one at a time (the client side
+        never pipelines), so a reply always answers the latest request and a
+        blocking handler only ever stalls its own connection.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                body = await _read_frame(reader)
+                if body is None:
+                    break
+                reply = await loop.run_in_executor(self._executor, self._handle_frame, body)
+                writer.write(_frame(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Teardown cancels connection tasks; finishing normally here keeps
+            # asyncio's StreamReaderProtocol done-callback from re-raising.
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - loop may be tearing down
+                pass
+
+    def _handle_frame(self, body: bytes) -> bytes:
+        """Decode, dispatch to the local handler, encode the reply (or error)."""
+        try:
+            envelope = decode_request(body)
+            handler = self._handlers.get(envelope.destination)
+            if handler is None:
+                raise NetworkError(f"unknown endpoint: {envelope.destination!r}")
+            result = handler(envelope)
+        except TransportTimeout as exc:
+            return encode_reply(_TIMEOUT, str(exc).encode("utf-8"))
+        except NetworkError as exc:
+            return encode_reply(_NETWORK_ERROR, str(exc).encode("utf-8"))
+        except ProtocolError as exc:
+            return encode_reply(_PROTOCOL_ERROR, str(exc).encode("utf-8"))
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the link
+            print(f"tcp handler error: {exc!r}", file=sys.stderr)
+            return encode_reply(_PROTOCOL_ERROR, f"handler failed: {exc!r}".encode("utf-8"))
+        if result is None:
+            return encode_reply(_NONE, b"")
+        return encode_reply(_OK, bytes(result))
+
+    # ------------------------------------------------------------ client side
+
+    def add_route(self, name: str, host: str, port: int) -> None:
+        """Teach the transport where a remote endpoint name lives."""
+        self._routes[name] = (host, port)
+
+    def update_routes(self, routes: dict[str, tuple[str, int]]) -> None:
+        self._routes.update(routes)
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: bytes,
+        kind: MessageKind = MessageKind.CONTROL,
+        round_number: int = 0,
+    ) -> bytes | None:
+        envelope = Envelope(
+            source=source,
+            destination=destination,
+            payload=payload,
+            kind=kind,
+            round_number=round_number,
+        )
+        with self._stats_lock:
+            self._stats[(source, destination)].record(envelope)
+        address = self._routes.get(destination)
+        if address is None:
+            # A locally served endpoint can be reached without a socket —
+            # mirrors the in-process Network and keeps single-process tests
+            # of TCP-facing components cheap.
+            handler = self._handlers.get(destination)
+            if handler is None:
+                raise NetworkError(f"unknown endpoint: {destination!r}")
+            return handler(envelope)
+        self._ensure_loop()  # fail fast on a closed transport, before creating the coroutine
+        body = encode_request(envelope)
+        reply = self._call(self._request(address, body), timeout=None)
+        return decode_reply(reply)
+
+    async def _request(self, address: tuple[str, int], body: bytes) -> bytes:
+        pool = self._pools.get(address)
+        if pool is None:
+            pool = self._pools[address] = _ConnectionPool(
+                address[0], address[1], self.connect_timeout
+            )
+        reader, writer = await pool.acquire()
+        try:
+            writer.write(_frame(body))
+            await writer.drain()
+            reply = await asyncio.wait_for(_read_frame(reader), self.request_timeout)
+        except asyncio.TimeoutError as exc:
+            pool.discard(writer)
+            raise TransportTimeout(
+                f"request to {address[0]}:{address[1]} exceeded {self.request_timeout}s"
+            ) from exc
+        except OSError as exc:
+            pool.discard(writer)
+            raise NetworkError(f"link to {address[0]}:{address[1]} failed: {exc}") from exc
+        if reply is None:
+            pool.discard(writer)
+            raise NetworkError(f"{address[0]}:{address[1]} closed the connection mid-request")
+        pool.release(reader, writer)
+        return reply
+
+    # ------------------------------------------------------------- accounting
+
+    def stats(self, source: str, destination: str) -> TrafficStats:
+        with self._stats_lock:
+            return self._stats[(source, destination)]
+
+    def total_bytes(self) -> int:
+        with self._stats_lock:
+            return sum(stats.bytes for stats in self._stats.values())
+
+    def total_messages(self) -> int:
+        with self._stats_lock:
+            return sum(stats.messages for stats in self._stats.values())
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Tear down connections, the listener and the event loop (idempotent)."""
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            loop, thread = self._loop, self._loop_thread
+            self._loop = None
+            self._loop_thread = None
+        if loop is not None:
+
+            async def _teardown() -> None:
+                if self._server is not None:
+                    self._server.close()
+                for pool in self._pools.values():
+                    pool.close_all()
+                # Let in-flight connection coroutines unwind before the loop
+                # stops, so no task is destroyed while pending.
+                tasks = [
+                    task for task in asyncio.all_tasks() if task is not asyncio.current_task()
+                ]
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    await asyncio.wait(tasks, timeout=2.0)
+
+            try:
+                asyncio.run_coroutine_threadsafe(_teardown(), loop).result(5.0)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+            if thread is not None:
+                thread.join(timeout=5.0)
+            if thread is None or not thread.is_alive():
+                loop.close()  # a stopped loop must also be closed, or GC complains
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def parse_address(value: str) -> tuple[str, int]:
+    """Parse ``"host:port"`` (the CLI form of a route) into a tuple."""
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise NetworkError(f"expected host:port, got {value!r}")
+    return host, int(port)

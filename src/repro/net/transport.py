@@ -1,20 +1,31 @@
-"""In-process transport connecting clients, the entry server and the chain.
+"""Transport abstraction and the in-process reference transport.
 
-A :class:`Network` routes :class:`~repro.net.messages.Envelope` objects
-between registered endpoints synchronously.  It exists for two reasons:
+A :class:`Transport` moves opaque byte payloads between named endpoints and
+accounts traffic per link; everything above it — the entry server, the chain
+endpoints, the round coordinator, the clients — is transport-agnostic.  Two
+implementations exist:
 
-* it gives the adversary model a single place to observe all traffic and to
-  interfere with it (block a client, drop traffic, ...), mirroring the paper's
-  threat model of a global active network adversary (§2.3); and
-* it accounts bytes per link so the simulator can report bandwidth numbers.
+* :class:`Network` (this module) routes
+  :class:`~repro.net.messages.Envelope` objects between registered endpoints
+  synchronously, in one process.  It gives the adversary model a single place
+  to observe all traffic and to interfere with it (block a client, drop
+  traffic, ...), mirroring the paper's threat model of a global active network
+  adversary (§2.3), and it accounts bytes per link so the simulator can
+  report bandwidth numbers.
+* :class:`~repro.net.tcp.TcpTransport` carries the same envelopes over
+  asyncio TCP with length-prefixed framing, for real multi-process
+  deployments (``repro.server.entry_main`` / ``chain_main``).
 
 Endpoints are plain callables: ``handler(envelope) -> bytes | None``.  The
-transport is deliberately synchronous — Vuvuzela is a round-based protocol and
-the round coordinator provides all the sequencing the system needs.
+transport interface is deliberately synchronous — Vuvuzela is a round-based
+protocol and the round coordinator provides all the sequencing the system
+needs; the TCP implementation hides its event loop behind the same blocking
+calls.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -23,6 +34,53 @@ from .messages import Envelope, MessageKind, Observation
 from ..errors import NetworkError
 
 Handler = Callable[[Envelope], bytes | None]
+
+
+class Transport(ABC):
+    """What any deployment substrate must provide to the layers above it.
+
+    ``send`` is a blocking request/response primitive: it delivers one
+    payload to ``destination``'s handler and returns the reply, or ``None``
+    when the message was lost (interference in-process, a dropped reply over
+    a real network).  Implementations must also keep per-link
+    :class:`TrafficStats` so bandwidth accounting works identically whether a
+    deployment runs in one process or across machines.
+    """
+
+    @abstractmethod
+    def register(self, name: str, handler: Handler) -> None:
+        """Attach an endpoint.  Re-registering a name replaces its handler."""
+
+    @abstractmethod
+    def unregister(self, name: str) -> None:
+        """Detach an endpoint (a no-op when the name is unknown)."""
+
+    @abstractmethod
+    def endpoints(self) -> list[str]:
+        """Sorted names of the locally attached endpoints."""
+
+    @abstractmethod
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload: bytes,
+        kind: MessageKind = MessageKind.CONTROL,
+        round_number: int = 0,
+    ) -> bytes | None:
+        """Deliver one message and return the destination's reply (if any)."""
+
+    @abstractmethod
+    def stats(self, source: str, destination: str) -> "TrafficStats":
+        """Byte/message counters for one directed link."""
+
+    @abstractmethod
+    def total_bytes(self) -> int:
+        """Total payload bytes sent across all links."""
+
+    @abstractmethod
+    def total_messages(self) -> int:
+        """Total messages sent across all links."""
 
 
 @dataclass
@@ -106,8 +164,8 @@ class AllowOnlyEndpoints(Interference):
 
 
 @dataclass
-class Network:
-    """Synchronous message router with observation and interference hooks."""
+class Network(Transport):
+    """Synchronous in-process message router with observation and interference hooks."""
 
     observers: list[Callable[[Observation], None]] = field(default_factory=list)
     interferences: list[Interference] = field(default_factory=list)

@@ -7,6 +7,11 @@ and response batches into fixed-size chunks, schedules them serially, on
 threads, or on a process pool over zero-pickle shared-memory blocks, and
 pipelines chunk results back in order with bounded in-flight memory — while
 keeping every execution mode byte-identical under a fixed rng.
+
+The package also owns round *sequencing*: :class:`RoundCoordinator`
+(:mod:`repro.runtime.coordinator`) opens a submission window per round,
+collects client requests until a deadline, refuses stragglers, and drives the
+batch through the chain over any :class:`~repro.net.transport.Transport`.
 """
 
 from .engine import (
@@ -17,12 +22,17 @@ from .engine import (
     RoundEngine,
     default_engine,
 )
+from .coordinator import LATE, RoundCoordinator, RoundResult, SubmissionWindow
 
 __all__ = [
     "ENGINE_MODES",
+    "LATE",
     "PROCESS",
     "SERIAL",
     "THREADED",
+    "RoundCoordinator",
     "RoundEngine",
+    "RoundResult",
+    "SubmissionWindow",
     "default_engine",
 ]

@@ -1,0 +1,341 @@
+"""Deadline-driven round sequencing over any transport.
+
+:class:`RoundCoordinator` owns the lifecycle of one Vuvuzela round that
+:class:`~repro.core.system.VuvuzelaSystem` used to hand-sequence inline: it
+opens a submission window, admits client requests (delegating the §9
+admission decisions to the :class:`~repro.server.entry.EntryServer`), closes
+the batch at a deadline or on demand, drives it through the chain — every hop
+of which runs on the PR 2 :class:`~repro.runtime.engine.RoundEngine` — and
+hands the grouped responses back.  Requests that miss the window are refused
+with :data:`LATE` and counted; a chain hop that exceeds its transport
+deadline surfaces as a :class:`~repro.errors.ProtocolError`.
+
+The same coordinator serves both deployment shapes:
+
+* **synchronous** (``blocking_responses=False``, the in-process
+  :class:`~repro.core.system.VuvuzelaSystem`): submissions are acknowledged
+  immediately and the caller closes the window explicitly; responses are
+  pushed to clients by the system, exactly as before.
+* **networked** (``blocking_responses=True``, ``repro.server.entry_main``):
+  each accepted submission *holds its reply* until the round resolves — the
+  client's TCP request is its response channel, so the entry server never
+  needs a route back to the client.  The window closes when its deadline
+  timer fires or when ``expected_requests`` submissions have arrived,
+  whichever comes first.
+
+Requests for rounds that were never opened pass straight through to the
+entry server (the historical behaviour: round sequencing is the caller's
+business until a window exists); requests for rounds already closed are the
+stragglers the paper's deadline model refuses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import NetworkError, ProtocolError, TransportTimeout
+from ..net import Envelope, MessageKind, Transport
+from ..server import ACK, REFUSED, EntryServer
+
+#: Reply sent to requests that arrive after their round's window closed.
+LATE = b"late"
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one coordinated round."""
+
+    kind: MessageKind
+    round_number: int
+    accepted: int
+    refused: int
+    late: int
+    #: Responses grouped per client, aligned with each client's submission order.
+    responses: dict[str, list[bytes]]
+
+
+@dataclass
+class SubmissionWindow:
+    """Mutable state of one round's submission window."""
+
+    kind: MessageKind
+    round_number: int
+    #: Absolute monotonic close time, or ``None`` for no deadline.
+    deadline: float | None
+    #: Close early once this many submissions were handled — accepted *or*
+    #: refused; a refused client has still checked in (networked mode).
+    expected_requests: int | None
+    accepted: int = 0
+    refused: int = 0
+    late: int = 0
+    closed: bool = False
+    resolved: bool = False
+    result: RoundResult | None = None
+    error: Exception | None = None
+    #: Per-client count of accepted submissions, for response alignment.
+    per_client: dict[str, int] = field(default_factory=dict)
+
+
+class RoundCoordinator:
+    """Opens, gates, deadlines and drives rounds on behalf of an entry server.
+
+    On construction the coordinator takes over the entry server's endpoint
+    registration on ``transport``: every envelope addressed to the entry now
+    passes through the window gate first.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        entry: EntryServer,
+        *,
+        deadline_seconds: float | None = None,
+        hop_timeout_seconds: float | None = None,
+        blocking_responses: bool = False,
+        response_wait_seconds: float = 120.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.transport = transport
+        self.entry = entry
+        self.deadline_seconds = deadline_seconds
+        #: Documentation of the per-hop budget; the enforcement lives in the
+        #: transport (``TcpTransport.request_timeout``), the translation to
+        #: :class:`ProtocolError` lives in :meth:`close_round`.
+        self.hop_timeout_seconds = hop_timeout_seconds
+        self.blocking_responses = blocking_responses
+        self.response_wait_seconds = response_wait_seconds
+        self._clock = clock
+        #: Handler for :data:`MessageKind.CONTROL` traffic (set by the
+        #: networked entry process to expose its command API).
+        self.control_handler: Callable[[Envelope], bytes] | None = None
+        self._lock = threading.RLock()
+        self._resolved_cond = threading.Condition(self._lock)
+        self._windows: dict[tuple[MessageKind, int], SubmissionWindow] = {}
+        self._highest_closed: dict[MessageKind, int] = {}
+        #: Resolved windows older than this many rounds are dropped; their
+        #: stragglers are still answered with LATE via the closed-round
+        #: watermark, so a long-running entry server's memory stays bounded.
+        self.keep_windows = 64
+        self.late_requests = 0
+        self.rounds_run = 0
+        transport.register(entry.name, self.handle)
+
+    # -------------------------------------------------------------- windowing
+
+    def open_round(
+        self,
+        kind: MessageKind,
+        round_number: int,
+        *,
+        deadline_seconds: float | None = None,
+        expected_requests: int | None = None,
+    ) -> SubmissionWindow:
+        """Open the submission window for one round.
+
+        ``deadline_seconds`` defaults to the coordinator-wide setting.  In
+        blocking mode a deadline starts a timer that force-closes the window;
+        in synchronous mode it only marks later submissions as stragglers —
+        the caller still closes explicitly.
+        """
+        if kind not in self.entry.first_server:
+            raise ProtocolError(f"the entry server does not handle {kind}")
+        seconds = deadline_seconds if deadline_seconds is not None else self.deadline_seconds
+        with self._lock:
+            key = (kind, round_number)
+            if key in self._windows:
+                raise ProtocolError(f"round {round_number} ({kind.value}) is already open")
+            if round_number <= self._highest_closed.get(kind, -1):
+                raise ProtocolError(f"round {round_number} ({kind.value}) has already run")
+            window = SubmissionWindow(
+                kind=kind,
+                round_number=round_number,
+                deadline=None if seconds is None else self._clock() + seconds,
+                expected_requests=expected_requests,
+            )
+            self._windows[key] = window
+            horizon = round_number - self.keep_windows
+            for old_key in [
+                k
+                for k, old in self._windows.items()
+                if k[0] is kind and k[1] < horizon and old.resolved
+            ]:
+                del self._windows[old_key]
+        if self.blocking_responses and seconds is not None:
+            timer = threading.Timer(seconds, self._deadline_close, args=(window,))
+            timer.daemon = True
+            timer.start()
+        return window
+
+    def window(self, kind: MessageKind, round_number: int) -> SubmissionWindow | None:
+        with self._lock:
+            return self._windows.get((kind, round_number))
+
+    def _deadline_close(self, window: SubmissionWindow) -> None:
+        try:
+            self.close_round(window)
+        except (NetworkError, ProtocolError):
+            # The error is recorded on the window; waiters and wait_for_result
+            # observe it there.  The timer thread has nobody to re-raise to.
+            pass
+
+    # ------------------------------------------------------------- submission
+
+    def handle(self, envelope: Envelope) -> bytes | None:
+        """Transport handler for everything addressed to the entry server."""
+        if envelope.kind is MessageKind.CONTROL and self.control_handler is not None:
+            return self.control_handler(envelope)
+        with self._lock:
+            window = self._windows.get((envelope.kind, envelope.round_number))
+            if window is None:
+                if envelope.round_number <= self._highest_closed.get(envelope.kind, -1):
+                    # A straggler for a round that already ran.
+                    self.late_requests += 1
+                    return LATE
+                # No window was ever opened for this round: fall through to
+                # the entry server untouched (out-of-band submissions keep
+                # their historical semantics).
+                return self.entry.handle(envelope)
+            if window.closed or (window.deadline is not None and self._clock() > window.deadline):
+                window.late += 1
+                self.late_requests += 1
+                return LATE
+            reply = self.entry.handle(envelope)
+            refused = reply == REFUSED
+            if refused:
+                window.refused += 1
+                index = -1
+            else:
+                window.accepted += 1
+                index = window.per_client.get(envelope.source, 0)
+                window.per_client[envelope.source] = index + 1
+            should_close = (
+                self.blocking_responses
+                and window.expected_requests is not None
+                and window.accepted + window.refused >= window.expected_requests
+            )
+        if should_close:
+            try:
+                self.close_round(window)
+            except (NetworkError, ProtocolError):
+                pass  # recorded on the window; reported below
+        if refused or not self.blocking_responses:
+            return reply
+        return self._await_response(window, envelope.source, index)
+
+    def _await_response(self, window: SubmissionWindow, source: str, index: int) -> bytes | None:
+        """Block an accepted networked submission until its round resolves."""
+        deadline = self._clock() + self.response_wait_seconds
+        with self._resolved_cond:
+            while not window.resolved:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise TransportTimeout(
+                        f"round {window.round_number} did not resolve within "
+                        f"{self.response_wait_seconds}s"
+                    )
+                self._resolved_cond.wait(remaining)
+            if window.error is not None:
+                raise ProtocolError(
+                    f"round {window.round_number} failed: {window.error}"
+                ) from window.error
+            assert window.result is not None
+            responses = window.result.responses.get(source, [])
+        return responses[index] if index < len(responses) else None
+
+    # ---------------------------------------------------------------- closing
+
+    def close_round(self, window: SubmissionWindow) -> RoundResult:
+        """Close the window, drive the chain, resolve the round.
+
+        Idempotent: a second close (deadline timer racing an explicit or
+        expected-count close) returns the first close's result.  A hop that
+        times out surfaces as :class:`ProtocolError`; any failure is recorded
+        on the window so blocked submitters fail too instead of hanging.
+        """
+        with self._lock:
+            if window.closed:
+                return self._resolved_result(window)
+            window.closed = True
+            self._highest_closed[window.kind] = max(
+                self._highest_closed.get(window.kind, -1), window.round_number
+            )
+        try:
+            grouped = self.entry.run_round_grouped(window.kind, window.round_number)
+        except TransportTimeout as exc:
+            error = ProtocolError(
+                f"round {window.round_number} ({window.kind.value}): a chain hop "
+                f"timed out: {exc}"
+            )
+            error.__cause__ = exc
+            self._resolve(window, error=error)
+            raise error
+        except Exception as exc:
+            self._resolve(window, error=exc)
+            raise
+        result = RoundResult(
+            kind=window.kind,
+            round_number=window.round_number,
+            accepted=window.accepted,
+            refused=window.refused,
+            late=window.late,
+            responses=grouped,
+        )
+        self._resolve(window, result=result)
+        return result
+
+    def _resolve(
+        self,
+        window: SubmissionWindow,
+        *,
+        result: RoundResult | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        with self._resolved_cond:
+            window.result = result
+            window.error = error
+            window.resolved = True
+            if result is not None:
+                self.rounds_run += 1
+            self._resolved_cond.notify_all()
+
+    def _resolved_result(self, window: SubmissionWindow) -> RoundResult:
+        """Wait out a concurrent close and return (or re-raise) its outcome."""
+        deadline = self._clock() + self.response_wait_seconds
+        with self._resolved_cond:
+            while not window.resolved:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise TransportTimeout(
+                        f"round {window.round_number} did not resolve within "
+                        f"{self.response_wait_seconds}s"
+                    )
+                self._resolved_cond.wait(remaining)
+            if window.error is not None:
+                raise window.error
+            assert window.result is not None
+            return window.result
+
+    def wait_for_result(
+        self, kind: MessageKind, round_number: int, timeout: float | None = None
+    ) -> RoundResult:
+        """Block until a round resolves (the networked control plane's view)."""
+        deadline = self._clock() + (timeout if timeout is not None else self.response_wait_seconds)
+        with self._resolved_cond:
+            while True:
+                window = self._windows.get((kind, round_number))
+                if window is not None and window.resolved:
+                    if window.error is not None:
+                        raise ProtocolError(
+                            f"round {round_number} failed: {window.error}"
+                        ) from window.error
+                    assert window.result is not None
+                    return window.result
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise TransportTimeout(
+                        f"round {round_number} ({kind.value}) did not resolve in time"
+                    )
+                self._resolved_cond.wait(remaining)

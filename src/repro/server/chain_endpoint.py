@@ -16,16 +16,16 @@ from .wire import decode_batch, encode_batch
 from ..crypto.secretbox import clear_derived_key_cache
 from ..errors import NetworkError, ProtocolError
 from ..mixnet.chain import MixServer, RoundProcessor
-from ..net import Envelope, MessageKind, Network
+from ..net import Envelope, MessageKind, Transport
 
 
 @dataclass
 class ChainServerEndpoint:
-    """One protocol instance of one chain server, attached to the network."""
+    """One protocol instance of one chain server, attached to a transport."""
 
     name: str
     mix_server: MixServer
-    network: Network
+    network: Transport
     next_endpoint: str | None
     processor: RoundProcessor | None
     request_kind: MessageKind = MessageKind.CONVERSATION_REQUEST

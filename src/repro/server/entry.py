@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from .wire import decode_batch, encode_batch
 from ..errors import NetworkError, ProtocolError
-from ..net import Envelope, MessageKind, Network
+from ..net import Envelope, MessageKind, Transport
 
 ACK = b"ok"
 
@@ -37,7 +37,7 @@ class EntryServer:
     know who is connected (§2.2).
     """
 
-    network: Network
+    network: Transport
     first_server: dict[MessageKind, str]
     name: str = "entry"
     require_registration: bool = False

@@ -1,0 +1,173 @@
+"""Tests for the asyncio TCP transport: framing, RPC, errors, reuse, timeouts."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import NetworkError, ProtocolError, TransportTimeout
+from repro.net import Envelope, MessageKind, TcpTransport, parse_address
+from repro.net.tcp import decode_reply, decode_request, encode_reply, encode_request
+
+
+class TestFraming:
+    def test_request_roundtrip(self):
+        envelope = Envelope(
+            source="alice",
+            destination="entry",
+            payload=b"\x00\x01payload",
+            kind=MessageKind.DIALING_REQUEST,
+            round_number=41,
+        )
+        assert decode_request(encode_request(envelope)) == envelope
+
+    def test_request_roundtrip_empty_payload_and_unicode_names(self):
+        envelope = Envelope(source="älice", destination="sérver-0/conversation", payload=b"")
+        assert decode_request(encode_request(envelope)) == envelope
+
+    def test_truncated_request_rejected(self):
+        body = encode_request(Envelope(source="a", destination="b", payload=b"xy"))
+        with pytest.raises(ProtocolError):
+            decode_request(body[:3])
+
+    def test_reply_roundtrip(self):
+        assert decode_reply(encode_reply(0, b"hello")) == b"hello"
+        assert decode_reply(encode_reply(0, b"")) == b""
+        assert decode_reply(encode_reply(1, b"")) is None
+
+    def test_reply_errors_keep_their_type(self):
+        with pytest.raises(NetworkError):
+            decode_reply(encode_reply(2, b"link down"))
+        with pytest.raises(ProtocolError):
+            decode_reply(encode_reply(3, b"bad round"))
+        with pytest.raises(TransportTimeout):
+            decode_reply(encode_reply(4, b"too slow"))
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        with pytest.raises(NetworkError):
+            parse_address("no-port")
+
+
+@pytest.fixture
+def server_transport():
+    transport = TcpTransport()
+    yield transport
+    transport.close()
+
+
+@pytest.fixture
+def client_transport():
+    transport = TcpTransport(request_timeout=10.0)
+    yield transport
+    transport.close()
+
+
+class TestTcpRpc:
+    def test_request_response_over_sockets(self, server_transport, client_transport):
+        seen: list[Envelope] = []
+
+        def handler(envelope: Envelope) -> bytes:
+            seen.append(envelope)
+            return bytes(envelope.payload).upper()
+
+        server_transport.register("echo", handler)
+        host, port = server_transport.listen()
+        client_transport.add_route("echo", host, port)
+
+        reply = client_transport.send(
+            "alice", "echo", b"hello", MessageKind.CONVERSATION_REQUEST, 7
+        )
+        assert reply == b"HELLO"
+        assert seen[0].source == "alice"
+        assert seen[0].kind is MessageKind.CONVERSATION_REQUEST
+        assert seen[0].round_number == 7
+
+    def test_none_reply_crosses_the_wire(self, server_transport, client_transport):
+        server_transport.register("quiet", lambda envelope: None)
+        host, port = server_transport.listen()
+        client_transport.add_route("quiet", host, port)
+        assert client_transport.send("a", "quiet", b"x") is None
+
+    def test_connection_reuse_and_stats(self, server_transport, client_transport):
+        server_transport.register("echo", lambda envelope: b"ok")
+        host, port = server_transport.listen()
+        client_transport.add_route("echo", host, port)
+        for _ in range(5):
+            client_transport.send("alice", "echo", b"12345")
+        stats = client_transport.stats("alice", "echo")
+        assert stats.messages == 5
+        assert stats.bytes == 25
+        assert client_transport.total_messages() == 5
+        # One pooled connection served all five requests.
+        pool = next(iter(client_transport._pools.values()))
+        assert len(pool._all) == 1
+
+    def test_remote_errors_reraise_with_type(self, server_transport, client_transport):
+        def network_fail(envelope):
+            raise NetworkError("link to nowhere")
+
+        def protocol_fail(envelope):
+            raise ProtocolError("wrong round")
+
+        server_transport.register("net", network_fail)
+        server_transport.register("proto", protocol_fail)
+        host, port = server_transport.listen()
+        client_transport.update_routes({"net": (host, port), "proto": (host, port)})
+        with pytest.raises(NetworkError, match="link to nowhere"):
+            client_transport.send("a", "net", b"")
+        with pytest.raises(ProtocolError, match="wrong round"):
+            client_transport.send("a", "proto", b"")
+
+    def test_unknown_remote_endpoint(self, server_transport, client_transport):
+        host, port = server_transport.listen()
+        client_transport.add_route("ghost", host, port)
+        with pytest.raises(NetworkError, match="unknown endpoint"):
+            client_transport.send("a", "ghost", b"")
+
+    def test_unknown_local_endpoint(self, client_transport):
+        with pytest.raises(NetworkError, match="unknown endpoint"):
+            client_transport.send("a", "nowhere", b"")
+
+    def test_unrouted_local_handler_is_called_directly(self, client_transport):
+        client_transport.register("local", lambda envelope: b"here")
+        assert client_transport.send("a", "local", b"") == b"here"
+
+    def test_request_timeout_surfaces_as_transport_timeout(self, server_transport):
+        server_transport.register("slow", lambda envelope: time.sleep(5.0) or b"late")
+        host, port = server_transport.listen()
+        client = TcpTransport(request_timeout=0.2)
+        client.add_route("slow", host, port)
+        try:
+            with pytest.raises(TransportTimeout):
+                client.send("a", "slow", b"")
+        finally:
+            client.close()
+
+    def test_connect_failure_is_network_error(self, client_transport):
+        # A port nothing listens on: connect is refused immediately.
+        client_transport.add_route("void", "127.0.0.1", 1)
+        with pytest.raises(NetworkError):
+            client_transport.send("a", "void", b"")
+
+    def test_send_after_close_rejected(self):
+        transport = TcpTransport()
+        transport.register("x", lambda envelope: b"")
+        transport.listen()
+        transport.close()
+        transport.add_route("x", "127.0.0.1", 9)
+        with pytest.raises(NetworkError, match="closed"):
+            transport.send("a", "x", b"")
+
+    def test_timed_out_handler_status_is_timeout(self, server_transport, client_transport):
+        def relay_timeout(envelope):
+            raise TransportTimeout("downstream hop exceeded 1s")
+
+        server_transport.register("relay", relay_timeout)
+        host, port = server_transport.listen()
+        client_transport.add_route("relay", host, port)
+        # A timeout deep in a chain keeps its type across the hop boundary,
+        # so the coordinator can turn it into a ProtocolError at the top.
+        with pytest.raises(TransportTimeout, match="downstream hop"):
+            client_transport.send("a", "relay", b"")

@@ -1,0 +1,184 @@
+"""Tests for the round coordinator: windows, deadlines, stragglers, blocking mode."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.crypto import KeyPair, unwrap_response, wrap_request
+from repro.errors import ProtocolError, TransportTimeout
+from repro.mixnet import MixServer
+from repro.net import MessageKind, Network
+from repro.runtime import LATE, RoundCoordinator
+from repro.server import ACK, REFUSED, ChainServerEndpoint, EntryServer
+
+
+def build_stack(rng, *, require_registration=False, **coordinator_kwargs):
+    """Entry + two-server conversation chain + coordinator on one Network."""
+    network = Network()
+    keypairs = [KeyPair.generate(rng) for _ in range(2)]
+    publics = [k.public for k in keypairs]
+
+    def processor(round_number, payloads):
+        return [bytes(payload).upper() for payload in payloads]
+
+    for index, keypair in enumerate(keypairs):
+        is_last = index == 1
+        ChainServerEndpoint(
+            name=f"server-{index}/conversation",
+            mix_server=MixServer(
+                index=index, keypair=keypair, chain_public_keys=publics, rng=rng.fork(f"s{index}")
+            ),
+            network=network,
+            next_endpoint=None if is_last else "server-1/conversation",
+            processor=processor if is_last else None,
+        )
+    entry = EntryServer(
+        network=network,
+        first_server={MessageKind.CONVERSATION_REQUEST: "server-0/conversation"},
+        require_registration=require_registration,
+    )
+    coordinator = RoundCoordinator(network, entry, **coordinator_kwargs)
+    return network, entry, publics, coordinator
+
+
+class TestSynchronousWindows:
+    def test_round_through_coordinator(self, rng):
+        network, entry, publics, coordinator = build_stack(rng)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, ctx = wrap_request(b"hello", publics, 0, rng)
+        ack = network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        assert ack == ACK
+        result = coordinator.close_round(window)
+        assert result.accepted == 1 and result.refused == 0 and result.late == 0
+        assert unwrap_response(result.responses["alice"][0], ctx) == b"HELLO"
+        assert coordinator.rounds_run == 1
+
+    def test_submission_after_close_is_late(self, rng):
+        network, entry, publics, coordinator = build_stack(rng)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        coordinator.close_round(window)
+        wire, _ = wrap_request(b"slow", publics, 0, rng)
+        reply = network.send("straggler", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        assert reply == LATE
+        assert coordinator.late_requests == 1
+        # The straggler never reached the entry server's buffers.
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 0
+
+    def test_submission_after_deadline_is_late(self, rng):
+        clock = [0.0]
+        network, entry, publics, coordinator = build_stack(rng, clock=lambda: clock[0])
+        window = coordinator.open_round(
+            MessageKind.CONVERSATION_REQUEST, 0, deadline_seconds=10.0
+        )
+        wire, _ = wrap_request(b"on time", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == ACK
+        clock[0] = 11.0  # the deadline passes while a straggler is still uploading
+        wire, _ = wrap_request(b"too late", publics, 0, rng)
+        assert network.send("bob", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == LATE
+        result = coordinator.close_round(window)
+        assert result.accepted == 1
+        assert result.late == 1
+        assert set(result.responses) == {"alice"}
+
+    def test_rounds_never_opened_pass_through(self, rng):
+        """Out-of-band submissions keep the entry server's historical semantics."""
+        network, entry, publics, coordinator = build_stack(rng)
+        wire, _ = wrap_request(b"early", publics, 990, rng)
+        assert network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 990) == ACK
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 990) == 1
+
+    def test_refusals_are_counted_per_window(self, rng):
+        network, entry, publics, coordinator = build_stack(rng, require_registration=True)
+        entry.register_account("alice")
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, _ = wrap_request(b"a", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == ACK
+        wire, _ = wrap_request(b"x", publics, 0, rng)
+        assert network.send("mallory", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == REFUSED
+        result = coordinator.close_round(window)
+        assert result.accepted == 1
+        assert result.refused == 1
+        assert entry.refused_requests == 1
+
+    def test_reopening_a_run_round_is_rejected(self, rng):
+        _, _, _, coordinator = build_stack(rng)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        coordinator.close_round(window)
+        with pytest.raises(ProtocolError):
+            coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+
+    def test_double_open_is_rejected(self, rng):
+        _, _, _, coordinator = build_stack(rng)
+        coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 3)
+        with pytest.raises(ProtocolError):
+            coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 3)
+
+    def test_unknown_kind_is_rejected(self, rng):
+        _, _, _, coordinator = build_stack(rng)
+        with pytest.raises(ProtocolError):
+            coordinator.open_round(MessageKind.DIALING_REQUEST, 0)
+
+    def test_close_is_idempotent(self, rng):
+        network, entry, publics, coordinator = build_stack(rng)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        first = coordinator.close_round(window)
+        assert coordinator.close_round(window) is first
+
+    def test_hop_timeout_surfaces_as_protocol_error(self, rng):
+        network, entry, publics, coordinator = build_stack(rng)
+
+        def timeout_hop(envelope):
+            raise TransportTimeout("server-1 took 30s")
+
+        network.register("server-1/conversation", timeout_hop)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, _ = wrap_request(b"doomed", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        with pytest.raises(ProtocolError, match="timed out"):
+            coordinator.close_round(window)
+
+
+class TestBlockingMode:
+    def test_submissions_hold_replies_until_the_round_resolves(self, rng):
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        coordinator.open_round(
+            MessageKind.CONVERSATION_REQUEST, 0, expected_requests=2
+        )
+        contexts = {}
+        replies = {}
+
+        def client(name: str, payload: bytes) -> None:
+            wire, ctx = contexts[name]
+            replies[name] = network.send(name, "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+
+        for name, payload in (("alice", b"from alice"), ("bob", b"from bob")):
+            contexts[name] = wrap_request(payload, publics, 0, rng)
+        threads = [
+            threading.Thread(target=client, args=(name, payload))
+            for name, payload in (("alice", b"from alice"), ("bob", b"from bob"))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        # The second submission hit the expected count, closed the window and
+        # drove the chain; both clients got their own response as the reply.
+        assert unwrap_response(replies["alice"], contexts["alice"][1]) == b"FROM ALICE"
+        assert unwrap_response(replies["bob"], contexts["bob"][1]) == b"FROM BOB"
+        result = coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=1.0)
+        assert result.accepted == 2
+
+    def test_deadline_timer_closes_an_empty_round(self, rng):
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0, deadline_seconds=0.05)
+        result = coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=10.0)
+        assert result.accepted == 0
+        assert result.responses == {}
+
+    def test_wait_for_result_times_out_on_an_open_round(self, rng):
+        _, _, _, coordinator = build_stack(rng, blocking_responses=True)
+        coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        with pytest.raises(TransportTimeout):
+            coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=0.05)

@@ -1,0 +1,118 @@
+"""Entry-server admission control (§9): registration, per-account caps, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import Envelope, MessageKind, Network
+from repro.server import ACK, REFUSED, EntryServer
+
+
+@pytest.fixture
+def entry() -> EntryServer:
+    network = Network()
+    network.register("server-0/conversation", lambda envelope: b"")
+    network.register("server-0/dialing", lambda envelope: b"")
+    return EntryServer(
+        network=network,
+        first_server={
+            MessageKind.CONVERSATION_REQUEST: "server-0/conversation",
+            MessageKind.DIALING_REQUEST: "server-0/dialing",
+        },
+        require_registration=True,
+        max_requests_per_account_per_round=2,
+    )
+
+
+def submit(entry, source, round_number=0, kind=MessageKind.CONVERSATION_REQUEST):
+    return entry.handle(
+        Envelope(source=source, destination=entry.name, payload=b"x", kind=kind, round_number=round_number)
+    )
+
+
+class TestRegistrationRequired:
+    def test_unregistered_source_is_refused_and_counted(self, entry):
+        assert submit(entry, "mallory") == REFUSED
+        assert entry.refused_requests == 1
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 0
+
+    def test_registered_source_is_admitted(self, entry):
+        entry.register_account("alice")
+        assert submit(entry, "alice") == ACK
+        assert entry.refused_requests == 0
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 1
+
+    def test_revocation_takes_effect_immediately(self, entry):
+        entry.register_account("alice")
+        assert submit(entry, "alice") == ACK
+        entry.revoke_account("alice")
+        assert submit(entry, "alice", round_number=1) == REFUSED
+        assert entry.is_registered("alice") is False
+        assert entry.refused_requests == 1
+
+    def test_registration_is_idempotent(self, entry):
+        entry.register_account("alice")
+        entry.register_account("alice")
+        assert entry.is_registered("alice")
+        entry.revoke_account("alice")
+        entry.revoke_account("alice")  # revoking twice is harmless
+        assert not entry.is_registered("alice")
+
+
+class TestPerAccountCap:
+    def test_cap_applies_per_account_per_protocol_per_round(self, entry):
+        entry.register_account("alice")
+        # Two conversation slots allowed (max_requests_per_account_per_round=2).
+        assert submit(entry, "alice") == ACK
+        assert submit(entry, "alice") == ACK
+        assert submit(entry, "alice") == REFUSED
+        # The cap is per protocol: dialing still has its own allowance...
+        assert submit(entry, "alice", kind=MessageKind.DIALING_REQUEST) == ACK
+        # ...and per round: the next round starts fresh.
+        assert submit(entry, "alice", round_number=1) == ACK
+        assert entry.refused_requests == 1
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 2
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 1) == 1
+
+    def test_one_flooder_cannot_crowd_out_other_accounts(self, entry):
+        entry.register_account("alice")
+        entry.register_account("flooder")
+        for _ in range(5):
+            submit(entry, "flooder")
+        assert submit(entry, "alice") == ACK
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 3  # 2 flooder + 1 alice
+        assert entry.refused_requests == 3
+
+    def test_refused_counter_matches_every_refusal_source(self, entry):
+        entry.register_account("alice")
+        refusals = 0
+        # Unregistered refusals...
+        for _ in range(2):
+            assert submit(entry, "mallory") == REFUSED
+            refusals += 1
+        # ...and over-cap refusals land in the same counter.
+        for i in range(4):
+            reply = submit(entry, "alice")
+            if i >= 2:
+                assert reply == REFUSED
+                refusals += 1
+        assert entry.refused_requests == refusals == 4
+
+
+class TestOpenAdmission:
+    def test_without_registration_everything_is_admitted_uncounted(self):
+        network = Network()
+        network.register("server-0/conversation", lambda envelope: b"")
+        entry = EntryServer(
+            network=network,
+            first_server={MessageKind.CONVERSATION_REQUEST: "server-0/conversation"},
+        )
+        for _ in range(10):
+            assert submit(entry, "anyone") == ACK
+        assert entry.refused_requests == 0
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 10
+
+    def test_unhandled_kind_still_raises(self, entry):
+        with pytest.raises(ProtocolError):
+            submit(entry, "alice", kind=MessageKind.CONTROL)
