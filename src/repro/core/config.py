@@ -71,6 +71,14 @@ class VuvuzelaConfig:
     #: exceeds it surfaces as a ProtocolError at the coordinator.  ``None``
     #: waits forever (the in-process transport never times out anyway).
     hop_timeout_seconds: float | None = None
+    #: How long a blocked networked submission (a client long-poll) waits
+    #: for its round to resolve before the entry gives up on it.
+    response_wait_seconds: float = 120.0
+    #: Chain-drive attempts per round (§6 availability): a failed attempt is
+    #: aborted — accepted submissions refunded, fresh noise on the re-run —
+    #: up to this many tries before the round fails for good.  1 disables
+    #: abort/retry.
+    max_round_attempts: int = 3
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -95,6 +103,10 @@ class VuvuzelaConfig:
             raise ConfigurationError("round deadlines cannot be negative")
         if self.hop_timeout_seconds is not None and self.hop_timeout_seconds <= 0:
             raise ConfigurationError("hop timeouts must be positive")
+        if self.response_wait_seconds <= 0:
+            raise ConfigurationError("the response wait must be positive")
+        if self.max_round_attempts < 1:
+            raise ConfigurationError("a round needs at least one attempt")
 
     # ------------------------------------------------------------------ presets
 
@@ -148,6 +160,26 @@ class VuvuzelaConfig:
     def expected_dialing_noise_invitations(self) -> float:
         """Average noise invitations per dialing round across the chain."""
         return self.dialing_noise.mu * self.num_servers * self.num_dialing_buckets
+
+    @property
+    def client_request_timeout_seconds(self) -> float:
+        """The transport timeout a client connection needs to out-wait a round.
+
+        A networked submission long-polls through the whole round: the
+        submission window (up to ``round_deadline_seconds``), the chain drive
+        (one hop allowance per server when a hop budget is configured) and
+        the entry's ``response_wait_seconds`` hold.  A client transport with
+        a shorter ``request_timeout`` hits a spurious
+        :class:`~repro.errors.TransportTimeout` mid-long-poll on a perfectly
+        healthy round — so deployments derive the client timeout from these
+        round knobs instead of guessing.
+        """
+        budget = self.response_wait_seconds
+        if self.round_deadline_seconds is not None:
+            budget += self.round_deadline_seconds
+        if self.hop_timeout_seconds is not None:
+            budget += self.hop_timeout_seconds * self.num_servers
+        return budget + 5.0  # margin for framing, scheduling and queueing
 
     def with_servers(self, num_servers: int) -> "VuvuzelaConfig":
         return replace(self, num_servers=num_servers)

@@ -37,7 +37,7 @@ import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from queue import Empty, Queue
 
 from . import topology
@@ -50,12 +50,20 @@ from ..net import TcpTransport
 
 @dataclass
 class ServerProcess:
-    """One spawned server process and where it listens."""
+    """One spawned server process, where it listens, and how to respawn it."""
 
     name: str
     process: subprocess.Popen
     host: str
     port: int
+    #: The module arguments it was spawned with (without the python binary),
+    #: kept so :meth:`DeploymentLauncher.restart_server` can respawn it on
+    #: the same port after a crash.
+    args: list[str] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
 
 
 @dataclass
@@ -69,6 +77,9 @@ class NetworkRoundResult:
     late: int
     responded: int
     wall_clock_seconds: float
+    #: Chain-drive attempts aborted by a failure before this round's
+    #: successful re-run (0 = clean round).
+    aborts: int = 0
 
 
 class DeploymentLauncher:
@@ -81,8 +92,9 @@ class DeploymentLauncher:
         host: str = "127.0.0.1",
         python: str = sys.executable,
         startup_timeout: float = 60.0,
-        request_timeout: float = 120.0,
+        request_timeout: float | None = None,
         round_deadline_seconds: float | None = None,
+        probe_timeout: float = 2.0,
     ) -> None:
         self.config = config or VuvuzelaConfig.small()
         topology.require_seed(self.config)
@@ -90,8 +102,18 @@ class DeploymentLauncher:
         self.python = python
         self.startup_timeout = startup_timeout
         #: Client/control request timeout; must out-wait a full round
-        #: (submission window + chain) since submissions long-poll.
-        self.request_timeout = request_timeout
+        #: (submission window + chain + response hold) since submissions
+        #: long-poll — derived from the config's round knobs unless
+        #: overridden explicitly.
+        self.request_timeout = (
+            request_timeout
+            if request_timeout is not None
+            else self.config.client_request_timeout_seconds
+        )
+        #: Liveness probes need their own short deadline: pinging a wedged
+        #: process over the long-poll-sized control timeout would block
+        #: ``is_alive`` for minutes.
+        self.probe_timeout = probe_timeout
         self.round_deadline_seconds = (
             round_deadline_seconds
             if round_deadline_seconds is not None
@@ -109,6 +131,7 @@ class DeploymentLauncher:
         ]
         self._connections: dict[str, ClientConnection] = {}
         self._control: TcpTransport | None = None
+        self._probe: TcpTransport | None = None
         self._started = False
 
     # ------------------------------------------------------------- subprocesses
@@ -125,7 +148,7 @@ class DeploymentLauncher:
             text=True,
         )
         port = self._await_ready(name, process)
-        server = ServerProcess(name=name, process=process, host=self.host, port=port)
+        server = ServerProcess(name=name, process=process, host=self.host, port=port, args=args)
         self._spawned.append(server)
         return server
 
@@ -199,13 +222,21 @@ class DeploymentLauncher:
         except Exception:
             self.stop()
             raise
-        self._control = self._client_transport()
+        self._control = self._client_transport(self.request_timeout)
+        self._probe = self._client_transport(self.probe_timeout)
         return self
 
     def stop(self) -> None:
-        """Shut every process down (politely, then firmly) and close sockets."""
+        """Shut every process down (politely, then firmly) and close sockets.
+
+        Re-entrant and restartable: a stopped launcher can :meth:`start`
+        again — it spawns a fresh deployment (new processes, new ports), so
+        clients must be re-added afterwards.
+        """
         if self._control is not None:
             for server in self.servers:
+                if not server.alive:
+                    continue  # no point in a shutdown RPC to a crashed server
                 try:
                     self.server_control(server.name, {"cmd": "shutdown"})
                 except (NetworkError, ProtocolError):
@@ -229,12 +260,19 @@ class DeploymentLauncher:
         for connection in self._connections.values():
             if isinstance(connection.transport, TcpTransport):
                 connection.transport.close()
+        self._connections = {}
         if self._control is not None:
             self._control.close()
+        if self._probe is not None:
+            self._probe.close()
         self.servers = []
         self.entry_process = None
         self._spawned = []
         self._control = None
+        self._probe = None
+        # Without this reset, start() on a stopped launcher silently no-ops
+        # and hands back a dead deployment.
+        self._started = False
 
     def __enter__(self) -> "DeploymentLauncher":
         return self.start()
@@ -242,20 +280,156 @@ class DeploymentLauncher:
     def __exit__(self, *_exc) -> None:
         self.stop()
 
+    # --------------------------------------------------------- crash recovery
+
+    def _find(self, name_or_index: str | int) -> ServerProcess:
+        if isinstance(name_or_index, str) and name_or_index == "entry":
+            if self.entry_process is None:
+                raise ProtocolError("the deployment has no entry process")
+            return self.entry_process
+        index = self._chain_index(name_or_index)
+        if not 0 <= index < len(self.servers):
+            raise ProtocolError(f"no chain server {name_or_index!r}")
+        return self.servers[index]
+
+    def kill_server(self, name_or_index: str | int) -> ServerProcess:
+        """SIGKILL one server process — no shutdown RPC, no warning.
+
+        This is the §6 failure model: a server vanishes mid-round.  In-flight
+        batches through it fail, the coordinator aborts the round, and the
+        round re-runs once the server is back (:meth:`restart_server`).
+        """
+        server = self._find(name_or_index)
+        server.process.kill()
+        server.process.wait(timeout=10.0)
+        return server
+
+    def restart_server(self, name_or_index: str | int) -> ServerProcess:
+        """Respawn a (crashed or killed) server on its original port.
+
+        The replacement process derives the same keys and noise streams from
+        the shared config seed (:mod:`repro.core.topology`) and listens on
+        the same port, so the rest of the deployment rejoins it without any
+        route changes — peers simply reconnect on their next send.
+
+        Only chain servers are restartable this way: everything they need is
+        derivable from the seed.  The entry process holds runtime-only state
+        (registered accounts, round counters) that a respawn would silently
+        lose — restart the whole deployment (``stop()`` / ``start()``)
+        instead.
+        """
+        if name_or_index == "entry":
+            raise ProtocolError(
+                "the entry process cannot be restarted in place: its account "
+                "registry and round counters are runtime state a respawn "
+                "would silently lose — stop() and start() the deployment"
+            )
+        old = self._find(name_or_index)
+        if old.alive:
+            old.process.kill()
+            old.process.wait(timeout=10.0)
+        args = [arg for arg in old.args]
+        if "--port" in args:
+            args[args.index("--port") + 1] = str(old.port)
+        else:
+            args += ["--port", str(old.port)]
+        replacement = self._spawn(old.name, args)
+        if replacement.port != old.port:  # pragma: no cover - defensive
+            raise NetworkError(
+                f"{old.name} restarted on port {replacement.port}, expected {old.port}"
+            )
+        self._spawned.remove(old)
+        if old is self.entry_process:
+            self.entry_process = replacement
+        else:
+            self.servers[self.servers.index(old)] = replacement
+        return replacement
+
+    def is_alive(self, name_or_index: str | int) -> bool:
+        """Liveness probe: the process runs *and* answers a control ping.
+
+        Pings go over the dedicated short-deadline probe transport so a
+        wedged-but-connected process cannot stall the poll for the full
+        long-poll control timeout.
+        """
+        server = self._find(name_or_index)
+        if not server.alive:
+            return False
+        endpoint = (
+            "entry"
+            if server is self.entry_process
+            else topology.control_name(self._chain_index(server.name))
+        )
+        try:
+            return bool(
+                self._control_rpc(endpoint, {"cmd": "ping"}, transport=self._probe).get("ok")
+            )
+        except (NetworkError, ProtocolError):
+            return False
+
+    def wait_alive(self, name_or_index: str | int, timeout: float = 30.0) -> bool:
+        """Poll :meth:`is_alive` until it holds or ``timeout`` passes."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.is_alive(name_or_index):
+                return True
+            time.sleep(0.05)
+        return self.is_alive(name_or_index)
+
+    def poll_liveness(self) -> dict[str, bool]:
+        """One liveness snapshot of the whole deployment, by process name."""
+        status = {server.name: self.is_alive(server.name) for server in self.servers}
+        status["entry"] = self.is_alive("entry")
+        return status
+
+    # ---------------------------------------------------------- fault control
+
+    def inject_fault(self, target: str | int, rule: dict, *, seed: int = 0) -> dict:
+        """Install one :class:`~repro.net.faults.FaultRule` in a live process.
+
+        ``target`` is ``"entry"`` or a chain index; ``rule`` is the JSON
+        form (``{"action": "kill", "destination": "server-1/conversation",
+        "count": 1}`` kills the first batch forwarded to server 1).
+        """
+        command = {"cmd": "inject-fault", "rule": rule, "seed": seed}
+        if target == "entry":
+            return self.entry_control(command)
+        return self.server_control(target, command)
+
+    def heal_faults(self, target: str | int) -> dict:
+        command = {"cmd": "heal-faults"}
+        if target == "entry":
+            return self.entry_control(command)
+        return self.server_control(target, command)
+
+    def aborted_total(self) -> int:
+        """How many round attempts the entry has aborted (and retried) so far."""
+        return int(self.entry_control({"cmd": "aborted-total"})["aborted"])
+
     # ------------------------------------------------------------ control plane
 
-    def _client_transport(self) -> TcpTransport:
+    @staticmethod
+    def _chain_index(name_or_index: str | int) -> int:
+        """Resolve ``2`` / ``"server-2"`` / ``"server-2/control"`` to 2."""
+        if isinstance(name_or_index, int):
+            return name_or_index
+        return int(str(name_or_index).split("/")[0].split("-")[-1])
+
+    def _client_transport(self, request_timeout: float) -> TcpTransport:
         """A fresh transport routed at the deployment (entry + server controls)."""
         assert self.entry_process is not None, "deployment not started"
-        transport = TcpTransport(request_timeout=self.request_timeout)
+        transport = TcpTransport(request_timeout=request_timeout)
         transport.add_route("entry", self.entry_process.host, self.entry_process.port)
         for index, server in enumerate(self.servers):
             transport.add_route(topology.control_name(index), server.host, server.port)
         return transport
 
-    def _control_rpc(self, endpoint: str, command: dict) -> dict:
-        assert self._control is not None, "deployment not started"
-        reply = self._control.send("launcher", endpoint, json.dumps(command).encode("utf-8"))
+    def _control_rpc(
+        self, endpoint: str, command: dict, transport: TcpTransport | None = None
+    ) -> dict:
+        transport = transport if transport is not None else self._control
+        assert transport is not None, "deployment not started"
+        reply = transport.send("launcher", endpoint, json.dumps(command).encode("utf-8"))
         if reply is None:
             raise NetworkError(f"control request to {endpoint} got no reply")
         return json.loads(reply.decode("utf-8"))
@@ -264,16 +438,18 @@ class DeploymentLauncher:
         return self._control_rpc("entry", command)
 
     def server_control(self, name_or_index: str | int, command: dict) -> dict:
-        if isinstance(name_or_index, int):
-            endpoint = topology.control_name(name_or_index)
-        else:
-            index = int(str(name_or_index).split("-")[-1])
-            endpoint = topology.control_name(index)
-        return self._control_rpc(endpoint, command)
+        return self._control_rpc(topology.control_name(self._chain_index(name_or_index)), command)
 
     # ----------------------------------------------------------------- clients
 
-    def add_client(self, name: str, *, register: bool = True) -> ClientConnection:
+    def add_client(
+        self,
+        name: str,
+        *,
+        register: bool = True,
+        max_submit_attempts: int = 4,
+        retry_backoff_seconds: float = 0.2,
+    ) -> ClientConnection:
         """Create a client with deployment-deterministic keys, on its own TCP
         connection to the entry server (the §7 many-connections shape)."""
         if name in self._connections:
@@ -282,7 +458,12 @@ class DeploymentLauncher:
         client = topology.build_client(self.config, name, self._root, self._server_publics)
         transport = TcpTransport(request_timeout=self.request_timeout)
         transport.add_route("entry", self.entry_process.host, self.entry_process.port)
-        connection = ClientConnection(client=client, transport=transport)
+        connection = ClientConnection(
+            client=client,
+            transport=transport,
+            max_submit_attempts=max_submit_attempts,
+            retry_backoff_seconds=retry_backoff_seconds,
+        )
         if register and self.config.require_registration:
             self.entry_control({"cmd": "register", "name": name})
         self._connections[name] = connection
@@ -348,6 +529,7 @@ class DeploymentLauncher:
             late=result["late"],
             responded=result["responded"],
             wall_clock_seconds=time.perf_counter() - started,
+            aborts=int(result.get("aborts", 0)),
         )
 
     def run_dialing_round(
@@ -386,6 +568,7 @@ class DeploymentLauncher:
             late=result["late"],
             responded=result["responded"],
             wall_clock_seconds=time.perf_counter() - started,
+            aborts=int(result.get("aborts", 0)),
         )
 
     # ------------------------------------------------------------ observability

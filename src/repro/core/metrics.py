@@ -26,6 +26,9 @@ class ConversationRoundMetrics:
     refused_requests: int = 0
     #: Stragglers that missed the round's submission window (§7 deadlines).
     late_requests: int = 0
+    #: Chain-drive attempts aborted by a server/link failure before the
+    #: round's successful re-run (§6 availability; 0 = clean round).
+    aborted_attempts: int = 0
     histogram: AccessHistogram | None = None
     bytes_moved: int = 0
     wall_clock_seconds: float = 0.0
@@ -50,6 +53,8 @@ class DialingRoundMetrics:
     noise_invitations: int = 0
     refused_requests: int = 0
     late_requests: int = 0
+    #: Chain-drive attempts aborted by a server/link failure (0 = clean round).
+    aborted_attempts: int = 0
     bucket_sizes: dict[int, int] = field(default_factory=dict)
     bytes_moved: int = 0
     wall_clock_seconds: float = 0.0

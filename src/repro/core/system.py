@@ -23,7 +23,7 @@ from .topology import NoiseLedger
 from ..client import VuvuzelaClient
 from ..deaddrop import InvitationDropStore
 from ..errors import ProtocolError
-from ..net import MessageKind, Network
+from ..net import FaultInjector, MessageKind, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
 from ..runtime import RoundCoordinator, RoundEngine
 from ..server import ACK, ChainServerEndpoint, EntryServer
@@ -75,6 +75,8 @@ class VuvuzelaSystem:
             self.entry,
             deadline_seconds=self.config.round_deadline_seconds,
             hop_timeout_seconds=self.config.hop_timeout_seconds,
+            response_wait_seconds=self.config.response_wait_seconds,
+            max_round_attempts=self.config.max_round_attempts,
         )
 
         self.conversation_accountant = PrivacyAccountant(
@@ -203,6 +205,7 @@ class VuvuzelaSystem:
             noise_requests=self._conversation_noise_ledger.for_round(round_number),
             refused_requests=result.refused,
             late_requests=result.late,
+            aborted_attempts=result.attempts - 1,
             histogram=self.conversation_processor.histograms.get(round_number),
             bytes_moved=self.network.total_bytes() - bytes_before,
             wall_clock_seconds=time.perf_counter() - started,
@@ -259,6 +262,7 @@ class VuvuzelaSystem:
             + noise_invitations,
             refused_requests=result.refused,
             late_requests=result.late,
+            aborted_attempts=result.attempts - 1,
             bucket_sizes=store.bucket_sizes(),
             bytes_moved=self.network.total_bytes() - bytes_before,
             wall_clock_seconds=time.perf_counter() - started,
@@ -268,12 +272,33 @@ class VuvuzelaSystem:
 
     # -------------------------------------------------------------- lifecycle
 
-    def close(self) -> None:
-        """Shut the round engine's worker pool down (idempotent).
+    def fault_injector(self, seed: int = 0) -> FaultInjector:
+        """The deployment's chaos hook, attached to the network on first use.
 
-        Only needed for deployments configured with a threaded or
-        process-sharded engine; the default serial engine owns no pool.
+        Rules added here (drop / delay / kill-link, seeded and deterministic)
+        apply to every in-process hop; a killed chain hop aborts the round
+        and the coordinator re-runs it with fresh noise, exactly like the
+        networked deployment does when a server process dies.  Asking for a
+        different seed once an injector exists is an error — reusing the old
+        stream would silently break seeded reproducibility.
         """
+        if self.network.fault_injector is None:
+            self.network.fault_injector = FaultInjector(seed)
+        elif self.network.fault_injector.seed != seed:
+            raise ProtocolError(
+                f"a fault injector seeded with {self.network.fault_injector.seed} "
+                f"already exists; cannot reseed it to {seed}"
+            )
+        return self.network.fault_injector
+
+    def close(self) -> None:
+        """Shut the coordinator and the engine's worker pool down (idempotent).
+
+        The coordinator close cancels any armed deadline timers; the engine
+        close is only needed for deployments configured with a threaded or
+        process-sharded engine (the default serial engine owns no pool).
+        """
+        self.coordinator.close()
         self.engine.close()
 
     def __enter__(self) -> "VuvuzelaSystem":

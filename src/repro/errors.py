@@ -36,6 +36,19 @@ class RoundStateError(ProtocolError):
     """An operation was attempted outside the round phase that allows it."""
 
 
+class RoundAbortedError(ProtocolError):
+    """A round's chain drive failed and the round was aborted.
+
+    Raised by the coordinator when a hop failure aborts a round that is
+    being retried: accepted submissions have been refunded into the
+    resubmission queue and a fresh window for the same round number is
+    already open.  Blocked long-polls are answered with the ``ABORTED``
+    marker rather than this exception — clients resubmit, they do not
+    crash.  A round whose retry budget is exhausted raises a plain
+    :class:`ProtocolError` instead.
+    """
+
+
 class ConfigurationError(ReproError):
     """The system was configured with invalid or inconsistent parameters."""
 
@@ -54,6 +67,16 @@ class TransportTimeout(NetworkError):
     Kept distinct from plain :class:`NetworkError` so the round coordinator
     can surface a timed-out chain hop as a :class:`ProtocolError` while an
     unreachable endpoint stays a network failure.
+    """
+
+
+class ConnectTimeout(TransportTimeout):
+    """Connecting to a peer timed out before any data was sent.
+
+    Kept distinct from a request-phase :class:`TransportTimeout` because a
+    connect that never completed provably delivered nothing: the round
+    coordinator may safely retry it, where a request-phase timeout is
+    ambiguous (the peer may have processed the batch before the deadline).
     """
 
 

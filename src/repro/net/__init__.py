@@ -7,6 +7,7 @@ from .links import (
     HostSpec,
     LinkSpec,
 )
+from .faults import FaultInjector, FaultRule
 from .messages import Envelope, MessageKind, Observation
 from .tcp import TcpTransport, parse_address
 from .transport import (
@@ -25,6 +26,8 @@ __all__ = [
     "CLIENT_DSL_LINK",
     "DropMessageKind",
     "Envelope",
+    "FaultInjector",
+    "FaultRule",
     "HostSpec",
     "Interference",
     "LinkSpec",

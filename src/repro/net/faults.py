@@ -1,0 +1,236 @@
+"""Deterministic fault injection for both transports.
+
+A :class:`FaultInjector` sits inside a transport's ``send`` path and decides,
+per envelope, whether the message is delivered, dropped, delayed or whether
+the whole link is down.  It is how the availability story of the paper (§6:
+any server can fail; the system aborts the round and runs the next one) is
+exercised without real machine failures: the same chaos scenario runs against
+the in-process :class:`~repro.net.transport.Network` and, via the server
+processes' ``inject-fault`` control command, against a live multi-process
+:class:`~repro.net.tcp.TcpTransport` deployment.
+
+Rules are matched in insertion order against ``(source, destination, kind)``
+with ``None`` as a wildcard, and every probabilistic decision is drawn from a
+:class:`~repro.crypto.rng.DeterministicRandom` stream — the same seed always
+kills the same messages, so a chaos test is exactly reproducible.  A rule may
+be bounded (``count=N`` applies it to the first N matching messages and then
+expires), which is the standard way to model a transient failure: the first
+batch on a link dies, the retry goes through.
+
+Rules are JSON-round-trippable (:meth:`FaultRule.to_dict` /
+:meth:`FaultRule.from_dict`) so a deployment launcher can ship them to server
+processes over the control plane.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .messages import Envelope, MessageKind
+from ..crypto.rng import DeterministicRandom
+from ..errors import NetworkError, ProtocolError
+
+#: What the injector decided for one envelope.
+DELIVER = "deliver"
+DROP = "drop"
+KILL = "kill"
+#: Rule actions (``delay`` resolves to DELIVER after sleeping).
+ACTIONS = (DROP, KILL, "delay")
+
+
+@dataclass
+class FaultRule:
+    """One fault to inject on matching messages.
+
+    ``action`` is ``"drop"`` (the message silently vanishes; the sender sees
+    the transport's lost-message signal), ``"kill"`` (the link is down; the
+    sender gets a :class:`NetworkError`, the way a crashed peer looks over
+    TCP) or ``"delay"`` (delivery is stalled by ``delay_seconds``).
+    """
+
+    action: str
+    source: str | None = None
+    destination: str | None = None
+    kind: MessageKind | None = None
+    #: Probability that a matching message is affected (1.0 = always).
+    probability: float = 1.0
+    #: Expire after affecting this many messages (``None`` = never).
+    count: int | None = None
+    delay_seconds: float = 0.0
+    #: Messages this rule has affected so far.
+    applied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ProtocolError(f"unknown fault action {self.action!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ProtocolError("fault probability must be in [0, 1]")
+        if self.count is not None and self.count < 1:
+            raise ProtocolError("a bounded fault rule needs count >= 1")
+        if self.delay_seconds < 0:
+            raise ProtocolError("fault delays cannot be negative")
+
+    @property
+    def expired(self) -> bool:
+        return self.count is not None and self.applied >= self.count
+
+    def matches(self, envelope: Envelope) -> bool:
+        if self.expired:
+            return False
+        if self.source is not None and envelope.source != self.source:
+            return False
+        if self.destination is not None and envelope.destination != self.destination:
+            return False
+        if self.kind is not None and envelope.kind is not self.kind:
+            return False
+        return True
+
+    # The control-plane wire form (``inject-fault`` commands).
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "source": self.source,
+            "destination": self.destination,
+            "kind": self.kind.value if self.kind is not None else None,
+            "probability": self.probability,
+            "count": self.count,
+            "delay_seconds": self.delay_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        kind = data.get("kind")
+        return cls(
+            action=str(data["action"]),
+            source=data.get("source"),
+            destination=data.get("destination"),
+            kind=MessageKind(kind) if kind is not None else None,
+            probability=float(data.get("probability", 1.0)),
+            count=int(data["count"]) if data.get("count") is not None else None,
+            delay_seconds=float(data.get("delay_seconds", 0.0)),
+        )
+
+
+class FaultInjector:
+    """Seeded, thread-safe fault decision engine shared by both transports.
+
+    The injector never touches payloads: it only decides delivery, so the
+    protocol layers above experience faults exactly as they would experience
+    a real network failure (a lost message, a dead link, a slow hop).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = DeterministicRandom(seed).fork("fault-injector")
+        self._lock = threading.Lock()
+        self.rules: list[FaultRule] = []
+        self.dropped = 0
+        self.killed = 0
+        self.delayed = 0
+
+    # ------------------------------------------------------------ rule editing
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        with self._lock:
+            self.rules.append(rule)
+        return rule
+
+    def drop(self, **kwargs) -> FaultRule:
+        """Drop matching messages (the sender sees a lost message)."""
+        return self.add_rule(FaultRule(action=DROP, **kwargs))
+
+    def kill_link(self, **kwargs) -> FaultRule:
+        """Fail matching sends with :class:`NetworkError` (the link is down)."""
+        return self.add_rule(FaultRule(action=KILL, **kwargs))
+
+    def delay(self, seconds: float, **kwargs) -> FaultRule:
+        """Stall matching deliveries by ``seconds``."""
+        return self.add_rule(FaultRule(action="delay", delay_seconds=seconds, **kwargs))
+
+    def heal(self, rule: FaultRule | None = None) -> None:
+        """Remove one rule, or all of them (the chaos is over)."""
+        with self._lock:
+            if rule is None:
+                self.rules.clear()
+            elif rule in self.rules:
+                self.rules.remove(rule)
+
+    def active_rules(self) -> list[FaultRule]:
+        with self._lock:
+            return [rule for rule in self.rules if not rule.expired]
+
+    # -------------------------------------------------------------- decisions
+
+    def before_send(self, envelope: Envelope) -> str:
+        """Decide one envelope's fate; sleeps for matching delay rules.
+
+        Returns :data:`DELIVER` or :data:`DROP`; a matching kill rule raises
+        :class:`NetworkError` so the sender sees a dead link, not a quiet
+        loss.  The first matching rule of each envelope wins, so ordering
+        rules from specific to general behaves like a routing table.
+        """
+        delay = 0.0
+        verdict = DELIVER
+        with self._lock:
+            for rule in self.rules:
+                if not rule.matches(envelope):
+                    continue
+                if rule.probability < 1.0 and self._rng.random_float() >= rule.probability:
+                    continue
+                rule.applied += 1
+                if rule.action == "delay":
+                    delay = rule.delay_seconds
+                    self.delayed += 1
+                    continue  # a delayed message can still be dropped downstream
+                if rule.action == DROP:
+                    self.dropped += 1
+                    verdict = DROP
+                else:
+                    self.killed += 1
+                    verdict = KILL
+                break
+        if delay > 0.0:
+            time.sleep(delay)
+        if verdict == KILL:
+            raise NetworkError(
+                f"fault injection: the link from {envelope.source!r} to "
+                f"{envelope.destination!r} is down"
+            )
+        return verdict
+
+
+def apply_fault_command(transport, command: dict) -> dict | None:
+    """Handle an ``inject-fault`` / ``heal-faults`` control command.
+
+    Shared by the entry and chain server processes' control planes so rule
+    installation stays in one place.  Returns the reply dict, or ``None``
+    when ``command`` is not a fault command (the caller keeps dispatching).
+    ``transport`` is any object with a ``fault_injector`` attribute (both
+    transports have one).
+    """
+    cmd = command.get("cmd")
+    if cmd == "inject-fault":
+        rule = FaultRule.from_dict(command["rule"])
+        seed = int(command.get("seed", 0))
+        if transport.fault_injector is None:
+            transport.fault_injector = FaultInjector(seed)
+        elif transport.fault_injector.seed != seed:
+            # Silently reusing the old stream would break the "same seed,
+            # same kills" reproducibility contract — refuse loudly instead.
+            raise ProtocolError(
+                f"a fault injector seeded with {transport.fault_injector.seed} "
+                f"already exists; cannot reseed it to {seed}"
+            )
+        transport.fault_injector.add_rule(rule)
+        return {"ok": True, "rules": len(transport.fault_injector.active_rules())}
+    if cmd == "heal-faults":
+        if transport.fault_injector is not None:
+            transport.fault_injector.heal()
+        return {"ok": True}
+    return None
+
+
+__all__ = ["DELIVER", "DROP", "KILL", "FaultInjector", "FaultRule", "apply_fault_command"]

@@ -41,9 +41,10 @@ from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
+from .faults import DROP, FaultInjector
 from .messages import Envelope, MessageKind
 from .transport import Handler, TrafficStats, Transport
-from ..errors import NetworkError, ProtocolError, TransportTimeout
+from ..errors import ConnectTimeout, NetworkError, ProtocolError, TransportTimeout
 
 _LENGTH = struct.Struct(">I")
 _REQUEST_HEAD = struct.Struct(">BQHH")  # kind index, round number, source len, destination len
@@ -60,6 +61,9 @@ _NONE = 1
 _NETWORK_ERROR = 2
 _PROTOCOL_ERROR = 3
 _TIMEOUT = 4
+#: A connect-phase timeout: nothing was delivered, so the failure stays
+#: provably retryable even after crossing hop boundaries.
+_CONNECT_TIMEOUT = 5
 
 
 def encode_request(envelope: Envelope) -> bytes:
@@ -118,6 +122,8 @@ def decode_reply(body: bytes) -> bytes | None:
     if status == _NONE:
         return None
     message = payload.decode("utf-8", "replace")
+    if status == _CONNECT_TIMEOUT:
+        raise ConnectTimeout(message)
     if status == _TIMEOUT:
         raise TransportTimeout(message)
     if status == _PROTOCOL_ERROR:
@@ -172,7 +178,7 @@ class _ConnectionPool:
                 asyncio.open_connection(self.host, self.port), self.connect_timeout
             )
         except asyncio.TimeoutError as exc:
-            raise TransportTimeout(
+            raise ConnectTimeout(
                 f"connecting to {self.host}:{self.port} exceeded {self.connect_timeout}s"
             ) from exc
         except OSError as exc:
@@ -193,6 +199,18 @@ class _ConnectionPool:
             writer.close()
         except Exception:  # pragma: no cover - best-effort teardown
             pass
+
+    def flush_idle(self) -> None:
+        """Drop every idle connection.
+
+        Called after a request on this pool fails: idle connections share the
+        failed one's fate (the peer crashed or restarted), and discarding
+        them now means the next request dials a fresh socket instead of
+        burning a retry on each stale one.
+        """
+        for _, writer in self._idle:
+            self.discard(writer)
+        self._idle.clear()
 
     def close_all(self) -> None:
         for writer in list(self._all):
@@ -224,6 +242,14 @@ class TcpTransport(Transport):
         self._handlers: dict[str, Handler] = {}
         self._stats: dict[tuple[str, str], TrafficStats] = defaultdict(TrafficStats)
         self._stats_lock = threading.Lock()
+        #: Sends that never delivered a frame (timeout, dead link, dropped by
+        #: fault injection).  Kept separate from :class:`TrafficStats`, which
+        #: counts only delivered frames — the adversary-observation accounting
+        #: must not be inflated by traffic that never reached the wire's far
+        #: end.
+        self.failed_sends = 0
+        #: Deterministic chaos hook, mirroring ``Network.fault_injector``.
+        self.fault_injector: FaultInjector | None = None
         self._pools: dict[tuple[str, int], _ConnectionPool] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=handler_workers, thread_name_prefix="tcp-handler"
@@ -316,6 +342,8 @@ class TcpTransport(Transport):
             if handler is None:
                 raise NetworkError(f"unknown endpoint: {envelope.destination!r}")
             result = handler(envelope)
+        except ConnectTimeout as exc:
+            return encode_reply(_CONNECT_TIMEOUT, str(exc).encode("utf-8"))
         except TransportTimeout as exc:
             return encode_reply(_TIMEOUT, str(exc).encode("utf-8"))
         except NetworkError as exc:
@@ -353,8 +381,15 @@ class TcpTransport(Transport):
             kind=kind,
             round_number=round_number,
         )
-        with self._stats_lock:
-            self._stats[(source, destination)].record(envelope)
+        if self.fault_injector is not None:
+            try:
+                verdict = self.fault_injector.before_send(envelope)
+            except NetworkError:
+                self._record_failure()
+                raise
+            if verdict == DROP:
+                self._record_failure()
+                return None
         address = self._routes.get(destination)
         if address is None:
             # A locally served endpoint can be reached without a socket —
@@ -363,11 +398,27 @@ class TcpTransport(Transport):
             handler = self._handlers.get(destination)
             if handler is None:
                 raise NetworkError(f"unknown endpoint: {destination!r}")
+            self._record_delivery(envelope)
             return handler(envelope)
         self._ensure_loop()  # fail fast on a closed transport, before creating the coroutine
         body = encode_request(envelope)
-        reply = self._call(self._request(address, body), timeout=None)
+        try:
+            reply = self._call(self._request(address, body), timeout=None)
+        except NetworkError:  # includes TransportTimeout
+            # The frame never completed a round trip: a timed-out or failed
+            # send must not inflate the delivered-traffic stats.
+            self._record_failure()
+            raise
+        self._record_delivery(envelope)
         return decode_reply(reply)
+
+    def _record_delivery(self, envelope: Envelope) -> None:
+        with self._stats_lock:
+            self._stats[(envelope.source, envelope.destination)].record(envelope)
+
+    def _record_failure(self) -> None:
+        with self._stats_lock:
+            self.failed_sends += 1
 
     async def _request(self, address: tuple[str, int], body: bytes) -> bytes:
         pool = self._pools.get(address)
@@ -387,9 +438,11 @@ class TcpTransport(Transport):
             ) from exc
         except OSError as exc:
             pool.discard(writer)
+            pool.flush_idle()  # sibling sockets to a crashed peer are dead too
             raise NetworkError(f"link to {address[0]}:{address[1]} failed: {exc}") from exc
         if reply is None:
             pool.discard(writer)
+            pool.flush_idle()
             raise NetworkError(f"{address[0]}:{address[1]} closed the connection mid-request")
         pool.release(reader, writer)
         return reply

@@ -30,6 +30,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from .faults import DROP, FaultInjector
 from .messages import Envelope, MessageKind, Observation
 from ..errors import NetworkError
 
@@ -169,6 +170,9 @@ class Network(Transport):
 
     observers: list[Callable[[Observation], None]] = field(default_factory=list)
     interferences: list[Interference] = field(default_factory=list)
+    #: Deterministic chaos hook: when set, every send consults the injector
+    #: (after the adversary observed the attempt, like interference does).
+    fault_injector: FaultInjector | None = None
     _handlers: dict[str, Handler] = field(default_factory=dict)
     _stats: dict[tuple[str, str], TrafficStats] = field(
         default_factory=lambda: defaultdict(TrafficStats)
@@ -220,6 +224,12 @@ class Network(Transport):
         )
         for observer in self.observers:
             observer(Observation.of(envelope))
+        if self.fault_injector is not None:
+            # A kill rule raises NetworkError out of this call; a drop is
+            # indistinguishable from adversarial interference to the caller.
+            if self.fault_injector.before_send(envelope) == DROP:
+                self.dropped += 1
+                return None
         for interference in self.interferences:
             if not interference.allow(envelope):
                 self.dropped += 1

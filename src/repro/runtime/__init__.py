@@ -22,9 +22,10 @@ from .engine import (
     RoundEngine,
     default_engine,
 )
-from .coordinator import LATE, RoundCoordinator, RoundResult, SubmissionWindow
+from .coordinator import ABORTED, LATE, RoundCoordinator, RoundResult, SubmissionWindow
 
 __all__ = [
+    "ABORTED",
     "ENGINE_MODES",
     "LATE",
     "PROCESS",

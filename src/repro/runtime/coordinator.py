@@ -1,4 +1,4 @@
-"""Deadline-driven round sequencing over any transport.
+"""Deadline-driven round sequencing over any transport, with abort/retry.
 
 :class:`RoundCoordinator` owns the lifecycle of one Vuvuzela round that
 :class:`~repro.core.system.VuvuzelaSystem` used to hand-sequence inline: it
@@ -23,6 +23,34 @@ The same coordinator serves both deployment shapes:
   timer fires or when ``expected_requests`` submissions have arrived,
   whichever comes first.
 
+**Fault tolerance** (the paper's §6 availability model: any server can fail,
+the system aborts the round and runs it again).  When the chain drive fails —
+a killed hop, a dead link, a refused connection — and the retry budget
+(``max_round_attempts``) is not exhausted, the coordinator *aborts* the
+attempt instead of failing the round: accepted submissions are refunded —
+they stay buffered at the entry — and a fresh window for the same round
+number opens immediately, pre-seeded with those refunds (so nothing is lost
+even if a client never comes back), while blocked long-polls are answered
+with the :data:`ABORTED` marker so networked clients resubmit.  Rounds that
+fail *permanently* park their undelivered submissions in
+``resubmission_queue`` for inspection instead.  Resubmission is
+idempotent: a window remembers each accepted payload's digest per client, so
+a resubmitted request re-attaches to its original batch slot instead of being
+admitted twice — every accepted message runs through the chain exactly once.
+The re-run draws fresh noise and a fresh mix permutation at every hop, which
+is exactly how the paper preserves privacy across an aborted round.  A
+:class:`~repro.errors.TransportTimeout` (or a malformed round result) is
+*not* retried: the chain may have committed the batch before the deadline
+passed, so re-driving it could execute messages twice — those rounds fail,
+clients experience a lost round, and §3.1 retransmission (with its
+sequence-number duplicate suppression) recovers on the next round.  Retried
+connection-level failures keep a narrow two-generals residue: a hop that
+dies *after* forwarding can leave the tail of the chain committed while the
+failure still propagates upstream, so the re-run would execute that batch a
+second time.  Conversation delivery stays exactly-once regardless (the
+receiving client's sequence tracker suppresses the duplicate); a dialing
+invitation deposited in that window may be seen twice by its callee.
+
 Requests for rounds that were never opened pass straight through to the
 entry server (the historical behaviour: round sequencing is the caller's
 business until a window exists); requests for rounds already closed are the
@@ -31,17 +59,30 @@ stragglers the paper's deadline model refuses.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..errors import NetworkError, ProtocolError, TransportTimeout
+from ..errors import (
+    ConnectTimeout,
+    NetworkError,
+    ProtocolError,
+    RoundAbortedError,
+    TransportTimeout,
+)
 from ..net import Envelope, MessageKind, Transport
 from ..server import ACK, REFUSED, EntryServer
 
 #: Reply sent to requests that arrive after their round's window closed.
 LATE = b"late"
+
+#: Reply sent to blocked long-polls when their round attempt was aborted by a
+#: chain failure.  The round is being retried under the same number — the
+#: client resubmits the same request (idempotently) to re-attach its reply
+#: channel to the retry.
+ABORTED = b"aborted"
 
 
 @dataclass
@@ -55,11 +96,13 @@ class RoundResult:
     late: int
     #: Responses grouped per client, aligned with each client's submission order.
     responses: dict[str, list[bytes]]
+    #: How many attempts the round took (1 = no abort).
+    attempts: int = 1
 
 
 @dataclass
 class SubmissionWindow:
-    """Mutable state of one round's submission window."""
+    """Mutable state of one round's submission window (one attempt of it)."""
 
     kind: MessageKind
     round_number: int
@@ -68,19 +111,54 @@ class SubmissionWindow:
     #: Close early once this many submissions were handled — accepted *or*
     #: refused; a refused client has still checked in (networked mode).
     expected_requests: int | None
+    #: The relative deadline the window was opened with, kept so a retry of
+    #: an aborted round can rearm the same deadline from its own open time.
+    deadline_seconds: float | None = None
+    #: 1 for a round's first window; incremented by each abort/retry.
+    attempt: int = 1
     accepted: int = 0
     refused: int = 0
     late: int = 0
+    #: Submissions gated through this window (accepted, refused or idempotent
+    #: resubmissions) — the counter ``expected_requests`` closes on.
+    arrivals: int = 0
+    #: Idempotent resubmissions re-attached to an existing batch slot.
+    resubmissions: int = 0
     closed: bool = False
     resolved: bool = False
+    #: This attempt failed and a retry window took over the round.
+    aborted: bool = False
     result: RoundResult | None = None
     error: Exception | None = None
+    #: Deadline timer handle (blocking mode), cancelled when the window
+    #: closes early — an uncancelled timer is a thread leak per round.
+    timer: threading.Timer | None = None
     #: Per-client count of accepted submissions, for response alignment.
     per_client: dict[str, int] = field(default_factory=dict)
+    #: Per-client digests of accepted payloads, in submission order: the
+    #: idempotency key ``(kind, round, client, index)`` of abort/retry
+    #: resubmission — a payload whose digest is already present re-attaches
+    #: to its original index instead of being admitted again.
+    submitted: dict[str, list[bytes]] = field(default_factory=dict)
+    #: Accepted slots whose owner has checked in *on this window* — a fresh
+    #: acceptance, or the first resubmission of a refund-seeded slot.  Keeps
+    #: ``arrivals`` counting distinct check-ins: a duplicate resubmission
+    #: (a client retrying a cut long-poll) must not push a first-attempt
+    #: window over its expected count while other clients are still coming.
+    claimed: set[tuple[str, int]] = field(default_factory=set)
+    #: ``(client, digest)`` of payloads this round already refused, so a
+    #: client retrying a REFUSED reply it never received is answered again
+    #: without being re-handled — re-handling would double-count the
+    #: refusal and could close an expected-count window early.
+    refused_digests: set[tuple[str, bytes]] = field(default_factory=set)
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.sha256(bytes(payload)).digest()
 
 
 class RoundCoordinator:
-    """Opens, gates, deadlines and drives rounds on behalf of an entry server.
+    """Opens, gates, deadlines, drives and — on failure — retries rounds.
 
     On construction the coordinator takes over the entry server's endpoint
     registration on ``transport``: every envelope addressed to the entry now
@@ -96,8 +174,11 @@ class RoundCoordinator:
         hop_timeout_seconds: float | None = None,
         blocking_responses: bool = False,
         response_wait_seconds: float = 120.0,
+        max_round_attempts: int = 3,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
+        if max_round_attempts < 1:
+            raise ProtocolError("a round needs at least one attempt")
         self.transport = transport
         self.entry = entry
         self.deadline_seconds = deadline_seconds
@@ -107,6 +188,8 @@ class RoundCoordinator:
         self.hop_timeout_seconds = hop_timeout_seconds
         self.blocking_responses = blocking_responses
         self.response_wait_seconds = response_wait_seconds
+        #: Chain-drive attempts per round (1 = abort immediately on failure).
+        self.max_round_attempts = max_round_attempts
         self._clock = clock
         #: Handler for :data:`MessageKind.CONTROL` traffic (set by the
         #: networked entry process to expose its command API).
@@ -115,12 +198,31 @@ class RoundCoordinator:
         self._resolved_cond = threading.Condition(self._lock)
         self._windows: dict[tuple[MessageKind, int], SubmissionWindow] = {}
         self._highest_closed: dict[MessageKind, int] = {}
+        #: Post-mortem parking lot for rounds that failed *permanently*
+        #: (retry budget exhausted, or a non-retryable error), keyed by
+        #: (kind, round): the ``(client, payload)`` pairs that were accepted
+        #: but never ran, withdrawn from the entry buffer so they cannot
+        #: leak there, kept for inspection until the pruning horizon passes
+        #: them.  Refunds of an *aborted-and-retried* attempt never appear
+        #: here — they stay in the entry buffer, pre-seeded into the retry
+        #: window.
+        self.resubmission_queue: dict[
+            tuple[MessageKind, int], list[tuple[str, bytes]]
+        ] = {}
+        #: Deadline for a retry window when the round has none of its own
+        #: (blocking mode): without it, a refunded client that never
+        #: resubmits would leave the retry window open forever and its
+        #: refunded messages would never run.
+        self.retry_deadline_seconds = 30.0
         #: Resolved windows older than this many rounds are dropped; their
         #: stragglers are still answered with LATE via the closed-round
         #: watermark, so a long-running entry server's memory stays bounded.
         self.keep_windows = 64
         self.late_requests = 0
         self.rounds_run = 0
+        #: Round attempts aborted by a chain failure (and retried).
+        self.rounds_aborted = 0
+        self._shutdown = False
         transport.register(entry.name, self.handle)
 
     # -------------------------------------------------------------- windowing
@@ -144,6 +246,8 @@ class RoundCoordinator:
             raise ProtocolError(f"the entry server does not handle {kind}")
         seconds = deadline_seconds if deadline_seconds is not None else self.deadline_seconds
         with self._lock:
+            if self._shutdown:
+                raise ProtocolError("the coordinator has been shut down")
             key = (kind, round_number)
             if key in self._windows:
                 raise ProtocolError(f"round {round_number} ({kind.value}) is already open")
@@ -153,6 +257,7 @@ class RoundCoordinator:
                 kind=kind,
                 round_number=round_number,
                 deadline=None if seconds is None else self._clock() + seconds,
+                deadline_seconds=seconds,
                 expected_requests=expected_requests,
             )
             self._windows[key] = window
@@ -163,11 +268,18 @@ class RoundCoordinator:
                 if k[0] is kind and k[1] < horizon and old.resolved
             ]:
                 del self._windows[old_key]
-        if self.blocking_responses and seconds is not None:
-            timer = threading.Timer(seconds, self._deadline_close, args=(window,))
-            timer.daemon = True
-            timer.start()
+                self.resubmission_queue.pop(old_key, None)
+        self._arm_deadline(window, seconds)
         return window
+
+    def _arm_deadline(self, window: SubmissionWindow, seconds: float | None) -> None:
+        """Start (and keep a handle on) a window's force-close timer."""
+        if not self.blocking_responses or seconds is None:
+            return
+        timer = threading.Timer(seconds, self._deadline_close, args=(window,))
+        timer.daemon = True
+        window.timer = timer
+        timer.start()
 
     def window(self, kind: MessageKind, round_number: int) -> SubmissionWindow | None:
         with self._lock:
@@ -185,8 +297,14 @@ class RoundCoordinator:
 
     def handle(self, envelope: Envelope) -> bytes | None:
         """Transport handler for everything addressed to the entry server."""
-        if envelope.kind is MessageKind.CONTROL and self.control_handler is not None:
-            return self.control_handler(envelope)
+        if envelope.kind is MessageKind.CONTROL:
+            # Control traffic is not a round submission: it must neither be
+            # gated by a window nor counted as a straggler.  Without a
+            # control handler it falls through to the entry server, which
+            # rejects the kind with a ProtocolError.
+            if self.control_handler is not None:
+                return self.control_handler(envelope)
+            return self.entry.handle(envelope)
         with self._lock:
             window = self._windows.get((envelope.kind, envelope.round_number))
             if window is None:
@@ -202,19 +320,52 @@ class RoundCoordinator:
                 window.late += 1
                 self.late_requests += 1
                 return LATE
-            reply = self.entry.handle(envelope)
-            refused = reply == REFUSED
-            if refused:
-                window.refused += 1
-                index = -1
+            # The digest bookkeeping exists for networked resubmission (abort
+            # recovery, retried long-polls); synchronous deployments push
+            # responses and never resubmit, so they skip the per-message hash.
+            digests: list[bytes] | None = None
+            digest = b""
+            if self.blocking_responses:
+                digest = _digest(envelope.payload)
+                digests = window.submitted.setdefault(envelope.source, [])
+            if digests is not None and digest in digests:
+                # Idempotent resubmission (abort recovery, or a client whose
+                # long-poll timed out): the payload already occupies a batch
+                # slot — re-attach to it instead of admitting it twice.  Only
+                # the slot owner's *first* check-in on this window counts
+                # toward the expected-close: re-claiming a slot the client
+                # already checked in (a duplicate retry) must not close a
+                # window other clients are still submitting into.
+                window.resubmissions += 1
+                reply, refused = ACK, False
+                index = digests.index(digest)
+                if (envelope.source, index) not in window.claimed:
+                    window.claimed.add((envelope.source, index))
+                    window.arrivals += 1
+            elif digests is not None and (envelope.source, digest) in window.refused_digests:
+                # A retry of a refusal whose reply was lost in transit:
+                # answer it again, but it already counted.
+                reply, refused, index = REFUSED, True, -1
             else:
-                window.accepted += 1
-                index = window.per_client.get(envelope.source, 0)
-                window.per_client[envelope.source] = index + 1
+                reply = self.entry.handle(envelope)
+                refused = reply == REFUSED
+                window.arrivals += 1
+                if refused:
+                    window.refused += 1
+                    if digests is not None:
+                        window.refused_digests.add((envelope.source, digest))
+                    index = -1
+                else:
+                    index = window.per_client.get(envelope.source, 0)
+                    if digests is not None:
+                        digests.append(digest)
+                        window.claimed.add((envelope.source, index))
+                    window.accepted += 1
+                    window.per_client[envelope.source] = index + 1
             should_close = (
                 self.blocking_responses
                 and window.expected_requests is not None
-                and window.accepted + window.refused >= window.expected_requests
+                and window.arrivals >= window.expected_requests
             )
         if should_close:
             try:
@@ -237,6 +388,10 @@ class RoundCoordinator:
                         f"{self.response_wait_seconds}s"
                     )
                 self._resolved_cond.wait(remaining)
+            if window.aborted:
+                # The attempt died to a chain failure and a retry window is
+                # already open: tell the client to resubmit, don't error out.
+                return ABORTED
             if window.error is not None:
                 raise ProtocolError(
                     f"round {window.round_number} failed: {window.error}"
@@ -248,31 +403,89 @@ class RoundCoordinator:
     # ---------------------------------------------------------------- closing
 
     def close_round(self, window: SubmissionWindow) -> RoundResult:
-        """Close the window, drive the chain, resolve the round.
+        """Close the window, drive the chain, resolve (or abort) the round.
 
         Idempotent: a second close (deadline timer racing an explicit or
         expected-count close) returns the first close's result.  A hop that
-        times out surfaces as :class:`ProtocolError`; any failure is recorded
-        on the window so blocked submitters fail too instead of hanging.
+        times out surfaces as :class:`ProtocolError`; a failure with retry
+        budget left aborts the attempt instead — refunding submissions,
+        opening a retry window for the same round number and (blocking mode)
+        raising :class:`RoundAbortedError` / (synchronous mode) re-running
+        the round inline and returning the retry's result.
         """
         with self._lock:
             if window.closed:
                 return self._resolved_result(window)
             window.closed = True
+            if window.timer is not None:
+                window.timer.cancel()
             self._highest_closed[window.kind] = max(
                 self._highest_closed.get(window.kind, -1), window.round_number
             )
         try:
             grouped = self.entry.run_round_grouped(window.kind, window.round_number)
-        except TransportTimeout as exc:
-            error = ProtocolError(
-                f"round {window.round_number} ({window.kind.value}): a chain hop "
-                f"timed out: {exc}"
+        except (NetworkError, ProtocolError) as exc:
+            # run_round_grouped restored the submissions into the entry
+            # buffer; decide between abort-and-retry and permanent failure.
+            # Only *unambiguous* link failures are retried: after a
+            # request-phase TransportTimeout (or a malformed result) the
+            # chain may in fact have committed its dead-drop writes, and
+            # re-driving the batch would execute every message twice.  Those
+            # rounds fail instead — clients lose the round and retransmit
+            # next round, where sequence numbers already suppress any
+            # duplicate delivery.  A ConnectTimeout is the exception within
+            # the timeout family: the connect never completed, so nothing
+            # was delivered and the retry is provably safe (this is the
+            # common signature of a crashed-or-partitioned host that drops
+            # SYNs instead of refusing them).
+            retryable = isinstance(exc, ConnectTimeout) or (
+                isinstance(exc, NetworkError) and not isinstance(exc, TransportTimeout)
             )
-            error.__cause__ = exc
+            if retryable and window.attempt < self.max_round_attempts and not self._shutdown:
+                retry = self._abort_and_reopen(window)
+                if not self.blocking_responses:
+                    # Synchronous callers hold no long-polls: re-run the
+                    # round inline (fresh noise, fresh permutations) and hand
+                    # them the retry's result directly.
+                    return self.close_round(retry)
+                if retry.expected_requests == 0:
+                    # Nothing was refunded and nobody will resubmit (every
+                    # submission was refused): re-run the empty round now so
+                    # wait_for_result still resolves.
+                    try:
+                        self.close_round(retry)
+                    except (NetworkError, ProtocolError):
+                        pass  # recorded on the retry window
+                raise RoundAbortedError(
+                    f"round {window.round_number} ({window.kind.value}) attempt "
+                    f"{window.attempt} aborted ({exc}); retrying as attempt "
+                    f"{retry.attempt}"
+                ) from exc
+            if isinstance(exc, TransportTimeout):
+                error: Exception = ProtocolError(
+                    f"round {window.round_number} ({window.kind.value}): a chain hop "
+                    f"timed out: {exc}"
+                )
+                error.__cause__ = exc
+            else:
+                error = exc
+            # Retry budget exhausted: pull the submissions out of the entry
+            # buffer (they would leak there — the round number never comes
+            # back) and park them in the resubmission queue for inspection.
+            self.resubmission_queue[(window.kind, window.round_number)] = self.entry.withdraw(
+                window.kind, window.round_number
+            )
             self._resolve(window, error=error)
-            raise error
+            if error is not exc:
+                raise error
+            raise
         except Exception as exc:
+            # Same cleanup as the exhausted-retry path: run_round_grouped
+            # restored the batch, and leaving it in the entry buffer for a
+            # round number that never comes back would leak it.
+            self.resubmission_queue[(window.kind, window.round_number)] = self.entry.withdraw(
+                window.kind, window.round_number
+            )
             self._resolve(window, error=exc)
             raise
         result = RoundResult(
@@ -282,9 +495,71 @@ class RoundCoordinator:
             refused=window.refused,
             late=window.late,
             responses=grouped,
+            attempts=window.attempt,
         )
         self._resolve(window, result=result)
         return result
+
+    def _abort_and_reopen(self, window: SubmissionWindow) -> SubmissionWindow:
+        """Abort a failed attempt and open its retry window atomically.
+
+        The retry window opens *before* the aborted one resolves, so a
+        networked client that is told :data:`ABORTED` and instantly
+        resubmits finds an open window, never a straggler refusal.  The
+        retry is pre-seeded with the refunded submissions: their batch slots,
+        per-client ordering and idempotency digests survive, so resubmitting
+        clients re-attach to their original indices and clients that never
+        come back still have their accepted messages run through the chain.
+        """
+        key = (window.kind, window.round_number)
+        with self._lock:
+            # run_round_grouped already restored the failed batch into the
+            # entry buffer; the refunds stay right there for the re-run —
+            # only their window bookkeeping needs rebuilding.
+            refunds = self.entry.submissions(window.kind, window.round_number)
+            # A retry must always be able to close on its own: fall back to
+            # the coordinator-wide retry deadline when the round has no
+            # deadline of its own, so refunded messages still run even if
+            # every refunded client is gone for good (blocking mode).
+            retry_seconds = window.deadline_seconds
+            if retry_seconds is None and self.blocking_responses:
+                retry_seconds = self.retry_deadline_seconds
+            retry = SubmissionWindow(
+                kind=window.kind,
+                round_number=window.round_number,
+                deadline=(
+                    None if retry_seconds is None else self._clock() + retry_seconds
+                ),
+                deadline_seconds=retry_seconds,
+                # Only refunded (accepted) clients will resubmit — refused
+                # ones were answered immediately and are done with the round.
+                expected_requests=(
+                    len(refunds) if window.expected_requests is not None else None
+                ),
+                attempt=window.attempt + 1,
+                # The attempt's admission history is the round's history.
+                refused=window.refused,
+                late=window.late,
+                refused_digests=set(window.refused_digests),
+            )
+            for client, payload in refunds:
+                index = retry.per_client.get(client, 0)
+                if self.blocking_responses:
+                    retry.submitted.setdefault(client, []).append(_digest(payload))
+                retry.per_client[client] = index + 1
+                retry.accepted += 1
+            self._windows[key] = retry
+            # The round is open again: the closed-round watermark must not
+            # refuse its resubmissions as stragglers.
+            if self._highest_closed.get(window.kind, -1) == window.round_number:
+                self._highest_closed[window.kind] = window.round_number - 1
+            self.rounds_aborted += 1
+        self._arm_deadline(retry, retry.deadline_seconds)
+        with self._resolved_cond:
+            window.aborted = True
+            window.resolved = True
+            self._resolved_cond.notify_all()
+        return retry
 
     def _resolve(
         self,
@@ -313,6 +588,11 @@ class RoundCoordinator:
                         f"{self.response_wait_seconds}s"
                     )
                 self._resolved_cond.wait(remaining)
+            if window.aborted:
+                raise RoundAbortedError(
+                    f"round {window.round_number} ({window.kind.value}) attempt "
+                    f"{window.attempt} was aborted and is being retried"
+                )
             if window.error is not None:
                 raise window.error
             assert window.result is not None
@@ -321,12 +601,18 @@ class RoundCoordinator:
     def wait_for_result(
         self, kind: MessageKind, round_number: int, timeout: float | None = None
     ) -> RoundResult:
-        """Block until a round resolves (the networked control plane's view)."""
+        """Block until a round resolves (the networked control plane's view).
+
+        An aborted attempt does not resolve the round: its retry window
+        replaces it in the window table, so this keeps waiting across
+        aborts and returns the attempt that actually ran (or the final
+        error once the retry budget is exhausted).
+        """
         deadline = self._clock() + (timeout if timeout is not None else self.response_wait_seconds)
         with self._resolved_cond:
             while True:
                 window = self._windows.get((kind, round_number))
-                if window is not None and window.resolved:
+                if window is not None and window.resolved and not window.aborted:
                     if window.error is not None:
                         raise ProtocolError(
                             f"round {round_number} failed: {window.error}"
@@ -339,3 +625,27 @@ class RoundCoordinator:
                         f"round {round_number} ({kind.value}) did not resolve in time"
                     )
                 self._resolved_cond.wait(remaining)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Shut the coordinator down: cancel timers, unblock every waiter.
+
+        Idempotent.  Open windows resolve with an error so blocked
+        long-polls return to their clients instead of leaking until the
+        transport is torn down under them.
+        """
+        with self._resolved_cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            for window in self._windows.values():
+                if window.timer is not None:
+                    window.timer.cancel()
+                if not window.resolved:
+                    window.error = NetworkError(
+                        f"round {window.round_number} ({window.kind.value}): "
+                        "the coordinator is shutting down"
+                    )
+                    window.resolved = True
+            self._resolved_cond.notify_all()

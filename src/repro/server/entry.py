@@ -85,27 +85,56 @@ class EntryServer:
     def pending_requests(self, kind: MessageKind, round_number: int) -> int:
         return len(self._buffers.get((kind, round_number), []))
 
+    def submissions(self, kind: MessageKind, round_number: int) -> list[tuple[str, bytes]]:
+        """A read-only view of one round's buffered ``(client, payload)`` pairs."""
+        return list(self._buffers.get((kind, round_number), []))
+
+    def withdraw(self, kind: MessageKind, round_number: int) -> list[tuple[str, bytes]]:
+        """Remove and return one round's buffered submissions.
+
+        The coordinator uses this to refund accepted submissions into its
+        resubmission queue when a round aborts.
+        """
+        return self._buffers.pop((kind, round_number), [])
+
+    def restore(
+        self, kind: MessageKind, round_number: int, submissions: list[tuple[str, bytes]]
+    ) -> None:
+        """Re-buffer previously withdrawn submissions (abort/retry refunds)."""
+        if submissions:
+            self._buffers.setdefault((kind, round_number), []).extend(submissions)
+
     def run_round_grouped(self, kind: MessageKind, round_number: int) -> dict[str, list[bytes]]:
         """Send the buffered batch through the chain; group responses per client.
 
         Each client's responses appear in the order it submitted its requests.
-        The buffer for the round is consumed: late requests for an already-run
-        round are rejected by :class:`~repro.core.system.VuvuzelaSystem`'s
-        round sequencing rather than silently queued forever.
+        The buffer for the round is consumed on success: late requests for an
+        already-run round are rejected by the round sequencing above this
+        server rather than silently queued forever.  On a chain failure the
+        batch is restored first — a crashed hop must not silently discard
+        every accepted submission of the round (the coordinator refunds them
+        into its resubmission queue and re-runs the round).
         """
         submissions = self._buffers.pop((kind, round_number), [])
         batch = [payload for _, payload in submissions]
-        reply = self.network.send(
-            self.name,
-            self.first_server[kind],
-            encode_batch(round_number, batch),
-            kind=kind,
-            round_number=round_number,
-        )
-        if reply is None:
-            raise NetworkError(f"round {round_number}: the first chain server is unreachable")
-        reply_round, responses = decode_batch(reply)
+        try:
+            reply = self.network.send(
+                self.name,
+                self.first_server[kind],
+                encode_batch(round_number, batch),
+                kind=kind,
+                round_number=round_number,
+            )
+            if reply is None:
+                raise NetworkError(
+                    f"round {round_number}: the first chain server is unreachable"
+                )
+            reply_round, responses = decode_batch(reply)
+        except Exception:
+            self.restore(kind, round_number, submissions)
+            raise
         if reply_round != round_number or len(responses) != len(submissions):
+            self.restore(kind, round_number, submissions)
             raise ProtocolError("the chain returned a malformed round result")
         grouped: dict[str, list[bytes]] = {}
         for (client, _), response in zip(submissions, responses):

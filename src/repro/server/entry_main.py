@@ -39,6 +39,7 @@ from ..core import topology
 from ..crypto.backend import set_backend
 from ..errors import ProtocolError, ReproError, TransportTimeout
 from ..net import Envelope, MessageKind, TcpTransport, parse_address
+from ..net.faults import apply_fault_command
 from ..runtime import RoundCoordinator
 
 _PROTOCOLS = {
@@ -101,6 +102,8 @@ class EntryServerProcess:
             deadline_seconds=config.round_deadline_seconds,
             hop_timeout_seconds=config.hop_timeout_seconds,
             blocking_responses=True,
+            response_wait_seconds=config.response_wait_seconds,
+            max_round_attempts=config.max_round_attempts,
         )
         self.coordinator.control_handler = self.handle_control
         self._next_round = {kind: 0 for kind in _PROTOCOLS.values()}
@@ -110,6 +113,9 @@ class EntryServerProcess:
         return self.transport.listen()
 
     def close(self) -> None:
+        # Coordinator first: it cancels deadline timers and unblocks every
+        # long-poll, so client connections drain before the sockets vanish.
+        self.coordinator.close()
         self.transport.close()
 
     # ---------------------------------------------------------- control plane
@@ -141,6 +147,11 @@ class EntryServerProcess:
             return {"refused": self.entry.refused_requests}
         if cmd == "late-total":
             return {"late": self.coordinator.late_requests}
+        if cmd == "aborted-total":
+            return {"aborted": self.coordinator.rounds_aborted}
+        fault_reply = apply_fault_command(self.transport, command)
+        if fault_reply is not None:
+            return fault_reply
         if cmd == "open-round":
             kind = self._protocol(command)
             deadline = command.get("deadline")
@@ -173,6 +184,8 @@ class EntryServerProcess:
                 "refused": result.refused,
                 "late": window.late if window is not None else result.late,
                 "responded": sum(len(r) for r in result.responses.values()),
+                "attempts": result.attempts,
+                "aborts": result.attempts - 1,
             }
         if cmd == "shutdown":
             self.shutdown.set()

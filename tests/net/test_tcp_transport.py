@@ -6,7 +6,7 @@ import time
 
 import pytest
 
-from repro.errors import NetworkError, ProtocolError, TransportTimeout
+from repro.errors import ConnectTimeout, NetworkError, ProtocolError, TransportTimeout
 from repro.net import Envelope, MessageKind, TcpTransport, parse_address
 from repro.net.tcp import decode_reply, decode_request, encode_reply, encode_request
 
@@ -43,6 +43,10 @@ class TestFraming:
             decode_reply(encode_reply(3, b"bad round"))
         with pytest.raises(TransportTimeout):
             decode_reply(encode_reply(4, b"too slow"))
+        # A connect-phase timeout keeps its provably-undelivered identity
+        # across hop boundaries so the coordinator can still retry it.
+        with pytest.raises(ConnectTimeout):
+            decode_reply(encode_reply(5, b"no SYN-ACK"))
 
     def test_parse_address(self):
         assert parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
@@ -171,3 +175,76 @@ class TestTcpRpc:
         # so the coordinator can turn it into a ProtocolError at the top.
         with pytest.raises(TransportTimeout, match="downstream hop"):
             client_transport.send("a", "relay", b"")
+
+
+class TestTrafficAccounting:
+    def test_timed_out_send_does_not_inflate_stats(self, server_transport):
+        """Regression: stats used to be recorded before the request ran, so
+        timed-out and failed sends inflated the adversary-observation byte
+        and message counts."""
+        server_transport.register("slow", lambda envelope: time.sleep(5.0) or b"late")
+        host, port = server_transport.listen()
+        client = TcpTransport(request_timeout=0.2)
+        client.add_route("slow", host, port)
+        try:
+            with pytest.raises(TransportTimeout):
+                client.send("a", "slow", b"12345")
+            assert client.stats("a", "slow").messages == 0
+            assert client.stats("a", "slow").bytes == 0
+            assert client.total_messages() == 0
+            assert client.failed_sends == 1
+        finally:
+            client.close()
+
+    def test_connect_failure_counts_as_failed_send_only(self, client_transport):
+        client_transport.add_route("void", "127.0.0.1", 1)
+        with pytest.raises(NetworkError):
+            client_transport.send("a", "void", b"payload")
+        assert client_transport.total_messages() == 0
+        assert client_transport.failed_sends == 1
+
+    def test_delivered_error_replies_still_count(self, server_transport, client_transport):
+        """An error reply is a delivered frame — the traffic happened."""
+
+        def fail(envelope):
+            raise ProtocolError("bad round")
+
+        server_transport.register("fail", fail)
+        host, port = server_transport.listen()
+        client_transport.add_route("fail", host, port)
+        with pytest.raises(ProtocolError):
+            client_transport.send("a", "fail", b"xyz")
+        assert client_transport.stats("a", "fail").messages == 1
+        assert client_transport.failed_sends == 0
+
+
+class TestFaultInjection:
+    def test_drop_rule_loses_the_message(self, server_transport, client_transport):
+        from repro.net import FaultInjector
+
+        server_transport.register("echo", lambda envelope: b"ok")
+        host, port = server_transport.listen()
+        client_transport.add_route("echo", host, port)
+        injector = FaultInjector(seed=7)
+        injector.drop(destination="echo", count=1)
+        client_transport.fault_injector = injector
+        assert client_transport.send("a", "echo", b"gone") is None
+        assert client_transport.failed_sends == 1
+        assert injector.dropped == 1
+        # The rule expired: the next send goes through and is counted.
+        assert client_transport.send("a", "echo", b"ok") == b"ok"
+        assert client_transport.stats("a", "echo").messages == 1
+
+    def test_kill_rule_raises_network_error(self, server_transport, client_transport):
+        from repro.net import FaultInjector
+
+        server_transport.register("echo", lambda envelope: b"ok")
+        host, port = server_transport.listen()
+        client_transport.add_route("echo", host, port)
+        injector = FaultInjector()
+        rule = injector.kill_link(destination="echo")
+        client_transport.fault_injector = injector
+        with pytest.raises(NetworkError, match="fault injection"):
+            client_transport.send("a", "echo", b"x")
+        injector.heal(rule)
+        assert client_transport.send("a", "echo", b"x") == b"ok"

@@ -1,16 +1,18 @@
-"""Tests for the round coordinator: windows, deadlines, stragglers, blocking mode."""
+"""Tests for the round coordinator: windows, deadlines, stragglers, blocking
+mode, and the abort/retry fault-tolerance path."""
 
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro.crypto import KeyPair, unwrap_response, wrap_request
-from repro.errors import ProtocolError, TransportTimeout
+from repro.errors import ConnectTimeout, NetworkError, ProtocolError, TransportTimeout
 from repro.mixnet import MixServer
-from repro.net import MessageKind, Network
-from repro.runtime import LATE, RoundCoordinator
+from repro.net import Envelope, MessageKind, Network
+from repro.runtime import ABORTED, LATE, RoundCoordinator
 from repro.server import ACK, REFUSED, ChainServerEndpoint, EntryServer
 
 
@@ -182,3 +184,317 @@ class TestBlockingMode:
         coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
         with pytest.raises(TransportTimeout):
             coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=0.05)
+
+
+def flaky_hop(network, endpoint, failures=1):
+    """Wrap a chain endpoint's handler to fail its first ``failures`` batches."""
+    original = network._handlers[endpoint]
+    remaining = {"n": failures}
+
+    def handler(envelope):
+        if remaining["n"] > 0:
+            remaining["n"] -= 1
+            raise NetworkError(f"{endpoint} crashed mid-round")
+        return original(envelope)
+
+    network.register(endpoint, handler)
+    return remaining
+
+
+class TestTimerLifecycle:
+    def test_deadline_timer_is_kept_and_cancelled_on_early_close(self, rng):
+        """Regression: the deadline Timer handle used to be discarded, so a
+        window closed early by its expected count leaked a live timer."""
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        window = coordinator.open_round(
+            MessageKind.CONVERSATION_REQUEST, 0, deadline_seconds=60.0, expected_requests=1
+        )
+        assert window.timer is not None and window.timer.is_alive()
+        wire, _ = wrap_request(b"x", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        # The expected-count close must cancel the 60s timer immediately.
+        assert window.timer.finished.is_set()
+
+    def test_coordinator_close_cancels_open_window_timers(self, rng):
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        window = coordinator.open_round(
+            MessageKind.CONVERSATION_REQUEST, 0, deadline_seconds=60.0
+        )
+        coordinator.close()
+        assert window.timer is not None and window.timer.finished.is_set()
+        # Shutdown also unblocks anyone waiting on the round.
+        with pytest.raises(ProtocolError):
+            coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=1.0)
+
+    def test_open_round_after_close_is_rejected(self, rng):
+        _, _, _, coordinator = build_stack(rng)
+        coordinator.close()
+        with pytest.raises(ProtocolError, match="shut down"):
+            coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+
+
+class TestPruningHorizon:
+    def test_straggler_for_a_pruned_round_is_still_late(self, rng):
+        """A LATE reply must be served even for rounds whose windows were
+        pruned past the keep_windows horizon (the watermark answers)."""
+        network, entry, publics, coordinator = build_stack(rng)
+        coordinator.keep_windows = 2
+        for round_number in range(5):
+            window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, round_number)
+            coordinator.close_round(window)
+        assert coordinator.window(MessageKind.CONVERSATION_REQUEST, 0) is None  # pruned
+        wire, _ = wrap_request(b"ancient", publics, 0, rng)
+        reply = network.send("rip-van-winkle", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        assert reply == LATE
+        assert coordinator.late_requests == 1
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 0
+
+    def test_recent_unpruned_round_still_answers_late_too(self, rng):
+        network, entry, publics, coordinator = build_stack(rng)
+        coordinator.keep_windows = 2
+        for round_number in range(5):
+            coordinator.close_round(
+                coordinator.open_round(MessageKind.CONVERSATION_REQUEST, round_number)
+            )
+        wire, _ = wrap_request(b"recent", publics, 4, rng)
+        assert (
+            network.send("slow", "entry", wire, MessageKind.CONVERSATION_REQUEST, 4) == LATE
+        )
+
+
+class TestControlTraffic:
+    def test_control_with_no_window_is_not_counted_as_straggler(self, rng):
+        """Regression: CONTROL envelopes for an already-closed round number
+        used to be refused as LATE stragglers, polluting the accounting."""
+        network, entry, publics, coordinator = build_stack(rng)
+        coordinator.close_round(coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0))
+        with pytest.raises(ProtocolError, match="does not handle"):
+            network.send("operator", "entry", b"{}", MessageKind.CONTROL, 0)
+        assert coordinator.late_requests == 0
+
+    def test_control_handler_bypasses_the_window_gate(self, rng):
+        network, entry, publics, coordinator = build_stack(rng)
+        coordinator.control_handler = lambda envelope: b"pong"
+        coordinator.close_round(coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0))
+        # Even for a closed round number, control traffic reaches the handler.
+        assert network.send("operator", "entry", b"ping", MessageKind.CONTROL, 0) == b"pong"
+        assert coordinator.late_requests == 0
+
+
+class TestAbortAndRetry:
+    def test_synchronous_chain_failure_retries_inline(self, rng):
+        network, entry, publics, coordinator = build_stack(rng)
+        flaky_hop(network, "server-1/conversation", failures=1)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, ctx = wrap_request(b"survives the crash", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == ACK
+        result = coordinator.close_round(window)
+        assert result.attempts == 2
+        assert result.accepted == 1
+        assert coordinator.rounds_aborted == 1
+        assert len(result.responses["alice"]) == 1  # exactly once
+        assert unwrap_response(result.responses["alice"][0], ctx) == b"SURVIVES THE CRASH"
+
+    def test_retry_budget_exhaustion_fails_the_round(self, rng):
+        network, entry, publics, coordinator = build_stack(rng, max_round_attempts=2)
+        flaky_hop(network, "server-1/conversation", failures=2)  # the whole budget
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, _ = wrap_request(b"doomed", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        with pytest.raises(NetworkError):
+            coordinator.close_round(window)
+        assert coordinator.rounds_aborted == 1  # one abort, then the final failure
+        # The accepted submission was refunded for inspection, not lost.
+        refunds = coordinator.resubmission_queue[(MessageKind.CONVERSATION_REQUEST, 0)]
+        assert [client for client, _ in refunds] == ["alice"]
+        # The next round is unaffected.
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 1)
+        assert coordinator.close_round(window).attempts == 1
+
+    def test_blocking_abort_answers_long_poll_and_idempotent_resubmit(self, rng):
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        flaky_hop(network, "server-1/conversation", failures=1)
+        coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0, expected_requests=1)
+        wire, ctx = wrap_request(b"resubmitted", publics, 0, rng)
+
+        # First submission closes the window; the chain fails; the blocked
+        # long-poll is answered with ABORTED, not an exception.
+        first = network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        assert first == ABORTED
+        retry_window = coordinator.window(MessageKind.CONVERSATION_REQUEST, 0)
+        assert retry_window is not None and retry_window.attempt == 2
+        assert not retry_window.closed
+
+        # Resubmitting the identical wire re-attaches to the original batch
+        # slot (no duplicate), closes the retry and returns the real response.
+        second = network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        assert unwrap_response(second, ctx) == b"RESUBMITTED"
+        result = coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=5.0)
+        assert result.attempts == 2
+        assert result.accepted == 1
+        assert result.responses["alice"] and len(result.responses["alice"]) == 1
+        assert retry_window.resubmissions == 1
+        assert coordinator.rounds_aborted == 1
+
+    def test_refunded_submissions_run_even_without_resubmission(self, rng):
+        """A client that never comes back after an abort still has its
+        accepted message run through the retried round (blocking mode)."""
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        flaky_hop(network, "server-1/conversation", failures=1)
+        coordinator.open_round(
+            MessageKind.CONVERSATION_REQUEST, 0, deadline_seconds=0.2, expected_requests=1
+        )
+        wire, _ = wrap_request(b"orphaned", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == ABORTED
+        # Alice never resubmits; the retry window's deadline closes it and
+        # the refunded submission is in the batch regardless.
+        result = coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=10.0)
+        assert result.attempts == 2
+        assert result.accepted == 1
+        assert len(result.responses["alice"]) == 1
+
+    def test_duplicate_resubmission_does_not_close_a_first_attempt_early(self, rng):
+        """Regression: a client retrying a cut long-poll (same wire, same
+        window) must not advance the expected-count close past clients that
+        have not checked in yet."""
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0, expected_requests=2)
+        alice_wire, alice_ctx = wrap_request(b"from alice", publics, 0, rng)
+        bob_wire, bob_ctx = wrap_request(b"from bob", publics, 0, rng)
+        replies: dict[str, bytes | None] = {}
+
+        def submit(key: str, source: str, wire: bytes) -> None:
+            replies[key] = network.send(source, "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+
+        threads = [
+            threading.Thread(target=submit, args=("alice", "alice", alice_wire)),
+            # The same source and payload again: a duplicate resubmission,
+            # not a second check-in — it must long-poll on alice's slot, not
+            # close the window while bob is still on his way.
+            threading.Thread(target=submit, args=("alice-retry", "alice", alice_wire)),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)  # both of alice's sends are in flight / blocked
+        window = coordinator.window(MessageKind.CONVERSATION_REQUEST, 0)
+        assert window is not None and not window.closed  # bob still owed a slot
+        submit("bob", "bob", bob_wire)
+        for thread in threads:
+            thread.join(timeout=30.0)
+        result = coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=5.0)
+        assert result.accepted == 2
+        assert window.resubmissions == 1
+        assert unwrap_response(replies["alice"], alice_ctx) == b"FROM ALICE"
+        assert unwrap_response(replies["alice-retry"], alice_ctx) == b"FROM ALICE"
+        assert unwrap_response(replies["bob"], bob_ctx) == b"FROM BOB"
+
+    def test_retry_window_without_a_deadline_still_closes(self, rng):
+        """Regression: a deadline-less round that aborted could leave its
+        retry window open forever if the refunded client never resubmits;
+        the coordinator's fallback retry deadline bounds it."""
+        network, entry, publics, coordinator = build_stack(rng, blocking_responses=True)
+        coordinator.retry_deadline_seconds = 0.2
+        flaky_hop(network, "server-1/conversation", failures=1)
+        coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0, expected_requests=1)
+        wire, _ = wrap_request(b"abandoned", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == ABORTED
+        # Alice never returns; the fallback deadline closes the retry and the
+        # refunded submission still runs.
+        result = coordinator.wait_for_result(MessageKind.CONVERSATION_REQUEST, 0, timeout=10.0)
+        assert result.attempts == 2
+        assert result.accepted == 1
+        assert len(result.responses["alice"]) == 1
+
+    def test_refused_retry_is_answered_again_without_recounting(self, rng):
+        """Regression: a client retrying a REFUSED reply it never received
+        must not be re-handled — that double-counted the refusal and could
+        close an expected-count window before other clients checked in."""
+        network, entry, publics, coordinator = build_stack(
+            rng, blocking_responses=True, require_registration=True
+        )
+        entry.register_account("alice")
+        window = coordinator.open_round(
+            MessageKind.CONVERSATION_REQUEST, 0, expected_requests=2
+        )
+        wire, _ = wrap_request(b"m", publics, 0, rng)
+        assert network.send("mallory", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == REFUSED
+        # Mallory's reply was lost in transit; she resubmits the same wire.
+        assert network.send("mallory", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == REFUSED
+        assert window.refused == 1
+        assert window.arrivals == 1
+        assert entry.refused_requests == 1
+        assert not window.closed  # alice still has her slot
+
+    def test_connect_timeout_is_retried(self, rng):
+        """A connect that never completed delivered nothing — the common
+        crash signature of a partitioned host (dropped SYNs) must engage
+        abort/retry, unlike the ambiguous request-phase timeout."""
+        network, entry, publics, coordinator = build_stack(rng)
+        original = network._handlers["server-1/conversation"]
+        remaining = {"n": 1}
+
+        def syn_blackhole(envelope):
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                raise ConnectTimeout("connecting to server-1 exceeded 10s")
+            return original(envelope)
+
+        network.register("server-1/conversation", syn_blackhole)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, ctx = wrap_request(b"partitioned", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        result = coordinator.close_round(window)
+        assert result.attempts == 2
+        assert coordinator.rounds_aborted == 1
+        assert unwrap_response(result.responses["alice"][0], ctx) == b"PARTITIONED"
+
+    def test_chain_timeout_is_not_retried(self, rng):
+        """A timed-out chain may have committed its dead-drop writes, so the
+        round must fail (clients retransmit) rather than re-run the batch."""
+        network, entry, publics, coordinator = build_stack(rng)
+
+        def timeout_hop(envelope):
+            raise TransportTimeout("server-1 never answered")
+
+        network.register("server-1/conversation", timeout_hop)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, _ = wrap_request(b"ambiguous", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        with pytest.raises(ProtocolError, match="timed out"):
+            coordinator.close_round(window)
+        assert coordinator.rounds_aborted == 0
+        # The submission is parked for inspection, not silently dropped.
+        refunds = coordinator.resubmission_queue[(MessageKind.CONVERSATION_REQUEST, 0)]
+        assert [client for client, _ in refunds] == ["alice"]
+
+    def test_unexpected_chain_error_does_not_leak_the_entry_buffer(self, rng):
+        """Regression: a failure outside the Network/ProtocolError family
+        left the restored batch in the entry buffer forever."""
+        network, entry, publics, coordinator = build_stack(rng)
+
+        def broken(envelope):
+            raise ValueError("a bug, not a network failure")
+
+        network.register("server-1/conversation", broken)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, _ = wrap_request(b"stuck", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        with pytest.raises(ValueError):
+            coordinator.close_round(window)
+        assert entry.pending_requests(MessageKind.CONVERSATION_REQUEST, 0) == 0
+        refunds = coordinator.resubmission_queue[(MessageKind.CONVERSATION_REQUEST, 0)]
+        assert [client for client, _ in refunds] == ["alice"]
+
+    def test_refusals_carry_across_retries(self, rng):
+        network, entry, publics, coordinator = build_stack(rng, require_registration=True)
+        entry.register_account("alice")
+        flaky_hop(network, "server-1/conversation", failures=1)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, _ = wrap_request(b"a", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == ACK
+        wire, _ = wrap_request(b"m", publics, 0, rng)
+        assert network.send("mallory", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0) == REFUSED
+        result = coordinator.close_round(window)
+        assert result.attempts == 2
+        assert result.accepted == 1
+        assert result.refused == 1  # mallory's refusal survives the abort
