@@ -15,6 +15,18 @@ active conversations is never observable.
 The client is transport-agnostic: :class:`~repro.core.system.VuvuzelaSystem`
 drives it through the ``build_*``/``handle_*`` methods each round and moves
 the resulting byte strings over the in-process network.
+
+Two details exist for the continuous scheduler
+(:mod:`repro.runtime.scheduler`), where conversation and dialing rounds
+overlap in time:
+
+* the client's randomness is forked into **one stream per protocol** (when
+  the source supports forking), so the order in which a conversation build
+  and a dialing build interleave cannot change either protocol's draws —
+  overlapped execution stays byte-identical to serial execution; and
+* in-flight state (pending exchanges, pending dials) is kept **per round
+  number**, so a dialing round's build/handle pair may straddle a
+  conversation round's without clobbering it.
 """
 
 from __future__ import annotations
@@ -61,10 +73,12 @@ class VuvuzelaClient:
     dial_target: PublicKey | None = None
 
     _slots: dict[bytes, ConversationSlot] = field(default_factory=dict, repr=False)
-    _pending_exchanges: list[tuple[PendingExchange, ConversationSlot | None]] = field(
-        default_factory=list, repr=False
+    #: In-flight exchange state per conversation round, so an overlapped
+    #: dialing round cannot clobber a conversation round's (and vice versa).
+    _pending_exchanges: dict[int, list[tuple[PendingExchange, ConversationSlot | None]]] = field(
+        default_factory=dict, repr=False
     )
-    _pending_dial: PendingDial | None = field(default=None, repr=False)
+    _pending_dials: dict[int, PendingDial] = field(default_factory=dict, repr=False)
     _send_sequencer: SequenceTracker = field(default_factory=SequenceTracker, repr=False)
     rounds_participated: int = 0
     rounds_lost: int = 0
@@ -73,6 +87,17 @@ class VuvuzelaClient:
     def __post_init__(self) -> None:
         if self.max_conversations < 1:
             raise ProtocolError("a client needs at least one conversation slot")
+        # One independent stream per protocol: the interleaving order of
+        # conversation and dialing builds (the continuous scheduler overlaps
+        # them) must not change either protocol's draws.  Sources without
+        # fork (e.g. SecureRandom) are shared — they are not replayable
+        # anyway, so stream confinement buys nothing there.
+        if hasattr(self.rng, "fork"):
+            self._conversation_rng: RandomSource = self.rng.fork("conversation")
+            self._dialing_rng: RandomSource = self.rng.fork("dialing")
+        else:
+            self._conversation_rng = self.rng
+            self._dialing_rng = self.rng
 
     # ------------------------------------------------------------------ user API
 
@@ -151,7 +176,17 @@ class VuvuzelaClient:
         slots (Algorithm 1 steps 1a/1b), so the batch size never reveals how
         many conversations are active.
         """
-        self._pending_exchanges = []
+        if round_number in self._pending_exchanges:
+            raise ProtocolError(
+                f"{self.name} already built conversation requests for round {round_number}"
+            )
+        # Pending state for earlier rounds can never be handled once a newer
+        # round builds (rounds are ordered per protocol): entries left by a
+        # permanently failed round would otherwise leak for the client's
+        # lifetime, so they are dropped here.
+        for stale in [r for r in self._pending_exchanges if r < round_number]:
+            del self._pending_exchanges[stale]
+        pendings: list[tuple[PendingExchange, ConversationSlot | None]] = []
         wires: list[bytes] = []
         slots = list(self._slots.values())
         for index in range(self.max_conversations):
@@ -162,10 +197,11 @@ class VuvuzelaClient:
             else:
                 slot, session, message = None, None, b""
             wire, pending = build_exchange_request(
-                round_number, self.server_public_keys, session, message, self.rng
+                round_number, self.server_public_keys, session, message, self._conversation_rng
             )
-            self._pending_exchanges.append((pending, slot))
+            pendings.append((pending, slot))
             wires.append(wire)
+        self._pending_exchanges[round_number] = pendings
         self.rounds_participated += 1
         return wires
 
@@ -186,9 +222,8 @@ class VuvuzelaClient:
         dropped our traffic); the corresponding in-flight message stays queued
         for retransmission.  Returns the per-slot partner messages.
         """
-        pendings = self._pending_exchanges
-        self._pending_exchanges = []
-        if not pendings or pendings[0][0].round_number != round_number:
+        pendings = self._pending_exchanges.pop(round_number, [])
+        if not pendings:
             raise ProtocolError(f"{self.name} has no pending exchanges for round {round_number}")
         if len(responses) != len(pendings):
             raise ProtocolError(
@@ -242,24 +277,31 @@ class VuvuzelaClient:
 
     def build_dialing_request(self, dialing_round: int, num_buckets: int) -> bytes:
         """Build this dialing round's request (a real invitation or a no-op)."""
+        if dialing_round in self._pending_dials:
+            raise ProtocolError(
+                f"{self.name} already built a dialing request for round {dialing_round}"
+            )
+        # As for conversations: a pending dial for an earlier round is dead
+        # once a newer dialing round builds — drop it instead of leaking it.
+        for stale in [r for r in self._pending_dials if r < dialing_round]:
+            del self._pending_dials[stale]
         wire, pending = build_dial_request(
             dialing_round,
             self.server_public_keys,
             self.keys,
             self.dial_target,
             num_buckets,
-            self.rng,
+            self._dialing_rng,
         )
-        self._pending_dial = pending
+        self._pending_dials[dialing_round] = pending
         # Dialing is one-shot: the invitation is sent this round, after which
         # the user must dial again to re-invite.
         self.dial_target = None
         return wire
 
     def handle_dialing_response(self, dialing_round: int, response: bytes | None) -> None:
-        pending = self._pending_dial
-        self._pending_dial = None
-        if pending is None or pending.round_number != dialing_round:
+        pending = self._pending_dials.pop(dialing_round, None)
+        if pending is None:
             raise ProtocolError(f"{self.name} has no pending dial for round {dialing_round}")
         if response is None:
             self.rounds_lost += 1

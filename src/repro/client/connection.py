@@ -31,6 +31,7 @@ exactly the paper's §3.1 behaviour.
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -40,7 +41,9 @@ from ..deaddrop import InvitationDropStore
 from ..errors import NetworkError, ProtocolError
 from ..net import MessageKind, Transport
 from ..runtime import ABORTED, LATE
+from ..runtime.protocols import DialingProtocol, RoundProtocol, make_protocol
 from ..server import REFUSED
+from ..server.wire import encode_download_request
 
 
 @dataclass
@@ -122,31 +125,64 @@ class ClientConnection:
         # Retry budget exhausted: a lost round (the client retransmits).
         return self._decode(reply)
 
-    def run_conversation_round(self, round_number: int) -> list[bytes | None]:
-        """Build, submit and resolve one conversation round's requests."""
-        wires = self.client.build_conversation_requests(round_number)
+    def run_round(self, protocol: RoundProtocol, round_number: int):
+        """Build, submit and resolve one round of any protocol.
+
+        The protocol object supplies the wires and consumes the responses;
+        this connection supplies the transport, the resubmission logic and
+        the marker decoding — the same pipeline whether the round is a
+        conversation or a dialing round.
+        """
+        wires = protocol.build_wires(self.client, round_number)
         if len(wires) == 1:
-            responses = [self._submit(wires[0], MessageKind.CONVERSATION_REQUEST, round_number)]
+            responses = [self._submit(wires[0], protocol.kind, round_number)]
         else:
             # Every submission long-polls until the round closes, so a
             # multi-slot client must put each request on its own connection.
             with ThreadPoolExecutor(max_workers=len(wires)) as pool:
                 responses = list(
                     pool.map(
-                        lambda wire: self._submit(
-                            wire, MessageKind.CONVERSATION_REQUEST, round_number
-                        ),
+                        lambda wire: self._submit(wire, protocol.kind, round_number),
                         wires,
                     )
                 )
-        return self.client.handle_conversation_responses(round_number, responses)
+        return protocol.handle_responses(self.client, round_number, responses)
+
+    def run_conversation_round(self, round_number: int) -> list[bytes | None]:
+        """Build, submit and resolve one conversation round's requests."""
+        return self.run_round(make_protocol("conversation"), round_number)
 
     def run_dialing_round(self, round_number: int, num_buckets: int) -> None:
         """Build, submit and resolve one dialing round's request."""
-        wire = self.client.build_dialing_request(round_number, num_buckets)
-        response = self._submit(wire, MessageKind.DIALING_REQUEST, round_number)
-        self.client.handle_dialing_response(round_number, response)
+        self.run_round(DialingProtocol(num_buckets=num_buckets), round_number)
 
-    def poll_invitations(self, round_number: int, store: InvitationDropStore):
-        """Scan a downloaded invitation store for calls addressed to us."""
+    def fetch_invitation_store(self, round_number: int) -> InvitationDropStore:
+        """Download a dialing round's invitation store from the entry server.
+
+        This is the paper's CDN download, carried over the same envelope
+        path as every other client request (``DIAL_DOWNLOAD`` to the entry),
+        so dialing works end to end over any transport.
+        """
+        reply = self.transport.send(
+            self.name,
+            self.entry_name,
+            encode_download_request(round_number),
+            MessageKind.DIAL_DOWNLOAD,
+            round_number,
+        )
+        if reply is None:
+            raise NetworkError(
+                f"dialing round {round_number}: the invitation download was lost"
+            )
+        return InvitationDropStore.restore(json.loads(bytes(reply).decode("utf-8")))
+
+    def poll_invitations(self, round_number: int, store: InvitationDropStore | None = None):
+        """Scan an invitation store for calls addressed to us.
+
+        With no ``store``, the connection downloads it from the entry server
+        first (:meth:`fetch_invitation_store`); passing one keeps the legacy
+        out-of-band shape used by callers that already hold the snapshot.
+        """
+        if store is None:
+            store = self.fetch_invitation_store(round_number)
         return self.client.poll_invitations(round_number, store)

@@ -34,6 +34,10 @@ class ConversationProcessor:
     strict: bool = False
     histograms: dict[int, AccessHistogram] = field(default_factory=dict)
     last_round_processed: int | None = None
+    #: Histograms older than this many rounds behind the newest are dropped —
+    #: a server running the continuous scheduler must not grow per-round
+    #: state forever.  ``None`` keeps everything (analysis runs).
+    keep_rounds: int | None = 512
 
     def __call__(self, round_number: int, payloads: list[bytes]) -> list[bytes]:
         """Match dead drops and return one fixed-size response per request.
@@ -69,6 +73,10 @@ class ConversationProcessor:
         ]
         self.histograms[round_number] = result.histogram
         self.last_round_processed = round_number
+        if self.keep_rounds is not None:
+            horizon = round_number - self.keep_rounds
+            for old in [r for r in self.histograms if r < horizon]:
+                del self.histograms[old]
         return responses
 
     def histogram(self, round_number: int) -> AccessHistogram:

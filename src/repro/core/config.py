@@ -79,6 +79,18 @@ class VuvuzelaConfig:
     #: up to this many tries before the round fails for good.  1 disables
     #: abort/retry.
     max_round_attempts: int = 3
+    #: Rounds the continuous scheduler may keep in flight at once (window
+    #: open or chain mixing).  1 serializes everything; >= 2 overlaps a due
+    #: dialing round with the preceding conversation round and pre-opens the
+    #: next round's submission window while the current chain is mixing.
+    #: Overlapped execution is byte-identical to serial execution under a
+    #: fixed seed (per-protocol rng streams + in-order chain drives).
+    pipeline_depth: int = 2
+    #: Interleave one dialing round before every Nth conversation round in
+    #: a continuous session (§5.5 suggests one dialing round per ~10 minutes
+    #: of conversation rounds).  0 disables automatic interleaving — dialing
+    #: rounds then run only when asked for explicitly.
+    dialing_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -107,6 +119,10 @@ class VuvuzelaConfig:
             raise ConfigurationError("the response wait must be positive")
         if self.max_round_attempts < 1:
             raise ConfigurationError("a round needs at least one attempt")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError("the round pipeline needs a depth of at least 1")
+        if self.dialing_interval < 0:
+            raise ConfigurationError("the dialing interval cannot be negative")
 
     # ------------------------------------------------------------------ presets
 

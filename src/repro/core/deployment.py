@@ -46,6 +46,9 @@ from ..client import ClientConnection
 from ..deaddrop import InvitationDropStore
 from ..errors import NetworkError, ProtocolError
 from ..net import TcpTransport
+from ..runtime import RoundScheduler, make_protocol
+from ..runtime.protocols import RoundProtocol
+from ..runtime.scheduler import ClientSession, ScheduledRound, ScheduleReport
 
 
 @dataclass
@@ -95,6 +98,7 @@ class DeploymentLauncher:
         request_timeout: float | None = None,
         round_deadline_seconds: float | None = None,
         probe_timeout: float = 2.0,
+        deadline_only_windows: bool = False,
     ) -> None:
         self.config = config or VuvuzelaConfig.small()
         topology.require_seed(self.config)
@@ -119,6 +123,20 @@ class DeploymentLauncher:
             if round_deadline_seconds is not None
             else self.config.round_deadline_seconds
         )
+        #: The paper's deployment shape: submission windows close at their
+        #: deadline, never early on an expected request count.  Rounds then
+        #: take a fixed wall-clock window regardless of who shows up — which
+        #: is exactly the idle time the overlapping scheduler hides.
+        self.deadline_only_windows = deadline_only_windows
+        if deadline_only_windows and self.round_deadline_seconds is None:
+            raise ProtocolError(
+                "deadline_only_windows needs round_deadline_seconds — a window "
+                "with neither a deadline nor an expected count never closes"
+            )
+        #: A pre-opened window's deadline timer starts at open time, so
+        #: pre-opening during the previous round's mix would silently shrink
+        #: the submission window — the scheduler skips it in this mode.
+        self.preopen_windows = not deadline_only_windows
         self.servers: list[ServerProcess] = []
         self.entry_process: ServerProcess | None = None
         #: Every process ever spawned, in spawn order — the teardown list.
@@ -133,6 +151,14 @@ class DeploymentLauncher:
         self._control: TcpTransport | None = None
         self._probe: TcpTransport | None = None
         self._started = False
+        self._protocols = {name: make_protocol(name, self.config) for name in ("conversation", "dialing")}
+        #: The continuous overlapping scheduler, driven by this launcher over
+        #: TCP exactly as :class:`VuvuzelaSystem` drives it in-process.
+        self.scheduler = RoundScheduler(
+            self,
+            pipeline_depth=self.config.pipeline_depth,
+            dialing_interval=self.config.dialing_interval,
+        )
 
     # ------------------------------------------------------------- subprocesses
 
@@ -217,6 +243,11 @@ class DeploymentLauncher:
                     self.host,
                     "--first-server",
                     f"{self.host}:{self.servers[0].port}",
+                    # The entry also fronts the invitation CDN: it fetches
+                    # each dialing round's store from the last chain server
+                    # and serves client DIAL_DOWNLOAD requests from cache.
+                    "--last-server",
+                    f"{self.host}:{self.servers[-1].port}",
                 ],
             )
         except Exception:
@@ -472,6 +503,95 @@ class DeploymentLauncher:
     def connection(self, name: str) -> ClientConnection:
         return self._connections[name]
 
+    def add_session(self, name: str, **session_kwargs) -> ClientSession:
+        """Create a TCP client and wrap it in a scheduler session in one step."""
+        connection = self._connections.get(name) or self.add_client(name)
+        return self.scheduler.add_session(
+            ClientSession(client=connection.client, **session_kwargs)
+        )
+
+    # -------------------------------------------------- scheduler round driver
+
+    def protocol(self, name: str) -> RoundProtocol:
+        return self._protocols[name]
+
+    def open_scheduled_round(self, protocol: RoundProtocol) -> ScheduledRound:
+        """Open the protocol's next round window on the entry process."""
+        if self.deadline_only_windows:
+            expected = None
+        else:
+            connections = list(self._connections.values())
+            expected = sum(protocol.requests_per_client(c.client) for c in connections) or None
+        round_number = self.open_round(protocol.name, expected=expected)
+        return ScheduledRound(protocol.name, round_number)
+
+    def discard_scheduled_round(self, protocol: RoundProtocol, opened: ScheduledRound) -> None:
+        """Force-close a window that will never be driven (failure cleanup),
+        so the entry's in-order drive gate is not wedged on it forever."""
+        try:
+            self.entry_control(
+                {"cmd": "close-round", "protocol": protocol.name, "round": opened.round_number}
+            )
+        except (NetworkError, ProtocolError):
+            pass  # best-effort: the entry may be the thing that failed
+
+    def drive_scheduled_round(
+        self, protocol: RoundProtocol, opened: ScheduledRound
+    ) -> NetworkRoundResult:
+        """Submit every connection, wait out the round, poll invitations."""
+        return self._drive(protocol, opened.round_number, list(self._connections.values()))
+
+    def _drive(
+        self,
+        protocol: RoundProtocol,
+        round_number: int,
+        connections: list[ClientConnection],
+        *,
+        poll: bool = True,
+        started: float | None = None,
+    ) -> NetworkRoundResult:
+        started = time.perf_counter() if started is None else started
+        if connections:
+            # Each submission long-polls until the round resolves, so the
+            # clients submit concurrently on their own connections.
+            with ThreadPoolExecutor(max_workers=len(connections)) as pool:
+                list(
+                    pool.map(
+                        lambda connection: connection.run_round(protocol, round_number),
+                        connections,
+                    )
+                )
+        result = self.wait_round(protocol.name, round_number)
+        if poll and protocol.polls_invitations and connections:
+            # Every client downloads its invitation dead drop from the entry
+            # over the same envelope path it submits on (DIAL_DOWNLOAD).
+            for connection in connections:
+                connection.poll_invitations(round_number)
+        return NetworkRoundResult(
+            protocol=protocol.name,
+            round_number=round_number,
+            accepted=result["accepted"],
+            refused=result["refused"],
+            late=result["late"],
+            responded=result["responded"],
+            wall_clock_seconds=time.perf_counter() - started,
+            aborts=int(result.get("aborts", 0)),
+        )
+
+    def run_session(
+        self,
+        conversation_rounds: int,
+        *,
+        dialing_interval: int | None = None,
+        pipeline_depth: int | None = None,
+    ) -> ScheduleReport:
+        """Run a continuous overlapped schedule over TCP (see the scheduler)."""
+        return self.scheduler.run_session(
+            conversation_rounds,
+            dialing_interval=dialing_interval,
+            pipeline_depth=pipeline_depth,
+        )
+
     # ------------------------------------------------------------------ rounds
 
     def open_round(
@@ -496,41 +616,39 @@ class DeploymentLauncher:
             raise ProtocolError(f"{protocol} round {round_number}: {result['error']}")
         return result
 
+    def run_protocol_round(
+        self,
+        protocol_name: str,
+        connections: list[ClientConnection] | None = None,
+        *,
+        deadline: float | None = None,
+        poll: bool = True,
+    ) -> NetworkRoundResult:
+        """One full round of either protocol: open, submit, resolve, poll.
+
+        The window closes as soon as every participating client's requests
+        arrived (or at the deadline, whichever is first) — each submission
+        long-polls, so clients submit concurrently on their own connections.
+        """
+        protocol = self.protocol(protocol_name)
+        connections = list(self._connections.values()) if connections is None else connections
+        expected = sum(protocol.requests_per_client(c.client) for c in connections)
+        started = time.perf_counter()
+        round_number = self.open_round(
+            protocol.name, deadline=deadline, expected=expected or None
+        )
+        return self._drive(
+            protocol, round_number, connections, poll=poll, started=started
+        )
+
     def run_conversation_round(
         self,
         connections: list[ClientConnection] | None = None,
         *,
         deadline: float | None = None,
     ) -> NetworkRoundResult:
-        """One full conversation round: open, submit all clients, resolve.
-
-        The window closes as soon as every participating client's requests
-        arrived (or at the deadline, whichever is first) — each submission
-        long-polls, so clients submit concurrently on their own connections.
-        """
-        connections = list(self._connections.values()) if connections is None else connections
-        expected = sum(c.client.max_conversations for c in connections)
-        started = time.perf_counter()
-        round_number = self.open_round("conversation", deadline=deadline, expected=expected or None)
-        if connections:
-            with ThreadPoolExecutor(max_workers=len(connections)) as pool:
-                list(
-                    pool.map(
-                        lambda connection: connection.run_conversation_round(round_number),
-                        connections,
-                    )
-                )
-        result = self.wait_round("conversation", round_number)
-        return NetworkRoundResult(
-            protocol="conversation",
-            round_number=round_number,
-            accepted=result["accepted"],
-            refused=result["refused"],
-            late=result["late"],
-            responded=result["responded"],
-            wall_clock_seconds=time.perf_counter() - started,
-            aborts=int(result.get("aborts", 0)),
-        )
+        """One full conversation round (a thin wrapper over the pipeline)."""
+        return self.run_protocol_round("conversation", connections, deadline=deadline)
 
     def run_dialing_round(
         self,
@@ -539,36 +657,9 @@ class DeploymentLauncher:
         deadline: float | None = None,
         poll: bool = True,
     ) -> NetworkRoundResult:
-        """One full dialing round, including the out-of-band invitation poll."""
-        connections = list(self._connections.values()) if connections is None else connections
-        started = time.perf_counter()
-        round_number = self.open_round(
-            "dialing", deadline=deadline, expected=len(connections) or None
-        )
-        if connections:
-            with ThreadPoolExecutor(max_workers=len(connections)) as pool:
-                list(
-                    pool.map(
-                        lambda connection: connection.run_dialing_round(
-                            round_number, self.config.num_dialing_buckets
-                        ),
-                        connections,
-                    )
-                )
-        result = self.wait_round("dialing", round_number)
-        if poll and connections:
-            store = self.invitation_store(round_number)
-            for connection in connections:
-                connection.poll_invitations(round_number, store)
-        return NetworkRoundResult(
-            protocol="dialing",
-            round_number=round_number,
-            accepted=result["accepted"],
-            refused=result["refused"],
-            late=result["late"],
-            responded=result["responded"],
-            wall_clock_seconds=time.perf_counter() - started,
-            aborts=int(result.get("aborts", 0)),
+        """One full dialing round, including the invitation download."""
+        return self.run_protocol_round(
+            "dialing", connections, deadline=deadline, poll=poll
         )
 
     # ------------------------------------------------------------ observability

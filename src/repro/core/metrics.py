@@ -4,6 +4,13 @@ These are the operational counterparts of the numbers the paper reports:
 requests processed per round, noise added, bytes moved, wall-clock time.  The
 deployment simulator uses the same structures, filling the timing fields from
 its cost model instead of the wall clock.
+
+Both protocols share one :class:`RoundMetrics` base: the submission-window
+accounting (refusals, stragglers), the §6 abort/retry counters and the
+transport totals are protocol-agnostic — a dialing round that hits a crashed
+link reports its ``attempts`` exactly like a conversation round does.  The
+subclasses add only what each protocol actually observes: the conversation
+access histogram on one side, the invitation buckets on the other.
 """
 
 from __future__ import annotations
@@ -14,24 +21,31 @@ from ..deaddrop import AccessHistogram
 
 
 @dataclass
-class ConversationRoundMetrics:
-    """What happened during one conversation round."""
+class RoundMetrics:
+    """Protocol-agnostic accounting shared by every kind of round."""
 
     round_number: int
     client_requests: int = 0
-    delivered_responses: int = 0
-    lost_requests: int = 0
-    noise_requests: int = 0
     #: Requests the entry server's §9 admission control turned away.
     refused_requests: int = 0
     #: Stragglers that missed the round's submission window (§7 deadlines).
     late_requests: int = 0
-    #: Chain-drive attempts aborted by a server/link failure before the
-    #: round's successful re-run (§6 availability; 0 = clean round).
+    #: Chain-drive attempts the round took (1 = clean, §6 availability).
+    attempts: int = 1
+    #: Attempts aborted by a server/link failure before the successful re-run.
     aborted_attempts: int = 0
-    histogram: AccessHistogram | None = None
     bytes_moved: int = 0
     wall_clock_seconds: float = 0.0
+
+
+@dataclass
+class ConversationRoundMetrics(RoundMetrics):
+    """What happened during one conversation round."""
+
+    delivered_responses: int = 0
+    lost_requests: int = 0
+    noise_requests: int = 0
+    histogram: AccessHistogram | None = None
 
     @property
     def total_requests(self) -> int:
@@ -44,20 +58,12 @@ class ConversationRoundMetrics:
 
 
 @dataclass
-class DialingRoundMetrics:
+class DialingRoundMetrics(RoundMetrics):
     """What happened during one dialing round."""
 
-    round_number: int
-    client_requests: int = 0
     real_invitations: int = 0
     noise_invitations: int = 0
-    refused_requests: int = 0
-    late_requests: int = 0
-    #: Chain-drive attempts aborted by a server/link failure (0 = clean round).
-    aborted_attempts: int = 0
     bucket_sizes: dict[int, int] = field(default_factory=dict)
-    bytes_moved: int = 0
-    wall_clock_seconds: float = 0.0
 
     @property
     def total_invitations(self) -> int:
@@ -76,6 +82,15 @@ class SystemMetrics:
 
     def record_dialing(self, metrics: DialingRoundMetrics) -> None:
         self.dialing_rounds.append(metrics)
+
+    def record(self, metrics: RoundMetrics) -> None:
+        """Protocol-agnostic recording: dispatch on the metrics shape."""
+        if isinstance(metrics, ConversationRoundMetrics):
+            self.record_conversation(metrics)
+        elif isinstance(metrics, DialingRoundMetrics):
+            self.record_dialing(metrics)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown round metrics shape: {type(metrics).__name__}")
 
     @property
     def total_messages_exchanged(self) -> int:

@@ -3,9 +3,13 @@
 :class:`VuvuzelaSystem` wires every substrate together into a runnable
 deployment: it creates the chain servers (each running both protocols), the
 untrusted entry server, and the in-process network they communicate over; it
-hands out :class:`~repro.client.VuvuzelaClient` instances; and it drives the
-synchronous rounds, collecting metrics and privacy-budget accounting as it
-goes.
+hands out :class:`~repro.client.VuvuzelaClient` instances; and it drives
+rounds through the protocol-agnostic pipeline — one
+:class:`~repro.runtime.RoundProtocol` plug-in per protocol, one
+:class:`~repro.runtime.RoundScheduler` for sequencing.
+``run_conversation_round`` / ``run_dialing_round`` are thin wrappers over
+that scheduler; :meth:`run_continuous` runs the overlapped continuous
+schedule (conversation ∥ dialing) the deployment story actually needs.
 
 This is the class the examples and the integration tests use; the deployment
 simulator (:mod:`repro.simulation`) reuses its structure but replaces real
@@ -14,23 +18,34 @@ cryptography with a calibrated cost model to reach the paper's scale.
 
 from __future__ import annotations
 
+import json
+import threading
 import time
 
 from . import topology
 from .config import VuvuzelaConfig
-from .metrics import ConversationRoundMetrics, DialingRoundMetrics, SystemMetrics
+from .metrics import RoundMetrics, SystemMetrics
 from .topology import NoiseLedger
 from ..client import VuvuzelaClient
 from ..deaddrop import InvitationDropStore
 from ..errors import ProtocolError
-from ..net import FaultInjector, MessageKind, Network
+from ..net import FaultInjector, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
-from ..runtime import RoundCoordinator, RoundEngine
+from ..runtime import RoundCoordinator, RoundEngine, RoundScheduler, build_protocols
+from ..runtime.protocols import RoundProtocol
+from ..runtime.scheduler import ClientSession, ScheduledRound, ScheduleReport
 from ..server import ACK, ChainServerEndpoint, EntryServer
 
 
 class VuvuzelaSystem:
-    """A complete, runnable Vuvuzela deployment."""
+    """A complete, runnable Vuvuzela deployment.
+
+    The system doubles as the scheduler's
+    :class:`~repro.runtime.scheduler.RoundDriver` for the in-process shape:
+    it opens submission windows on its coordinator and drives each round by
+    submitting every client, closing the window, distributing responses and
+    collecting the protocol's metrics.
+    """
 
     def __init__(self, config: VuvuzelaConfig | None = None) -> None:
         self.config = config or VuvuzelaConfig.small()
@@ -38,8 +53,8 @@ class VuvuzelaSystem:
         self.network = Network()
         self.metrics = SystemMetrics()
         self.clients: dict[str, VuvuzelaClient] = {}
-        self._conversation_round = 0
-        self._dialing_round = 0
+        self._next_rounds: dict[str, int] = {"conversation": 0, "dialing": 0}
+        self._round_lock = threading.Lock()
 
         self.server_keypairs = topology.server_keypairs(self.config, self._rng)
         self.server_public_keys = [kp.public for kp in self.server_keypairs]
@@ -58,14 +73,27 @@ class VuvuzelaSystem:
         self.dialing_processor = topology.build_dialing_processor(self.config, self._rng)
         self._build_chain_endpoints()
 
+        # The protocol plug-ins, bound to this deployment's observables:
+        # everything protocol-specific the round pipeline needs.
+        self.protocols = build_protocols(self.config)
+        self.protocols["conversation"].bind(
+            self.conversation_processor, self._conversation_noise_ledger
+        )
+        self.protocols["dialing"].bind(self.dialing_processor, self._dialing_noise_ledger)
+
         self.entry = EntryServer(
             network=self.network,
             first_server={
-                MessageKind.CONVERSATION_REQUEST: self._endpoint_name(0, "conversation"),
-                MessageKind.DIALING_REQUEST: self._endpoint_name(0, "dialing"),
+                self.protocols[name].kind: self._endpoint_name(0, name)
+                for name in self.protocols
             },
             require_registration=self.config.require_registration,
             max_requests_per_account_per_round=self.config.max_conversations_per_client,
+        )
+        # The entry fronts the invitation CDN: one snapshot fetch per dialing
+        # round, served byte-identically to every downloader.
+        self.entry.invitation_fetcher = (
+            lambda round_number: self.dialing_processor.store_for_round(round_number).snapshot()
         )
         # The coordinator takes over the entry endpoint: every submission now
         # passes through its round window (deadlines, straggler refusal)
@@ -90,6 +118,16 @@ class VuvuzelaSystem:
             target_epsilon=self.config.target_epsilon,
             target_delta=self.config.target_delta,
             composition_d=self.config.composition_d,
+        )
+        self._accountants = {
+            "conversation": self.conversation_accountant,
+            "dialing": self.dialing_accountant,
+        }
+
+        self.scheduler = RoundScheduler(
+            self,
+            pipeline_depth=self.config.pipeline_depth,
+            dialing_interval=self.config.dialing_interval,
         )
 
     # ------------------------------------------------------------------ setup
@@ -135,34 +173,59 @@ class VuvuzelaSystem:
     def client(self, name: str) -> VuvuzelaClient:
         return self.clients[name]
 
-    # ---------------------------------------------------------- round driving
+    def add_session(self, name: str, **session_kwargs) -> ClientSession:
+        """Create a client and wrap it in a scheduler session in one step."""
+        client = self.clients.get(name) or self.add_client(name)
+        return self.scheduler.add_session(ClientSession(client=client, **session_kwargs))
 
-    @property
-    def next_conversation_round(self) -> int:
-        return self._conversation_round
+    # -------------------------------------------------- scheduler round driver
 
-    @property
-    def next_dialing_round(self) -> int:
-        return self._dialing_round
+    def protocol(self, name: str) -> RoundProtocol:
+        return self.protocols[name]
 
-    def run_conversation_round(self) -> ConversationRoundMetrics:
-        """Run one complete conversation round for every registered client."""
-        round_number = self._conversation_round
-        self._conversation_round += 1
+    def open_scheduled_round(self, protocol: RoundProtocol) -> ScheduledRound:
+        """Allocate the protocol's next round number and open its window."""
+        with self._round_lock:
+            round_number = self._next_rounds[protocol.name]
+            self._next_rounds[protocol.name] += 1
+        window = self.coordinator.open_round(protocol.kind, round_number)
+        return ScheduledRound(protocol.name, round_number, handle=window)
+
+    def discard_scheduled_round(self, protocol: RoundProtocol, opened: ScheduledRound) -> None:
+        """Resolve a pre-opened window that will never be driven: close it as
+        an (empty) round so later rounds' chain drives are not gated on it."""
+        self.coordinator.close_round(opened.handle)
+
+    def drive_scheduled_round(self, protocol: RoundProtocol, opened: ScheduledRound) -> RoundMetrics:
+        """Submit every client, resolve the round, deliver, account.
+
+        One code path for both protocols: the protocol plug-in builds the
+        wires, consumes the responses, and shapes the metrics; the driver
+        owns submission, window close and response distribution.
+
+        ``bytes_moved`` is a whole-network byte delta over the round's wall
+        clock, so when rounds overlap (``pipeline_depth`` >= 2) a concurrent
+        round's traffic lands in both rounds' deltas — a timing-window
+        measure, like ``wall_clock_seconds``, not a protocol observable.
+        The byte-identity guarantee covers plaintexts, buckets and noise,
+        never these two fields.
+        """
+        round_number = opened.round_number
+        window = opened.handle
         started = time.perf_counter()
         bytes_before = self.network.total_bytes()
+        extra = protocol.before_round(self.clients)
 
-        window = self.coordinator.open_round(MessageKind.CONVERSATION_REQUEST, round_number)
         submitted: dict[str, list[bool]] = {}
         total_requests = 0
         for name, client in self.clients.items():
             flags: list[bool] = []
-            for wire in client.build_conversation_requests(round_number):
+            for wire in protocol.build_wires(client, round_number):
                 ack = self.network.send(
                     name,
                     self.entry.name,
                     wire,
-                    kind=MessageKind.CONVERSATION_REQUEST,
+                    kind=protocol.kind,
                     round_number=round_number,
                 )
                 flags.append(ack == ACK)
@@ -180,95 +243,81 @@ class VuvuzelaSystem:
                 response: bytes | None = None
                 if was_submitted and available:
                     response = available.pop(0)
-                    pushed = self.network.send(
-                        self.entry.name,
-                        name,
-                        response,
-                        kind=MessageKind.CONVERSATION_RESPONSE,
-                        round_number=round_number,
-                    )
-                    if pushed is None:
-                        response = None
+                    if protocol.push_responses:
+                        pushed = self.network.send(
+                            self.entry.name,
+                            name,
+                            response,
+                            kind=protocol.response_kind,
+                            round_number=round_number,
+                        )
+                        if pushed is None:
+                            response = None
                 if response is None:
                     lost += 1
                 else:
                     delivered += 1
                 responses.append(response)
-            client.handle_conversation_responses(round_number, responses)
+            protocol.handle_responses(client, round_number, responses)
 
-        self.conversation_accountant.spend(1)
-        metrics = ConversationRoundMetrics(
-            round_number=round_number,
+        if protocol.polls_invitations:
+            # Every client downloads and scans its own invitation dead drop.
+            # The download is served by the entry server (the paper's CDN
+            # front) — the same serving path networked clients hit with a
+            # DIAL_DOWNLOAD envelope — so its bytes are transport-invariant.
+            store = self.download_invitations(round_number)
+            for client in self.clients.values():
+                client.poll_invitations(round_number, store)
+
+        self._accountants[protocol.name].spend(1)
+        metrics = protocol.collect_metrics(
+            round_number,
+            result,
             client_requests=total_requests,
-            delivered_responses=delivered,
-            lost_requests=lost,
-            noise_requests=self._conversation_noise_ledger.for_round(round_number),
-            refused_requests=result.refused,
-            late_requests=result.late,
-            aborted_attempts=result.attempts - 1,
-            histogram=self.conversation_processor.histograms.get(round_number),
+            delivered=delivered,
+            lost=lost,
+            extra=extra,
             bytes_moved=self.network.total_bytes() - bytes_before,
             wall_clock_seconds=time.perf_counter() - started,
         )
-        self.metrics.record_conversation(metrics)
+        self.metrics.record(metrics)
         return metrics
 
-    def run_dialing_round(self) -> DialingRoundMetrics:
+    # ---------------------------------------------------------- round driving
+
+    @property
+    def next_conversation_round(self) -> int:
+        return self._next_rounds["conversation"]
+
+    @property
+    def next_dialing_round(self) -> int:
+        return self._next_rounds["dialing"]
+
+    def run_conversation_round(self):
+        """Run one complete conversation round for every registered client."""
+        return self.scheduler.run_round("conversation")
+
+    def run_dialing_round(self):
         """Run one complete dialing round, including client invitation polling."""
-        round_number = self._dialing_round
-        self._dialing_round += 1
-        started = time.perf_counter()
-        bytes_before = self.network.total_bytes()
+        return self.scheduler.run_round("dialing")
 
-        window = self.coordinator.open_round(MessageKind.DIALING_REQUEST, round_number)
-        real_invitations = sum(1 for c in self.clients.values() if c.dial_target is not None)
-        submitted: dict[str, bool] = {}
-        for name, client in self.clients.items():
-            wire = client.build_dialing_request(round_number, self.config.num_dialing_buckets)
-            ack = self.network.send(
-                name,
-                self.entry.name,
-                wire,
-                kind=MessageKind.DIALING_REQUEST,
-                round_number=round_number,
-            )
-            submitted[name] = ack == ACK
-
-        result = self.coordinator.close_round(window)
-        responses = {
-            client: per_client[0] for client, per_client in result.responses.items() if per_client
-        }
-        for name, client in self.clients.items():
-            response = responses.get(name) if submitted[name] else None
-            client.handle_dialing_response(round_number, response)
-
-        store = self.dialing_processor.store_for_round(round_number)
-        noise_invitations = sum(
-            store.noise_count(bucket) for bucket in range(self.config.num_dialing_buckets)
+    def run_continuous(
+        self,
+        conversation_rounds: int,
+        *,
+        dialing_interval: int | None = None,
+        pipeline_depth: int | None = None,
+    ) -> ScheduleReport:
+        """Run a continuous overlapped schedule (see :class:`RoundScheduler`)."""
+        return self.scheduler.run_session(
+            conversation_rounds,
+            dialing_interval=dialing_interval,
+            pipeline_depth=pipeline_depth,
         )
-        # Every client downloads and scans its own invitation dead drop.  The
-        # download happens out of band (a CDN in the paper's design), so it is
-        # not routed through the chain; its bandwidth is accounted by the
-        # dialing cost model and the simulator.
-        for client in self.clients.values():
-            client.poll_invitations(round_number, store)
 
-        self.dialing_accountant.spend(1)
-        metrics = DialingRoundMetrics(
-            round_number=round_number,
-            client_requests=len(self.clients),
-            real_invitations=real_invitations,
-            noise_invitations=self._dialing_noise_ledger.for_round(round_number)
-            + noise_invitations,
-            refused_requests=result.refused,
-            late_requests=result.late,
-            aborted_attempts=result.attempts - 1,
-            bucket_sizes=store.bucket_sizes(),
-            bytes_moved=self.network.total_bytes() - bytes_before,
-            wall_clock_seconds=time.perf_counter() - started,
-        )
-        self.metrics.record_dialing(metrics)
-        return metrics
+    #: Same schedule, launcher-compatible name: deployment code can drive
+    #: either shape through ``run_session`` without caring which it holds.
+    run_session = run_continuous
 
     # -------------------------------------------------------------- lifecycle
 
@@ -315,3 +364,10 @@ class VuvuzelaSystem:
 
     def invitation_store(self, dialing_round: int) -> InvitationDropStore:
         return self.dialing_processor.store_for_round(dialing_round)
+
+    def download_invitations(self, dialing_round: int) -> InvitationDropStore:
+        """A dialing round's store as clients receive it: the entry server's
+        cached JSON snapshot, decoded — byte-identical to the TCP download."""
+        return InvitationDropStore.restore(
+            json.loads(self.entry.serve_invitations(dialing_round).decode("utf-8"))
+        )

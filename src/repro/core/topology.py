@@ -18,16 +18,16 @@ from dataclasses import dataclass, field
 
 from .config import VuvuzelaConfig
 from ..client import VuvuzelaClient
-from ..conversation import ConversationProcessor, conversation_noise_builder
+from ..conversation import ConversationProcessor
 from ..crypto import DeterministicRandom, KeyPair
 from ..crypto.keys import PublicKey
 from ..crypto.rng import SecureRandom
-from ..dialing import DialingProcessor, dialing_noise_builder
+from ..dialing import DialingProcessor
 from ..errors import ConfigurationError
-from ..mixnet import CoverTrafficSpec, DialingNoiseSpec, MixServer, ServerRoundView
+from ..mixnet import MixServer, ServerRoundView
 from ..mixnet.chain import RoundObserver, RoundProcessor
-from ..net import MessageKind, Transport
-from ..runtime import RoundEngine
+from ..net import Transport
+from ..runtime import ConversationProtocol, DialingProtocol, RoundEngine, make_protocol
 from ..server import ChainServerEndpoint
 
 
@@ -81,11 +81,7 @@ def build_client(
 
 def build_dialing_processor(config: VuvuzelaConfig, root: DeterministicRandom) -> DialingProcessor:
     """The last server's dialing-round processor, §5.3 noise included."""
-    return DialingProcessor(
-        num_buckets=config.num_dialing_buckets,
-        noise_spec=DialingNoiseSpec(config.dialing_noise, exact=config.exact_noise),
-        rng=root.fork("dialing-last-server-noise"),
-    )
+    return DialingProtocol(num_buckets=config.num_dialing_buckets).build_processor(config, root)
 
 
 @dataclass
@@ -118,12 +114,15 @@ def build_server_endpoints(
 ) -> tuple[ChainServerEndpoint, ChainServerEndpoint]:
     """Build chain server ``index``'s two protocol endpoints on ``transport``.
 
-    The mix servers are configured exactly the way the in-process system
-    configures them — same fork labels, same noise builders, same engine
-    threading — so a chain that is split across processes is byte-identical
-    to the single-process one under a fixed seed.  Pass ``keypairs`` when the
-    caller already derived the chain's keys (they come from the same root, so
-    deriving them again is pure redundant keygen).
+    Everything protocol-specific — noise builders, fork labels, processors,
+    request kinds — comes from the :class:`~repro.runtime.RoundProtocol`
+    plug-ins, so both protocols flow through one construction path.  The mix
+    servers are configured exactly the way the in-process system configures
+    them — same fork labels, same noise builders, same engine threading — so
+    a chain that is split across processes is byte-identical to the
+    single-process one under a fixed seed.  Pass ``keypairs`` when the
+    caller already derived the chain's keys (they come from the same root,
+    so deriving them again is pure redundant keygen).
     """
     if keypairs is None:
         keypairs = server_keypairs(config, root)
@@ -134,49 +133,31 @@ def build_server_endpoints(
     if is_last and (conversation_processor is None or dialing_processor is None):
         raise ConfigurationError("the last chain server needs both round processors")
 
-    conversation_spec = CoverTrafficSpec(config.conversation_noise, exact=config.exact_noise)
-    dialing_spec = DialingNoiseSpec(config.dialing_noise, exact=config.exact_noise)
-
-    conversation_server = MixServer(
-        index=index,
-        keypair=keypairs[index],
-        chain_public_keys=public_keys,
-        rng=root.fork(f"conversation-server-{index}"),
-        noise_builder=(None if is_last else conversation_noise_builder(conversation_spec)),
-        observer=conversation_observer,
-        engine=engine,
-    )
-    conversation_endpoint = ChainServerEndpoint(
-        name=endpoint_name(index, "conversation"),
-        mix_server=conversation_server,
-        network=transport,
-        next_endpoint=(None if is_last else endpoint_name(index + 1, "conversation")),
-        processor=conversation_processor if is_last else None,
-        request_kind=MessageKind.CONVERSATION_REQUEST,
-    )
-
-    dialing_server = MixServer(
-        index=index,
-        keypair=keypairs[index],
-        chain_public_keys=public_keys,
-        rng=root.fork(f"dialing-server-{index}"),
-        noise_builder=(
-            None if is_last else dialing_noise_builder(dialing_spec, config.num_dialing_buckets)
-        ),
-        observer=dialing_observer,
-        engine=engine,
-    )
-    dialing_endpoint = ChainServerEndpoint(
-        name=endpoint_name(index, "dialing"),
-        mix_server=dialing_server,
-        network=transport,
-        next_endpoint=None if is_last else endpoint_name(index + 1, "dialing"),
-        processor=dialing_processor if is_last else None,
-        request_kind=MessageKind.DIALING_REQUEST,
-    )
-    return conversation_endpoint, dialing_endpoint
+    processors = {"conversation": conversation_processor, "dialing": dialing_processor}
+    observers = {"conversation": conversation_observer, "dialing": dialing_observer}
+    endpoints: dict[str, ChainServerEndpoint] = {}
+    for name in ("conversation", "dialing"):
+        protocol = make_protocol(name, config)
+        mix_server = MixServer(
+            index=index,
+            keypair=keypairs[index],
+            chain_public_keys=public_keys,
+            rng=root.fork(protocol.server_rng_label(index)),
+            noise_builder=(None if is_last else protocol.noise_builder(config)),
+            observer=observers[name],
+            engine=engine,
+        )
+        endpoints[name] = ChainServerEndpoint(
+            name=endpoint_name(index, name),
+            mix_server=mix_server,
+            network=transport,
+            next_endpoint=(None if is_last else endpoint_name(index + 1, name)),
+            processor=processors[name] if is_last else None,
+            request_kind=protocol.kind,
+        )
+    return endpoints["conversation"], endpoints["dialing"]
 
 
 def build_conversation_processor() -> ConversationProcessor:
     """The last server's conversation-round processor (dead-drop matching)."""
-    return ConversationProcessor()
+    return ConversationProtocol().build_processor(None, None)

@@ -39,6 +39,10 @@ class DialingProcessor:
     rng: RandomSource | None = None
     strict: bool = False
     stores: dict[int, InvitationDropStore] = field(default_factory=dict)
+    #: Stores older than this many rounds behind the newest are dropped —
+    #: continuous operation must not accumulate every round's invitations.
+    #: ``None`` keeps everything (analysis runs).
+    keep_rounds: int | None = 512
 
     def __call__(self, round_number: int, payloads: list[bytes]) -> list[bytes]:
         """Collect the round's invitations; every request is acknowledged.
@@ -80,6 +84,10 @@ class DialingProcessor:
 
         store.close()
         self.stores[round_number] = store
+        if self.keep_rounds is not None:
+            horizon = round_number - self.keep_rounds
+            for old in [r for r in self.stores if r < horizon]:
+                del self.stores[old]
         return [b"" for _ in payloads]
 
     def store_for_round(self, round_number: int) -> InvitationDropStore:

@@ -24,16 +24,39 @@ from .engine import (
 )
 from .coordinator import ABORTED, LATE, RoundCoordinator, RoundResult, SubmissionWindow
 
+# The protocol plug-ins and the scheduler sit above the coordinator and pull
+# in the protocol packages (conversation, dialing, mixnet); they must stay
+# below this line so the package's own engine/coordinator attributes exist
+# when those packages import back into ``repro.runtime``.
+from .protocols import (
+    PROTOCOL_KINDS,
+    ConversationProtocol,
+    DialingProtocol,
+    RoundProtocol,
+    build_protocols,
+    make_protocol,
+)
+from .scheduler import ClientSession, RoundScheduler, ScheduleReport
+
 __all__ = [
     "ABORTED",
     "ENGINE_MODES",
     "LATE",
     "PROCESS",
+    "PROTOCOL_KINDS",
     "SERIAL",
     "THREADED",
+    "ClientSession",
+    "ConversationProtocol",
+    "DialingProtocol",
     "RoundCoordinator",
     "RoundEngine",
+    "RoundProtocol",
     "RoundResult",
+    "RoundScheduler",
+    "ScheduleReport",
     "SubmissionWindow",
+    "build_protocols",
     "default_engine",
+    "make_protocol",
 ]

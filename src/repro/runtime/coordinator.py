@@ -305,6 +305,12 @@ class RoundCoordinator:
             if self.control_handler is not None:
                 return self.control_handler(envelope)
             return self.entry.handle(envelope)
+        if envelope.kind is MessageKind.DIAL_DOWNLOAD:
+            # Invitation downloads are reads, not submissions — and serving
+            # one may block on a fetch from the last chain server, so it
+            # must not run under the coordinator lock (it would wedge every
+            # submission and close until the fetch resolved).
+            return self.entry.handle(envelope)
         with self._lock:
             window = self._windows.get((envelope.kind, envelope.round_number))
             if window is None:
@@ -423,6 +429,17 @@ class RoundCoordinator:
                 self._highest_closed.get(window.kind, -1), window.round_number
             )
         try:
+            self._await_drive_turn(window)
+        except (NetworkError, ProtocolError) as exc:
+            # The drive turn never came (an earlier round is wedged, or the
+            # coordinator shut down): the submissions would leak in the entry
+            # buffer — park them for inspection like any permanent failure.
+            self.resubmission_queue[(window.kind, window.round_number)] = self.entry.withdraw(
+                window.kind, window.round_number
+            )
+            self._resolve(window, error=exc)
+            raise
+        try:
             grouped = self.entry.run_round_grouped(window.kind, window.round_number)
         except (NetworkError, ProtocolError) as exc:
             # run_round_grouped restored the submissions into the entry
@@ -499,6 +516,47 @@ class RoundCoordinator:
         )
         self._resolve(window, result=result)
         return result
+
+    def _await_drive_turn(self, window: SubmissionWindow) -> None:
+        """Serialize chain drives of one kind in round-number order.
+
+        The continuous scheduler opens round N+1's submission window while
+        round N's chain is still mixing; if both batches reached the chain
+        concurrently, each server's per-protocol rng stream (noise, wrap
+        scalars, the mix permutation) would interleave nondeterministically
+        and overlapped execution would no longer be byte-identical to serial
+        execution.  So a closed window waits here until every earlier round
+        of its kind has resolved — successfully, permanently, or through an
+        abort whose retry resolved — before its batch may enter the chain.
+        Different kinds never block each other: a dialing round mixes
+        concurrently with a conversation round (disjoint endpoints, disjoint
+        rng streams).
+        """
+        deadline = self._clock() + self.response_wait_seconds
+        with self._resolved_cond:
+            while True:
+                if self._shutdown:
+                    raise NetworkError(
+                        f"round {window.round_number} ({window.kind.value}): "
+                        "the coordinator is shutting down"
+                    )
+                earliest = min(
+                    (
+                        number
+                        for (kind, number), other in self._windows.items()
+                        if kind is window.kind and not other.resolved
+                    ),
+                    default=window.round_number,
+                )
+                if earliest >= window.round_number:
+                    return
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise ProtocolError(
+                        f"round {window.round_number} ({window.kind.value}) waited "
+                        f"{self.response_wait_seconds}s for round {earliest} to resolve"
+                    )
+                self._resolved_cond.wait(remaining)
 
     def _abort_and_reopen(self, window: SubmissionWindow) -> SubmissionWindow:
         """Abort a failed attempt and open its retry window atomically.

@@ -1,0 +1,384 @@
+"""Continuous, overlapping round scheduling (conversation ∥ dialing).
+
+Vuvuzela deployments do not run one round at a time and stop: clients
+participate in **every** conversation round as cover traffic, and a dialing
+round is interleaved once per k conversation rounds (§5.5).  The
+:class:`RoundScheduler` drives that stream over any deployment shape —
+the in-process :class:`~repro.core.system.VuvuzelaSystem` or the
+multi-process TCP :class:`~repro.core.deployment.DeploymentLauncher` —
+through one small :class:`RoundDriver` interface and the
+:class:`~repro.runtime.protocols.RoundProtocol` plug-ins.
+
+**Overlap model.**  The scheduler pipelines where the protocol's data
+dependencies allow, and *only* there, so a scheduled run stays byte-identical
+to its serial execution (the determinism-under-concurrency discipline):
+
+* a round's conversation requests depend on the previous conversation
+  round's responses (retransmission, outbox advance — §3.1/§3.2), so
+  conversation rounds stay strictly ordered among themselves;
+* a **dialing round is independent of conversation state** (its own client
+  rng stream, its own chain endpoints, its own server rng streams), so its
+  submission and chain drive run concurrently with a conversation round's;
+* round N+1's **submission window is opened while round N's chain is still
+  mixing**, taking the window-open control round trip off the critical path;
+* per-kind chain drives are serialized in round order by the
+  :class:`~repro.runtime.coordinator.RoundCoordinator`, which is what makes
+  all of the above deterministic.
+
+``pipeline_depth`` bounds how many rounds may be in flight at once: ``1``
+serializes everything (the baseline the benchmark compares against); ``2``
+or more enables the dialing overlap and window pre-opening.
+
+**Sessions.**  A :class:`ClientSession` is the per-client loop the paper
+describes: dial someone, poll invitations every dialing round, auto-accept
+incoming calls, converse — while the client's fixed-size cover traffic flows
+every round regardless.  Sessions are transport-agnostic: they manipulate
+the underlying :class:`~repro.client.VuvuzelaClient` between rounds, at
+deterministic points of the schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from .protocols import RoundProtocol
+from ..errors import ProtocolError
+
+
+@dataclass
+class ScheduledRound:
+    """One opened-but-not-yet-resolved round in the schedule."""
+
+    protocol_name: str
+    round_number: int
+    #: Shape-specific handle (the coordinator window in-process; nothing
+    #: over TCP, where the entry process owns the window).
+    handle: Any = None
+
+
+class RoundDriver(ABC):
+    """What the scheduler needs from a deployment shape."""
+
+    @abstractmethod
+    def protocol(self, name: str) -> RoundProtocol:
+        """The (deployment-bound) protocol instance for ``name``."""
+
+    @abstractmethod
+    def open_scheduled_round(self, protocol: RoundProtocol) -> ScheduledRound:
+        """Allocate the next round number and open its submission window."""
+
+    @abstractmethod
+    def drive_scheduled_round(self, protocol: RoundProtocol, opened: ScheduledRound) -> Any:
+        """Submit every client, resolve the round, finish it (invitation
+        polling included) and return the round's metrics.  Blocking."""
+
+    #: Whether pre-opening the next round's window while the current chain
+    #: is mixing is sound for this shape.  Deadline-only deployments say no:
+    #: a window's deadline timer starts at open time, so pre-opening would
+    #: silently shrink the submission window by the remaining mix time.
+    preopen_windows: bool = True
+
+    def discard_scheduled_round(self, protocol: RoundProtocol, opened: ScheduledRound) -> None:
+        """Resolve a window that will never be driven (failure cleanup).
+
+        An abandoned open window would wedge the coordinator's in-order
+        drive gate for every later round of its kind; shapes that can do so
+        close it (as an empty round) instead.  Best-effort by contract.
+        """
+
+
+@dataclass
+class ClientSession:
+    """The per-client session loop: dial → poll invitations → converse.
+
+    The wrapped client sends cover traffic every round whether or not the
+    session is in a conversation — that is the protocol's own behaviour; the
+    session only drives the *user-level* state machine around it.
+    """
+
+    client: Any  # VuvuzelaClient (kept untyped: no core import cycles here)
+    #: Accept every incoming call and enter the conversation.
+    auto_accept: bool = True
+    #: Messages queued (once) when this session's first conversation opens —
+    #: whether it dialed out or accepted a call.
+    greetings: list[bytes | str] = field(default_factory=list)
+    _pending_dial: Any = field(default=None, repr=False)
+    _dialed: Any = field(default=None, repr=False)
+    _calls_seen: int = field(default=0, repr=False)
+    _greeted: bool = field(default=False, repr=False)
+    invitations_received: int = 0
+    conversations_started: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.client.name
+
+    def dial(self, peer) -> None:
+        """Ask the session to dial ``peer`` at the next dialing round."""
+        self._pending_dial = peer
+
+    def say(self, message: bytes | str) -> None:
+        """Queue a message: now if a conversation is active, else as greeting."""
+        if self.client.active_conversations:
+            self.client.send_message(message)
+        else:
+            self.greetings.append(message)
+
+    # ---- hooks the scheduler calls at deterministic schedule points ----
+
+    def before_dialing_round(self) -> None:
+        if self._pending_dial is not None:
+            self.client.dial(self._pending_dial)
+            self._dialed = self._pending_dial
+            self._pending_dial = None
+
+    def after_dialing_round(self) -> None:
+        """React to the round's polled invitations (already on the client)."""
+        if self._dialed is not None:
+            # The caller enters the conversation optimistically (§5.1): the
+            # callee joins when it accepts the invitation.
+            self.client.start_conversation(self._dialed)
+            self.conversations_started += 1
+            self._dialed = None
+            self._send_greetings()
+        new_calls = self.client.incoming_calls[self._calls_seen :]
+        self._calls_seen = len(self.client.incoming_calls)
+        self.invitations_received += len(new_calls)
+        if self.auto_accept:
+            for call in new_calls:
+                self.client.accept_call(call)
+                self.conversations_started += 1
+            if new_calls:
+                self._send_greetings()
+
+    def _send_greetings(self) -> None:
+        if self._greeted or not self.greetings:
+            return
+        for message in self.greetings:
+            self.client.send_message(message)
+        self._greeted = True
+
+
+@dataclass
+class ScheduleReport:
+    """What a continuous run produced, in round order per protocol."""
+
+    conversation: list = field(default_factory=list)
+    dialing: list = field(default_factory=list)
+    pipeline_depth: int = 1
+    dialing_interval: int = 0
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def total_rounds(self) -> int:
+        return len(self.conversation) + len(self.dialing)
+
+    @property
+    def rounds_per_second(self) -> float:
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.total_rounds / self.wall_clock_seconds
+
+
+class _RoundTask:
+    """A helper thread running one schedule step, with error propagation."""
+
+    def __init__(self, name: str, target) -> None:
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+        def run() -> None:
+            try:
+                self.result = target()
+            except BaseException as exc:  # joined and re-raised by the caller
+                self.error = exc
+
+        self.thread = threading.Thread(target=run, name=name, daemon=True)
+        self.thread.start()
+
+    def join(self) -> Any:
+        self.thread.join()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class RoundScheduler:
+    """Schedules a continuous stream of rounds over a :class:`RoundDriver`."""
+
+    def __init__(
+        self,
+        driver: RoundDriver,
+        *,
+        pipeline_depth: int = 1,
+        dialing_interval: int = 0,
+    ) -> None:
+        if pipeline_depth < 1:
+            raise ProtocolError("the pipeline needs a depth of at least 1")
+        if dialing_interval < 0:
+            raise ProtocolError("the dialing interval cannot be negative")
+        self.driver = driver
+        self.pipeline_depth = pipeline_depth
+        self.dialing_interval = dialing_interval
+        self.sessions: list[ClientSession] = []
+
+    # ------------------------------------------------------------- sessions
+
+    def add_session(self, session: ClientSession) -> ClientSession:
+        self.sessions.append(session)
+        return session
+
+    def session(self, name: str) -> ClientSession:
+        for session in self.sessions:
+            if session.name == name:
+                return session
+        raise ProtocolError(f"no session for client {name!r}")
+
+    # ------------------------------------------------------------ one round
+
+    def run_round(self, protocol_name: str) -> Any:
+        """Open, drive and resolve a single round (the serial path).
+
+        This is what ``VuvuzelaSystem.run_conversation_round`` /
+        ``run_dialing_round`` delegate to — one round at a time, no overlap.
+        """
+        protocol = self.driver.protocol(protocol_name)
+        opened = self.driver.open_scheduled_round(protocol)
+        return self.driver.drive_scheduled_round(protocol, opened)
+
+    # ----------------------------------------------------------- continuous
+
+    def run_session(
+        self,
+        conversation_rounds: int,
+        *,
+        dialing_interval: int | None = None,
+        pipeline_depth: int | None = None,
+    ) -> ScheduleReport:
+        """Run a continuous schedule of overlapped rounds.
+
+        ``conversation_rounds`` conversation rounds are driven back to back;
+        when ``dialing_interval`` is k > 0, a dialing round is due before
+        conversation rounds 0, k, 2k, …  With ``pipeline_depth`` >= 2 each
+        due dialing round overlaps the *preceding* conversation round (its
+        results — polled invitations, session accepts — are applied at the
+        same deterministic point as in serial execution: before the next
+        conversation round builds), and the next conversation window is
+        pre-opened while the current round's chain is still mixing.
+        """
+        if conversation_rounds < 0:
+            raise ProtocolError("cannot schedule a negative number of rounds")
+        interval = self.dialing_interval if dialing_interval is None else dialing_interval
+        depth = self.pipeline_depth if pipeline_depth is None else pipeline_depth
+        if depth < 1:
+            raise ProtocolError("the pipeline needs a depth of at least 1")
+        if interval < 0:
+            raise ProtocolError("the dialing interval cannot be negative")
+
+        conversation = self.driver.protocol("conversation")
+        dialing = self.driver.protocol("dialing")
+        report = ScheduleReport(pipeline_depth=depth, dialing_interval=interval)
+        started = time.perf_counter()
+
+        slots = threading.BoundedSemaphore(depth)
+        pre_opened: _RoundTask | None = None
+        dialing_task: _RoundTask | None = None
+
+        def run_dialing() -> Any:
+            """One full dialing round (its slot is held by the caller)."""
+            try:
+                opened = self.driver.open_scheduled_round(dialing)
+                return self.driver.drive_scheduled_round(dialing, opened)
+            finally:
+                slots.release()
+
+        def open_conversation() -> ScheduledRound:
+            """Open the next conversation window (slot held until driven)."""
+            return self.driver.open_scheduled_round(conversation)
+
+        def launch_dialing() -> _RoundTask:
+            for session in self.sessions:
+                session.before_dialing_round()
+            slots.acquire()
+            return _RoundTask("scheduler-dialing", run_dialing)
+
+        def finish_dialing(task: _RoundTask) -> None:
+            report.dialing.append(task.join())
+            for session in self.sessions:
+                session.after_dialing_round()
+
+        try:
+            for index in range(conversation_rounds):
+                if interval and index % interval == 0 and dialing_task is None:
+                    # Due now and not launched ahead (round 0, or depth 1):
+                    # run the dialing round serially in this slot.
+                    finish_dialing(launch_dialing())
+                elif dialing_task is not None:
+                    # Launched during the previous conversation round; its
+                    # results apply exactly where serial execution would
+                    # apply them — before this round's requests are built.
+                    finish_dialing(dialing_task)
+                    dialing_task = None
+
+                if pre_opened is not None:
+                    opened = pre_opened.join()
+                    pre_opened = None
+                else:
+                    slots.acquire()
+                    opened = open_conversation()
+
+                overlap = depth >= 2
+                if overlap and interval and (index + 1) % interval == 0 and index + 1 < conversation_rounds:
+                    # The dialing round due before round index+1 overlaps
+                    # this round's submission window and chain drive.
+                    dialing_task = launch_dialing()
+                preopen = overlap and getattr(self.driver, "preopen_windows", True)
+                if preopen and index + 1 < conversation_rounds:
+                    def open_next() -> ScheduledRound:
+                        slots.acquire()
+                        try:
+                            return open_conversation()
+                        except BaseException:
+                            slots.release()
+                            raise
+
+                    pre_opened = _RoundTask("scheduler-open", open_next)
+
+                try:
+                    report.conversation.append(
+                        self.driver.drive_scheduled_round(conversation, opened)
+                    )
+                finally:
+                    slots.release()
+            if dialing_task is not None:
+                # A dialing round launched alongside the final conversation
+                # round still completes (and its invitations still land).
+                finish_dialing(dialing_task)
+                dialing_task = None
+        finally:
+            # Never leak helper threads, slots or open windows on a failed
+            # round: an abandoned open window would wedge the coordinator's
+            # in-order drive gate for every later round of its kind.
+            if dialing_task is not None:
+                try:
+                    dialing_task.join()
+                except BaseException:
+                    pass
+            if pre_opened is not None:
+                try:
+                    abandoned = pre_opened.join()
+                    slots.release()
+                except BaseException:
+                    pass
+                else:
+                    try:
+                        self.driver.discard_scheduled_round(conversation, abandoned)
+                    except Exception:
+                        pass  # best-effort cleanup on an already-failing path
+
+        report.wall_clock_seconds = time.perf_counter() - started
+        return report

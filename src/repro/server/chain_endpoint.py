@@ -29,6 +29,14 @@ class ChainServerEndpoint:
     next_endpoint: str | None
     processor: RoundProcessor | None
     request_kind: MessageKind = MessageKind.CONVERSATION_REQUEST
+    #: Highest round number this endpoint has started processing.  A batch
+    #: for an *earlier* round is rejected: the server's rng stream (noise,
+    #: wrap scalars, mix permutation) advances with each round, so replaying
+    #: an old round here would silently desynchronise this server from the
+    #: rest of the chain.  Re-running the *same* round (the coordinator's
+    #: §6 abort/retry) and skipping forward (a permanently failed round) are
+    #: both allowed.
+    highest_round: int | None = None
 
     def __post_init__(self) -> None:
         if self.next_endpoint is None and self.processor is None:
@@ -43,6 +51,12 @@ class ChainServerEndpoint:
         secrets past the round they belong to (forward secrecy).
         """
         round_number, requests = decode_batch(envelope.payload)
+        if self.highest_round is not None and round_number < self.highest_round:
+            raise ProtocolError(
+                f"{self.name}: round {round_number} arrived after round "
+                f"{self.highest_round} already ran — chain drives must stay in order"
+            )
+        self.highest_round = round_number
         try:
             responses = self.mix_server.process_round(
                 round_number, requests, self._downstream

@@ -10,9 +10,11 @@ adversary is assumed to see all network traffic anyway).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Callable
 
-from .wire import decode_batch, encode_batch
+from .wire import decode_batch, decode_download_request, encode_batch
 from ..errors import NetworkError, ProtocolError
 from ..net import Envelope, MessageKind, Transport
 
@@ -45,9 +47,22 @@ class EntryServer:
     #: conversation protocol uses one request per conversation slot (§9), so
     #: deployments with multi-conversation clients raise this accordingly.
     max_requests_per_account_per_round: int = 1
+    #: When set, the entry also plays the paper's CDN: clients fetch a
+    #: dialing round's invitation store with a ``DIAL_DOWNLOAD`` envelope,
+    #: and this callable produces the (JSON-safe) store snapshot for a round
+    #: — from the in-process dialing processor, or over TCP from the last
+    #: chain server's control endpoint.  Snapshots are cached per round so a
+    #: deployment's many clients cost one fetch, not one fetch each.
+    invitation_fetcher: Callable[[int], dict] | None = None
+    #: Cached snapshots are dropped once they fall this many rounds behind
+    #: the newest download — continuous operation must not grow memory.
+    keep_snapshots: int = 8
     _accounts: set[str] = field(default_factory=set)
     _buffers: dict[tuple[MessageKind, int], list[tuple[str, bytes]]] = field(default_factory=dict)
+    _snapshots: dict[int, bytes] = field(default_factory=dict)
     refused_requests: int = 0
+    #: Invitation-store downloads served (cache hits included).
+    downloads_served: int = 0
 
     def __post_init__(self) -> None:
         self.network.register(self.name, self.handle)
@@ -64,6 +79,11 @@ class EntryServer:
 
     def handle(self, envelope: Envelope) -> bytes:
         """Accept one client request for the current round."""
+        if envelope.kind is MessageKind.DIAL_DOWNLOAD:
+            # The invitation download is public (the adversary can read any
+            # bucket anyway, §5.3), so it is served even to unregistered
+            # sources and is never gated by a submission window.
+            return self.serve_invitations(decode_download_request(envelope.payload))
         if envelope.kind not in self.first_server:
             raise ProtocolError(f"the entry server does not handle {envelope.kind}")
         if self.require_registration and envelope.source not in self._accounts:
@@ -81,6 +101,27 @@ class EntryServer:
                 return REFUSED
         submissions.append((envelope.source, envelope.payload))
         return ACK
+
+    def serve_invitations(self, round_number: int) -> bytes:
+        """One dialing round's invitation store, JSON-encoded, cached.
+
+        The snapshot is fetched once per round through ``invitation_fetcher``
+        and byte-identical for every client that downloads it — exactly the
+        CDN behaviour the paper assumes (§5.2).
+        """
+        cached = self._snapshots.get(round_number)
+        if cached is None:
+            if self.invitation_fetcher is None:
+                raise ProtocolError("this entry server serves no invitation downloads")
+            cached = json.dumps(
+                self.invitation_fetcher(round_number), sort_keys=True
+            ).encode("utf-8")
+            self._snapshots[round_number] = cached
+            horizon = round_number - self.keep_snapshots
+            for old in [r for r in self._snapshots if r < horizon]:
+                del self._snapshots[old]
+        self.downloads_served += 1
+        return cached
 
     def pending_requests(self, kind: MessageKind, round_number: int) -> int:
         return len(self._buffers.get((kind, round_number), []))

@@ -37,15 +37,14 @@ from .entry import EntryServer
 from ..core.config import VuvuzelaConfig
 from ..core import topology
 from ..crypto.backend import set_backend
-from ..errors import ProtocolError, ReproError, TransportTimeout
+from ..errors import NetworkError, ProtocolError, ReproError, TransportTimeout
 from ..net import Envelope, MessageKind, TcpTransport, parse_address
 from ..net.faults import apply_fault_command
-from ..runtime import RoundCoordinator
+from ..runtime import PROTOCOL_KINDS, RoundCoordinator
 
-_PROTOCOLS = {
-    "conversation": MessageKind.CONVERSATION_REQUEST,
-    "dialing": MessageKind.DIALING_REQUEST,
-}
+#: Protocol name -> submission kind, shared with the round pipeline: the
+#: control plane drives exactly the protocols the pipeline implements.
+_PROTOCOLS = PROTOCOL_KINDS
 
 
 class EntryServerProcess:
@@ -58,6 +57,7 @@ class EntryServerProcess:
         host: str = "127.0.0.1",
         port: int = 0,
         first_server: tuple[str, int],
+        last_server: tuple[str, int] | None = None,
         request_timeout: float | None = None,
         handler_workers: int = 64,
     ) -> None:
@@ -87,6 +87,13 @@ class EntryServerProcess:
                 topology.endpoint_name(0, "dialing"): first_server,
             }
         )
+        # The entry also fronts the paper's invitation CDN: clients download
+        # a dialing round's store from here over the same envelope path they
+        # submit on, and the entry fetches it (once per round) from the last
+        # chain server's control endpoint.
+        self._last_control = topology.control_name(config.num_servers - 1)
+        if last_server is not None:
+            self.transport.add_route(self._last_control, *last_server)
         self.entry = EntryServer(
             network=self.transport,
             first_server={
@@ -96,6 +103,8 @@ class EntryServerProcess:
             require_registration=config.require_registration,
             max_requests_per_account_per_round=config.max_conversations_per_client,
         )
+        if last_server is not None:
+            self.entry.invitation_fetcher = self._fetch_invitations
         self.coordinator = RoundCoordinator(
             self.transport,
             self.entry,
@@ -117,6 +126,26 @@ class EntryServerProcess:
         # long-poll, so client connections drain before the sockets vanish.
         self.coordinator.close()
         self.transport.close()
+
+    # ------------------------------------------------------------- downloads
+
+    def _fetch_invitations(self, round_number: int) -> dict:
+        """Pull one dialing round's store snapshot from the last chain server."""
+        reply = self.transport.send(
+            self.entry.name,
+            self._last_control,
+            json.dumps({"cmd": "invitations", "round": round_number}).encode("utf-8"),
+        )
+        if reply is None:
+            raise NetworkError(
+                f"dialing round {round_number}: the last chain server is unreachable"
+            )
+        data = json.loads(bytes(reply).decode("utf-8"))
+        if "store" not in data:
+            raise ProtocolError(
+                f"dialing round {round_number}: malformed invitation snapshot"
+            )
+        return data["store"]
 
     # ---------------------------------------------------------- control plane
 
@@ -166,6 +195,19 @@ class EntryServerProcess:
                 expected_requests=int(expected) if expected is not None else None,
             )
             return {"round": round_number}
+        if cmd == "close-round":
+            # Force-close a window early (scheduler failure cleanup): the
+            # round runs with whatever submissions arrived, so the in-order
+            # drive gate is never wedged on an abandoned open window.
+            kind = self._protocol(command)
+            window = self.coordinator.window(kind, int(command["round"]))
+            if window is None:
+                return {"error": f"round {command['round']} has no window"}
+            try:
+                result = self.coordinator.close_round(window)
+            except (ProtocolError, ReproError) as exc:
+                return {"error": str(exc)}
+            return {"round": result.round_number, "accepted": result.accepted}
         if cmd == "round-result":
             kind = self._protocol(command)
             wait = float(command.get("wait", 60.0))
@@ -202,6 +244,11 @@ def main(argv: list[str] | None = None) -> None:
         "--first-server", required=True, help="host:port of chain server 0"
     )
     parser.add_argument(
+        "--last-server",
+        default=None,
+        help="host:port of the last chain server (enables invitation downloads)",
+    )
+    parser.add_argument(
         "--handler-workers",
         type=int,
         default=64,
@@ -221,6 +268,7 @@ def main(argv: list[str] | None = None) -> None:
             host=args.host,
             port=args.port,
             first_server=parse_address(args.first_server),
+            last_server=parse_address(args.last_server) if args.last_server else None,
             handler_workers=args.handler_workers,
         )
         _, port = process.listen()

@@ -3,6 +3,11 @@
 Servers forward whole rounds at a time; a batch is a simple length-prefixed
 concatenation preceded by the round number, so the receiving server can
 sanity-check that both ends agree which round they are processing.
+
+The module also frames the one client-facing download in the system: the
+:data:`~repro.net.MessageKind.DIAL_DOWNLOAD` request a client sends to the
+entry server to fetch a dialing round's invitation store (the paper serves
+this from a CDN; the entry server is our untrusted CDN front).
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from ..errors import ProtocolError
 
 _HEADER = struct.Struct(">QI")  # round number, request count
 _LENGTH = struct.Struct(">I")
+_DOWNLOAD = struct.Struct(">Q")  # dialing round number
 
 
 def encode_batch(round_number: int, requests: list[bytes]) -> bytes:
@@ -58,3 +64,18 @@ def decode_batch(payload: bytes) -> tuple[int, list[memoryview]]:
     if offset != total:
         raise ProtocolError("trailing bytes after the last request in a batch")
     return round_number, requests
+
+
+def encode_download_request(round_number: int) -> bytes:
+    """Frame a client's invitation-store download request for one round."""
+    if round_number < 0:
+        raise ProtocolError("round numbers are non-negative")
+    return _DOWNLOAD.pack(round_number)
+
+
+def decode_download_request(payload: bytes) -> int:
+    """Parse a download request back to its dialing round number."""
+    if len(payload) != _DOWNLOAD.size:
+        raise ProtocolError("malformed invitation download request")
+    (round_number,) = _DOWNLOAD.unpack(bytes(payload))
+    return round_number

@@ -168,6 +168,51 @@ class TestNetworkedPartition:
             follow_up = deployment.run_conversation_round([alice, bob])
             assert follow_up.aborts == 0
 
+    def test_injected_link_kill_aborts_and_recovers_a_dialing_round(self):
+        """Satellite: dialing rounds ride the same abort/retry pipeline over
+        TCP — a killed dialing hop refunds, re-runs, and the invitation is
+        still delivered exactly once."""
+        config = scenario_config(round_deadline_seconds=10.0)
+        with DeploymentLauncher(config) as deployment:
+            alice = deployment.add_client("alice")
+            bob = deployment.add_client("bob")
+            alice.client.dial(bob.client.public_key)
+            deployment.inject_fault(
+                0,
+                {
+                    "action": "kill",
+                    "destination": "server-1/dialing",
+                    "count": 1,
+                },
+            )
+            result = deployment.run_dialing_round([alice, bob])
+            assert result.protocol == "dialing"
+            assert result.aborts == 1
+            assert result.accepted == 2
+            assert deployment.aborted_total() == 1
+            assert alice.aborted_replies == 1 and bob.aborted_replies == 1
+            assert len(bob.client.incoming_calls) == 1  # exactly once
+            # The retried round still carries dialing cover traffic.
+            assert deployment.chain_noise("dialing", result.round_number) > 0
+
+    def test_dialing_straggler_is_refused_late_over_tcp(self):
+        """Satellite: a dialing submission past its window gets the same
+        LATE treatment as a conversation straggler."""
+        config = scenario_config()
+        with DeploymentLauncher(config, request_timeout=120.0) as deployment:
+            alice = deployment.add_client("alice")
+            bob = deployment.add_client("bob")
+            dave = deployment.add_client("dave")
+            alice.client.dial(bob.client.public_key)
+            result = deployment.run_dialing_round([alice, bob])
+            # Dave submits his dialing request only after the round resolved.
+            dave.run_dialing_round(result.round_number, config.num_dialing_buckets)
+            assert dave.late_rounds == 1
+            assert dave.client.rounds_lost == 1
+            assert deployment.late_total() == 1
+            late_result = deployment.wait_round("dialing", result.round_number)
+            assert late_result["late"] == 1
+
     def test_entry_side_drop_aborts_and_recovers(self):
         config = scenario_config(round_deadline_seconds=10.0)
         with DeploymentLauncher(config) as deployment:

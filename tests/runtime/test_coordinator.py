@@ -498,3 +498,98 @@ class TestAbortAndRetry:
         assert result.attempts == 2
         assert result.accepted == 1
         assert result.refused == 1  # mallory's refusal survives the abort
+
+
+def build_dialing_stack(rng, **coordinator_kwargs):
+    """Entry + two-server *dialing* chain + coordinator on one Network.
+
+    The protocol-agnostic pipeline refactor's promise: the coordinator's
+    windows, stragglers and abort/retry machinery treat a DIALING_REQUEST
+    round exactly like a conversation round.
+    """
+    network = Network()
+    keypairs = [KeyPair.generate(rng) for _ in range(2)]
+    publics = [k.public for k in keypairs]
+
+    def processor(round_number, payloads):
+        # A stand-in invitation collector: acknowledge every request.
+        return [b"ack:" + bytes(payload)[:4] for payload in payloads]
+
+    for index, keypair in enumerate(keypairs):
+        is_last = index == 1
+        ChainServerEndpoint(
+            name=f"server-{index}/dialing",
+            mix_server=MixServer(
+                index=index, keypair=keypair, chain_public_keys=publics, rng=rng.fork(f"d{index}")
+            ),
+            network=network,
+            next_endpoint=None if is_last else "server-1/dialing",
+            processor=processor if is_last else None,
+            request_kind=MessageKind.DIALING_REQUEST,
+        )
+    entry = EntryServer(
+        network=network,
+        first_server={MessageKind.DIALING_REQUEST: "server-0/dialing"},
+    )
+    coordinator = RoundCoordinator(network, entry, **coordinator_kwargs)
+    return network, entry, publics, coordinator
+
+
+class TestDialingRoundsShareThePipeline:
+    """Satellite coverage: dialing stragglers and abort/retry mirror the
+    conversation protocol's fault-tolerance story through the same code."""
+
+    def test_dialing_straggler_past_the_window_is_late(self, rng):
+        network, entry, publics, coordinator = build_dialing_stack(rng)
+        window = coordinator.open_round(MessageKind.DIALING_REQUEST, 0)
+        wire, _ = wrap_request(b"on time", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.DIALING_REQUEST, 0) == ACK
+        result = coordinator.close_round(window)
+        assert result.accepted == 1
+        wire, _ = wrap_request(b"too late", publics, 0, rng)
+        assert network.send("dave", "entry", wire, MessageKind.DIALING_REQUEST, 0) == LATE
+        assert coordinator.late_requests == 1
+        assert entry.pending_requests(MessageKind.DIALING_REQUEST, 0) == 0
+
+    def test_killed_link_dialing_round_refunds_and_reruns(self, rng):
+        network, entry, publics, coordinator = build_dialing_stack(rng)
+        flaky_hop(network, "server-1/dialing", failures=1)
+        window = coordinator.open_round(MessageKind.DIALING_REQUEST, 0)
+        wire, ctx = wrap_request(b"invite bob", publics, 0, rng)
+        assert network.send("alice", "entry", wire, MessageKind.DIALING_REQUEST, 0) == ACK
+        result = coordinator.close_round(window)
+        assert result.kind is MessageKind.DIALING_REQUEST
+        assert result.attempts == 2
+        assert result.accepted == 1
+        assert coordinator.rounds_aborted == 1
+        assert len(result.responses["alice"]) == 1  # exactly once
+        assert unwrap_response(result.responses["alice"][0], ctx) == b"ack:invi"
+
+    def test_exhausted_dialing_retries_park_refunds(self, rng):
+        network, entry, publics, coordinator = build_dialing_stack(rng, max_round_attempts=2)
+        flaky_hop(network, "server-1/dialing", failures=2)
+        window = coordinator.open_round(MessageKind.DIALING_REQUEST, 0)
+        wire, _ = wrap_request(b"doomed", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.DIALING_REQUEST, 0)
+        with pytest.raises(NetworkError):
+            coordinator.close_round(window)
+        refunds = coordinator.resubmission_queue[(MessageKind.DIALING_REQUEST, 0)]
+        assert [client for client, _ in refunds] == ["alice"]
+        # The next dialing round is unaffected.
+        window = coordinator.open_round(MessageKind.DIALING_REQUEST, 1)
+        assert coordinator.close_round(window).attempts == 1
+
+    def test_blocking_dialing_abort_answers_long_poll(self, rng):
+        network, entry, publics, coordinator = build_dialing_stack(
+            rng, blocking_responses=True
+        )
+        flaky_hop(network, "server-1/dialing", failures=1)
+        coordinator.open_round(MessageKind.DIALING_REQUEST, 0, expected_requests=1)
+        wire, ctx = wrap_request(b"resubmitted", publics, 0, rng)
+        first = network.send("alice", "entry", wire, MessageKind.DIALING_REQUEST, 0)
+        assert first == ABORTED
+        second = network.send("alice", "entry", wire, MessageKind.DIALING_REQUEST, 0)
+        assert unwrap_response(second, ctx) == b"ack:resu"
+        result = coordinator.wait_for_result(MessageKind.DIALING_REQUEST, 0, timeout=5.0)
+        assert result.attempts == 2
+        assert result.accepted == 1

@@ -116,3 +116,56 @@ class TestOpenAdmission:
     def test_unhandled_kind_still_raises(self, entry):
         with pytest.raises(ProtocolError):
             submit(entry, "alice", kind=MessageKind.CONTROL)
+
+
+class TestInvitationDownloads:
+    """The entry server as the paper's CDN front (DIAL_DOWNLOAD envelopes)."""
+
+    def download(self, entry, round_number, source="anyone"):
+        from repro.server.wire import encode_download_request
+
+        return entry.handle(
+            Envelope(
+                source=source,
+                destination=entry.name,
+                payload=encode_download_request(round_number),
+                kind=MessageKind.DIAL_DOWNLOAD,
+                round_number=round_number,
+            )
+        )
+
+    def test_download_is_served_from_the_fetcher_and_cached(self, entry):
+        fetches: list[int] = []
+
+        def fetcher(round_number: int) -> dict:
+            fetches.append(round_number)
+            return {"num_buckets": 1, "buckets": {"0": []}, "noise": {"0": 0}}
+
+        entry.invitation_fetcher = fetcher
+        first = self.download(entry, 3)
+        second = self.download(entry, 3, source="someone-else")
+        assert first == second  # byte-identical for every downloader
+        assert fetches == [3]  # one fetch per round, not one per client
+        assert entry.downloads_served == 2
+
+    def test_download_is_public_even_with_registration_required(self, entry):
+        entry.invitation_fetcher = lambda r: {
+            "num_buckets": 1, "buckets": {"0": []}, "noise": {"0": 0},
+        }
+        # "mallory" is unregistered; the buckets are public anyway (§5.3).
+        assert self.download(entry, 0, source="mallory")
+        assert entry.refused_requests == 0
+
+    def test_download_without_a_fetcher_is_an_error(self, entry):
+        with pytest.raises(ProtocolError, match="no invitation downloads"):
+            self.download(entry, 0)
+
+    def test_snapshot_cache_is_pruned_for_continuous_operation(self, entry):
+        entry.invitation_fetcher = lambda r: {
+            "num_buckets": 1, "buckets": {"0": []}, "noise": {"0": 0},
+        }
+        entry.keep_snapshots = 2
+        for round_number in range(6):
+            self.download(entry, round_number)
+        # Snapshots older than keep_snapshots rounds behind round 5 are gone.
+        assert set(entry._snapshots) == {3, 4, 5}
