@@ -44,8 +44,10 @@ from . import topology
 from .config import VuvuzelaConfig
 from ..client import ClientConnection
 from ..deaddrop import InvitationDropStore
-from ..errors import NetworkError, ProtocolError
+from ..errors import LedgerError, NetworkError, ProtocolError
+from ..ledger import client_digest
 from ..net import TcpTransport
+from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
 from ..runtime import RoundScheduler, make_protocol
 from ..runtime.protocols import RoundProtocol
 from ..runtime.scheduler import ClientSession, ScheduledRound, ScheduleReport
@@ -159,6 +161,30 @@ class DeploymentLauncher:
             pipeline_depth=self.config.pipeline_depth,
             dialing_interval=self.config.dialing_interval,
         )
+        #: Optional round ledger (attach with :meth:`attach_ledger`).
+        self.ledger = None
+        #: Fault rules shipped to live processes, by normalized target name —
+        #: re-sent to a chain server when :meth:`restart_server` respawns it
+        #: (a fresh process has a fresh, empty injector).
+        self._injected_rules: dict[str, list[tuple[dict, int]]] = {}
+        #: The launcher-side DP accounting mirror: server processes make the
+        #: noise draws, but the launcher drives every round, so it checkpoints
+        #: the (ε, δ) composition per resolved round — the same numbers the
+        #: in-process shape records, which keeps the ledgers diffable.
+        self._accountants = {
+            "conversation": PrivacyAccountant(
+                per_round=conversation_guarantee(self.config.conversation_noise),
+                target_epsilon=self.config.target_epsilon,
+                target_delta=self.config.target_delta,
+                composition_d=self.config.composition_d,
+            ),
+            "dialing": PrivacyAccountant(
+                per_round=dialing_guarantee(self.config.dialing_noise),
+                target_epsilon=self.config.target_epsilon,
+                target_delta=self.config.target_delta,
+                composition_d=self.config.composition_d,
+            ),
+        }
 
     # ------------------------------------------------------------- subprocesses
 
@@ -264,6 +290,12 @@ class DeploymentLauncher:
         again — it spawns a fresh deployment (new processes, new ports), so
         clients must be re-added afterwards.
         """
+        if self.ledger is not None:
+            try:
+                self.ledger.append("session_end", {"shape": "tcp"})
+            except LedgerError:
+                pass  # the writer was already closed by its owner
+            self.ledger = None
         if self._control is not None:
             for server in self.servers:
                 if not server.alive:
@@ -311,6 +343,108 @@ class DeploymentLauncher:
     def __exit__(self, *_exc) -> None:
         self.stop()
 
+    # ------------------------------------------------------------------ ledger
+
+    def attach_ledger(self, ledger) -> None:
+        """Record this deployment's lifecycle into ``ledger`` from now on.
+
+        The launcher process is the ledger's single writer: it owns the
+        clients (so it can digest delivered plaintexts) and drives every
+        round (so it observes every open/close/abort through the control
+        plane) — server processes never touch the file.
+        """
+        self.ledger = ledger
+        ledger.append("session_start", {"shape": "tcp", "config": self.config.to_dict()})
+        for name in self._connections:
+            ledger.append("client_added", {"name": name})
+        self.scheduler.record_existing(ledger)
+
+    def ledger_client_digests(self) -> dict:
+        """Per-client fingerprints of user-visible state (see ledger docs)."""
+        return {
+            name: client_digest(self._connections[name].client)
+            for name in sorted(self._connections)
+        }
+
+    def _record(self, type_: str, data: dict) -> None:
+        if self.ledger is not None:
+            self.ledger.append(type_, data)
+
+    def _retry_transient(self, call, *, timeout: float = 10.0):
+        """Run a control-plane call, tolerating a just-(re)started server.
+
+        A round resolves the instant a crashed server rejoins the chain, but
+        that server's control listener may still be a few milliseconds from
+        accepting — and the launcher's connection pool may hold dead sockets
+        to the old process.  Anything that must talk to a fresh process right
+        after a respawn (round-record observable reads, fault-rule
+        re-injection) retries transient failures instead of losing to the
+        race."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return call()
+            except (NetworkError, ProtocolError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+
+    def _ledger_round_record(
+        self, protocol: RoundProtocol, result: NetworkRoundResult
+    ) -> dict:
+        """The same shape-invariant round record the in-process system writes.
+
+        The launcher reads the chain's observables over the control plane
+        (noise totals, the access histogram, the invitation store), so a TCP
+        recording diffs cleanly against an in-process replay.
+        """
+        round_number = result.round_number
+        record = {
+            "protocol": protocol.name,
+            "round": round_number,
+            "attempts": result.aborts + 1,
+            "aborted_attempts": result.aborts,
+            "accepted": result.accepted,
+            "refused": result.refused,
+            "late": result.late,
+        }
+        if protocol.name == "conversation":
+            histogram = self._retry_transient(
+                lambda: self.access_histogram(round_number)
+            )
+            record.update(
+                noise=self._retry_transient(
+                    lambda: self.chain_noise("conversation", round_number)
+                ),
+                histogram=[
+                    int(histogram["singles"]),
+                    int(histogram["pairs"]),
+                    int(histogram["collisions"]),
+                ],
+            )
+        else:
+            store = self._retry_transient(
+                lambda: self.invitation_store(round_number)
+            )
+            record.update(
+                noise_invitations=self._retry_transient(
+                    lambda: self.chain_noise("dialing", round_number)
+                )
+                + sum(store.noise_count(bucket) for bucket in range(store.num_buckets)),
+                bucket_sizes={
+                    str(bucket): size
+                    for bucket, size in sorted(store.bucket_sizes().items())
+                },
+            )
+        accountant = self._accountants[protocol.name]
+        guarantee = accountant.current_guarantee()
+        record["accountant"] = {
+            "rounds_used": accountant.rounds_used,
+            "epsilon": guarantee.epsilon,
+            "delta": guarantee.delta,
+        }
+        return record
+
     # --------------------------------------------------------- crash recovery
 
     def _find(self, name_or_index: str | int) -> ServerProcess:
@@ -333,6 +467,7 @@ class DeploymentLauncher:
         server = self._find(name_or_index)
         server.process.kill()
         server.process.wait(timeout=10.0)
+        self._record("kill_server", {"name": server.name})
         return server
 
     def restart_server(self, name_or_index: str | int) -> ServerProcess:
@@ -374,6 +509,18 @@ class DeploymentLauncher:
             self.entry_process = replacement
         else:
             self.servers[self.servers.index(old)] = replacement
+        # A respawned process starts with an empty fault injector; active
+        # chaos rules must survive the crash (the scenario's fault schedule
+        # is deployment state, not process state), so re-ship them.
+        reinjected = self._injected_rules.get(replacement.name, [])
+        for rule, seed in reinjected:
+            command = {"cmd": "inject-fault", "rule": rule, "seed": seed}
+            self._retry_transient(
+                lambda: self.server_control(replacement.name, command)
+            )
+        self._record(
+            "restart_server", {"name": replacement.name, "reinjected": len(reinjected)}
+        )
         return replacement
 
     def is_alive(self, name_or_index: str | int) -> bool:
@@ -424,14 +571,28 @@ class DeploymentLauncher:
         """
         command = {"cmd": "inject-fault", "rule": rule, "seed": seed}
         if target == "entry":
-            return self.entry_control(command)
-        return self.server_control(target, command)
+            reply = self.entry_control(command)
+            normalized = "entry"
+        else:
+            reply = self.server_control(target, command)
+            normalized = f"server-{self._chain_index(target)}"
+        self._injected_rules.setdefault(normalized, []).append((dict(rule), seed))
+        self._record(
+            "fault_rule_added", {"target": normalized, "rule": dict(rule), "seed": seed}
+        )
+        return reply
 
     def heal_faults(self, target: str | int) -> dict:
         command = {"cmd": "heal-faults"}
         if target == "entry":
-            return self.entry_control(command)
-        return self.server_control(target, command)
+            reply = self.entry_control(command)
+            normalized = "entry"
+        else:
+            reply = self.server_control(target, command)
+            normalized = f"server-{self._chain_index(target)}"
+        self._injected_rules.pop(normalized, None)
+        self._record("faults_healed", {"target": normalized})
+        return reply
 
     def aborted_total(self) -> int:
         """How many round attempts the entry has aborted (and retried) so far."""
@@ -498,7 +659,26 @@ class DeploymentLauncher:
         if register and self.config.require_registration:
             self.entry_control({"cmd": "register", "name": name})
         self._connections[name] = connection
+        self._record("client_added", {"name": name})
         return connection
+
+    def remove_client(self, name: str) -> None:
+        """Disconnect a client mid-session (churn): its cover traffic stops.
+
+        Per-client rng streams are forked by name at creation, so removing
+        one never shifts the draws of the clients that remain."""
+        if name not in self._connections:
+            raise ProtocolError(f"no client named {name!r}")
+        connection = self._connections.pop(name)
+        self.scheduler.remove_session(name)
+        if self.config.require_registration:
+            try:
+                self.entry_control({"cmd": "revoke", "name": name})
+            except (NetworkError, ProtocolError):
+                pass  # the entry may be mid-crash; churn must not wedge
+        if isinstance(connection.transport, TcpTransport):
+            connection.transport.close()
+        self._record("client_removed", {"name": name})
 
     def connection(self, name: str) -> ClientConnection:
         return self._connections[name]
@@ -567,7 +747,7 @@ class DeploymentLauncher:
             # over the same envelope path it submits on (DIAL_DOWNLOAD).
             for connection in connections:
                 connection.poll_invitations(round_number)
-        return NetworkRoundResult(
+        outcome = NetworkRoundResult(
             protocol=protocol.name,
             round_number=round_number,
             accepted=result["accepted"],
@@ -577,6 +757,12 @@ class DeploymentLauncher:
             wall_clock_seconds=time.perf_counter() - started,
             aborts=int(result.get("aborts", 0)),
         )
+        self._accountants[protocol.name].spend(1)
+        if self.ledger is not None:
+            self.ledger.append(
+                "round_metrics", self._ledger_round_record(protocol, outcome)
+            )
+        return outcome
 
     def run_session(
         self,
@@ -632,6 +818,7 @@ class DeploymentLauncher:
         """
         protocol = self.protocol(protocol_name)
         connections = list(self._connections.values()) if connections is None else connections
+        self._record("single_round", {"protocol": protocol_name})
         expected = sum(protocol.requests_per_client(c.client) for c in connections)
         started = time.perf_counter()
         round_number = self.open_round(

@@ -28,7 +28,8 @@ from .metrics import RoundMetrics, SystemMetrics
 from .topology import NoiseLedger
 from ..client import VuvuzelaClient
 from ..deaddrop import InvitationDropStore
-from ..errors import ProtocolError
+from ..errors import LedgerError, ProtocolError
+from ..ledger import client_digest
 from ..net import FaultInjector, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
 from ..runtime import RoundCoordinator, RoundEngine, RoundScheduler, build_protocols
@@ -130,6 +131,9 @@ class VuvuzelaSystem:
             dialing_interval=self.config.dialing_interval,
         )
 
+        #: Optional round ledger (attach with :meth:`attach_ledger`).
+        self.ledger = None
+
     # ------------------------------------------------------------------ setup
 
     @staticmethod
@@ -156,6 +160,77 @@ class VuvuzelaSystem:
             self.conversation_endpoints.append(conversation_endpoint)
             self.dialing_endpoints.append(dialing_endpoint)
 
+    # ------------------------------------------------------------------ ledger
+
+    def attach_ledger(self, ledger) -> None:
+        """Record this deployment's lifecycle into ``ledger`` from now on.
+
+        Every round driven after attachment appends its lifecycle records
+        (window open/close, seeds, faults, aborts, metrics) to the ledger;
+        clients and sessions that already exist are back-filled so a replay
+        starting from the session_start record can reconstruct them.
+        """
+        self.ledger = ledger
+        self.coordinator.ledger = ledger
+        if self.network.fault_injector is not None:
+            self.network.fault_injector.ledger = ledger
+        ledger.append(
+            "session_start",
+            {"shape": "in-process", "config": self.config.to_dict()},
+        )
+        for name in self.clients:
+            ledger.append("client_added", {"name": name})
+        self.scheduler.record_existing(ledger)
+
+    def ledger_client_digests(self) -> dict:
+        """Per-client fingerprints of user-visible state (see ledger docs)."""
+        return {name: client_digest(self.clients[name]) for name in sorted(self.clients)}
+
+    def _ledger_round_record(self, protocol: RoundProtocol, metrics: RoundMetrics) -> dict:
+        """The shape-invariant observables of one resolved round.
+
+        Exactly the fields the byte-identity guarantee covers (plus the
+        window accounting); the TCP launcher records the same keys from its
+        control RPCs, which is what lets replay diff either recording.
+        """
+        record = {
+            "protocol": protocol.name,
+            "round": metrics.round_number,
+            "attempts": metrics.attempts,
+            "aborted_attempts": metrics.aborted_attempts,
+            "client_requests": metrics.client_requests,
+            "refused": metrics.refused_requests,
+            "late": metrics.late_requests,
+        }
+        if protocol.name == "conversation":
+            histogram = metrics.histogram
+            record.update(
+                delivered=metrics.delivered_responses,
+                lost=metrics.lost_requests,
+                noise=metrics.noise_requests,
+                histogram=(
+                    [histogram.singles, histogram.pairs, histogram.collisions]
+                    if histogram is not None
+                    else None
+                ),
+            )
+        else:
+            record.update(
+                real_invitations=metrics.real_invitations,
+                noise_invitations=metrics.noise_invitations,
+                bucket_sizes={
+                    str(bucket): size
+                    for bucket, size in sorted(metrics.bucket_sizes.items())
+                },
+            )
+        guarantee = self._accountants[protocol.name].current_guarantee()
+        record["accountant"] = {
+            "rounds_used": self._accountants[protocol.name].rounds_used,
+            "epsilon": guarantee.epsilon,
+            "delta": guarantee.delta,
+        }
+        return record
+
     # ----------------------------------------------------------------- clients
 
     def add_client(self, name: str) -> VuvuzelaClient:
@@ -168,7 +243,26 @@ class VuvuzelaSystem:
         if self.config.require_registration:
             self.entry.register_account(name)
         self.clients[name] = client
+        if self.ledger is not None:
+            self.ledger.append("client_added", {"name": name})
         return client
+
+    def remove_client(self, name: str) -> None:
+        """Deregister a client mid-session (churn): its cover traffic stops.
+
+        Client rng streams are forked per client name at creation, so a
+        removal never shifts the draws of the clients that remain — which is
+        what keeps churn deterministic and replayable.
+        """
+        if name not in self.clients:
+            raise ProtocolError(f"no client named {name!r}")
+        self.scheduler.remove_session(name)
+        self.network.unregister(name)
+        if self.config.require_registration:
+            self.entry.revoke_account(name)
+        del self.clients[name]
+        if self.ledger is not None:
+            self.ledger.append("client_removed", {"name": name})
 
     def client(self, name: str) -> VuvuzelaClient:
         return self.clients[name]
@@ -281,6 +375,8 @@ class VuvuzelaSystem:
             wall_clock_seconds=time.perf_counter() - started,
         )
         self.metrics.record(metrics)
+        if self.ledger is not None:
+            self.ledger.append("round_metrics", self._ledger_round_record(protocol, metrics))
         return metrics
 
     # ---------------------------------------------------------- round driving
@@ -333,6 +429,7 @@ class VuvuzelaSystem:
         """
         if self.network.fault_injector is None:
             self.network.fault_injector = FaultInjector(seed)
+            self.network.fault_injector.ledger = self.ledger
         elif self.network.fault_injector.seed != seed:
             raise ProtocolError(
                 f"a fault injector seeded with {self.network.fault_injector.seed} "
@@ -347,6 +444,12 @@ class VuvuzelaSystem:
         close is only needed for deployments configured with a threaded or
         process-sharded engine (the default serial engine owns no pool).
         """
+        if self.ledger is not None:
+            try:
+                self.ledger.append("session_end", {"shape": "in-process"})
+            except LedgerError:
+                pass  # the writer was already closed by its owner
+            self.ledger = None
         self.coordinator.close()
         self.engine.close()
 

@@ -43,6 +43,25 @@ class DialingProcessor:
     #: continuous operation must not accumulate every round's invitations.
     #: ``None`` keeps everything (analysis runs).
     keep_rounds: int | None = 512
+    #: Attempt number announced by the chain endpoint before each round's
+    #: payloads arrive (:meth:`begin_attempt`); consumed by ``__call__``.
+    _attempts: dict[int, int] = field(default_factory=dict)
+
+    def begin_attempt(self, round_number: int, attempt: int) -> None:
+        """Record which §6 attempt of ``round_number`` is about to arrive.
+
+        The last server's own noise is drawn from a per-``(round, attempt)``
+        fork of its rng, exactly like every mixing server's draws, so a
+        retried or crash-recovered round deposits the same noise invitations
+        it would have on an undisturbed run.
+        """
+        self._attempts[round_number] = attempt
+
+    def _round_rng(self, round_number: int) -> RandomSource | None:
+        attempt = self._attempts.pop(round_number, 1)
+        if self.rng is not None and hasattr(self.rng, "fork"):
+            return self.rng.fork(f"round-{round_number}/attempt-{attempt}")
+        return self.rng
 
     def __call__(self, round_number: int, payloads: list[bytes]) -> list[bytes]:
         """Collect the round's invitations; every request is acknowledged.
@@ -65,11 +84,12 @@ class DialingProcessor:
 
         # §5.3: the last server, too, must add noise to every bucket, because
         # it may be the only honest server and bucket sizes are public.
-        if self.noise_spec is not None and self.rng is not None:
+        rng = self._round_rng(round_number)
+        if self.noise_spec is not None and rng is not None:
             counts = [
-                self.noise_spec.sample_for_bucket(self.rng) for _ in range(self.num_buckets)
+                self.noise_spec.sample_for_bucket(rng) for _ in range(self.num_buckets)
             ]
-            blob = self.rng.random_bytes(sum(counts) * INVITATION_SIZE)
+            blob = rng.random_bytes(sum(counts) * INVITATION_SIZE)
             offset = 0
             for bucket, how_many in enumerate(counts):
                 store.deposit_many(

@@ -82,3 +82,12 @@ class ConnectTimeout(TransportTimeout):
 
 class SimulationError(ReproError):
     """The deployment simulator was asked to do something unsupported."""
+
+
+class LedgerError(ReproError):
+    """The round ledger is corrupt, tampered with, or used incorrectly.
+
+    A *torn tail* (a crash mid-append) is recovered, not raised; this error
+    means something stronger — a hash-chain break or malformed record in the
+    ledger's interior, which no crash of the single appending process can
+    produce."""

@@ -1,0 +1,50 @@
+"""Append-only round ledger: durable recording, verification and replay.
+
+The ledger is the durable face of the determinism this reproduction already
+guarantees (serial ≡ overlapped ≡ TCP byte-identity under one config seed):
+a :class:`LedgerWriter` attached to a deployment records every round's
+lifecycle into a hash-chained JSONL file, and :func:`replay_ledger` rebuilds
+the recorded session — faults, SIGKILLed servers and all — from the ledger
+alone, diffing every observable against what was recorded.
+
+The replay submodule imports the full deployment stack, so it is loaded
+lazily — ``from repro.ledger import replay_ledger`` still works, but merely
+attaching a writer never pays for it.
+"""
+
+from __future__ import annotations
+
+from .writer import (
+    GENESIS,
+    LedgerRecord,
+    LedgerView,
+    LedgerWriter,
+    canonical_json,
+    client_digest,
+    load_ledger,
+    record_hash,
+    slice_ledger,
+)
+
+_REPLAY_EXPORTS = ("ReplayReport", "RoundDiff", "replay_ledger")
+
+__all__ = [
+    "GENESIS",
+    "LedgerRecord",
+    "LedgerView",
+    "LedgerWriter",
+    "canonical_json",
+    "client_digest",
+    "load_ledger",
+    "record_hash",
+    "slice_ledger",
+    *_REPLAY_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _REPLAY_EXPORTS:
+        from . import replay
+
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

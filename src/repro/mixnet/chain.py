@@ -17,9 +17,12 @@ engine (which already chunks kernels to bound their working set), or an
 explicitly configured threaded / process-sharded engine shared by the whole
 chain for multi-core rounds.  The engine only ever executes pure functions
 of bytes — noise payloads, wrap scalars and the mix permutation are all
-drawn from the server's own rng in this thread, in a fixed order — so every
-engine mode produces byte-identical rounds under a fixed
-:class:`~repro.crypto.rng.RandomSource`.
+drawn in this thread, in a fixed order, from a per-``(round, attempt)``
+fork of the server's rng — so every engine mode produces byte-identical
+rounds under a fixed :class:`~repro.crypto.rng.RandomSource`, and a server
+that crashed and restarted mid-session draws exactly the bytes it would
+have drawn had it never died (the draws depend on *which* round/attempt is
+processed, not on how many rounds this process handled before it).
 
 The chain also exposes the hooks the adversary model needs: a compromised
 server can report everything it sees and can tamper with the batch before
@@ -137,12 +140,14 @@ class MixServer:
     def _engine(self) -> RoundEngine:
         return self.engine if self.engine is not None else default_engine()
 
-    def _wrap_noise_batch(self, payloads: list[bytes], round_number: int) -> list[bytes]:
+    def _wrap_noise_batch(
+        self, payloads: list[bytes], round_number: int, rng: RandomSource
+    ) -> list[bytes]:
         """Onion-wrap a round's noise payloads for the servers after this one.
 
         The chain-suffix key list is built once per round and the whole batch
         goes through the engine's chunked request wrap: the ephemeral scalars
-        are drawn from this server's rng up front (in the serial wrap's exact
+        are drawn from the round's rng up front (in the serial wrap's exact
         order) and only the pure crypto is sharded, so noise generation costs
         one vectorized pass per remaining layer per chunk and is identical
         in every engine mode.
@@ -150,7 +155,22 @@ class MixServer:
         remaining = self.chain_public_keys[self.index + 1 :]
         if not remaining or not payloads:
             return list(payloads)
-        return self._engine().wrap_noise_chunks(payloads, remaining, round_number, self.rng)
+        return self._engine().wrap_noise_chunks(payloads, remaining, round_number, rng)
+
+    def round_rng(self, round_number: int, attempt: int = 1) -> RandomSource:
+        """The rng all of one round attempt's draws come from.
+
+        Deterministic sources are forked per ``(round, attempt)`` so a
+        server's draws are a pure function of ``(seed, server, round,
+        attempt)`` — the property that makes crash recovery and ledger
+        replay byte-exact, and that keeps a §6 retry's noise fresh (the
+        attempt number is part of the fork label).  Sources without
+        :meth:`~repro.crypto.rng.DeterministicRandom.fork` (e.g. the OS
+        rng) are used as-is.
+        """
+        if hasattr(self.rng, "fork"):
+            return self.rng.fork(f"round-{round_number}/attempt-{attempt}")
+        return self.rng
 
     def _apply_ingress_filter(
         self,
@@ -192,6 +212,7 @@ class MixServer:
         round_number: int,
         requests: Sequence[bytes],
         downstream: RoundProcessor,
+        attempt: int = 1,
     ) -> list[bytes]:
         """Handle one round: peel, noise, mix, forward, unmix, wrap responses.
 
@@ -229,12 +250,13 @@ class MixServer:
             )
 
         # Step 2: generate cover traffic, wrapped for the rest of the chain.
-        noise_payloads = self.noise_builder(round_number, self.rng) if self.noise_builder else []
-        noise_wires = self._wrap_noise_batch(noise_payloads, round_number)
+        rng = self.round_rng(round_number, attempt)
+        noise_payloads = self.noise_builder(round_number, rng) if self.noise_builder else []
+        noise_wires = self._wrap_noise_batch(noise_payloads, round_number, rng)
 
         # Step 3a: shuffle the combined batch and forward it.
         combined = list(peeled) + noise_wires
-        permutation = Permutation.random(len(combined), self.rng)
+        permutation = Permutation.random(len(combined), rng)
         forwarded = permutation.apply(combined)
         downstream_responses = downstream(round_number, forwarded)
         if len(downstream_responses) != len(forwarded):
@@ -290,7 +312,9 @@ class MixChain:
     def chain_length(self) -> int:
         return len(self.servers)
 
-    def run_round(self, round_number: int, requests: Sequence[bytes]) -> list[bytes]:
+    def run_round(
+        self, round_number: int, requests: Sequence[bytes], attempt: int = 1
+    ) -> list[bytes]:
         """Run one complete round through every server and the processor.
 
         When the round is over, the memoized key derivations it populated
@@ -302,10 +326,20 @@ class MixChain:
 
         def downstream_for(position: int) -> RoundProcessor:
             if position == len(self.servers):
-                return self.processor
+                begin_attempt = getattr(self.processor, "begin_attempt", None)
+                if begin_attempt is None:
+                    return self.processor
+
+                def terminal(rn: int, batch: list[bytes]) -> list[bytes]:
+                    begin_attempt(rn, attempt)
+                    return self.processor(rn, batch)
+
+                return terminal
 
             def handle(rn: int, batch: list[bytes]) -> list[bytes]:
-                return self.servers[position].process_round(rn, batch, downstream_for(position + 1))
+                return self.servers[position].process_round(
+                    rn, batch, downstream_for(position + 1), attempt=attempt
+                )
 
             return handle
 

@@ -130,12 +130,20 @@ class FaultInjector:
         self.dropped = 0
         self.killed = 0
         self.delayed = 0
+        #: Optional round ledger (in-process shape): rule additions and every
+        #: fired fault are recorded for post-hoc audit.  Over TCP the rules
+        #: live in the server processes and the *launcher* records them.
+        self.ledger = None
 
     # ------------------------------------------------------------ rule editing
 
     def add_rule(self, rule: FaultRule) -> FaultRule:
         with self._lock:
             self.rules.append(rule)
+        if self.ledger is not None:
+            self.ledger.append(
+                "fault_rule_added", {"rule": rule.to_dict(), "seed": self.seed}
+            )
         return rule
 
     def drop(self, **kwargs) -> FaultRule:
@@ -174,6 +182,7 @@ class FaultInjector:
         """
         delay = 0.0
         verdict = DELIVER
+        fired: list[str] = []
         with self._lock:
             for rule in self.rules:
                 if not rule.matches(envelope):
@@ -184,6 +193,7 @@ class FaultInjector:
                 if rule.action == "delay":
                     delay = rule.delay_seconds
                     self.delayed += 1
+                    fired.append("delay")
                     continue  # a delayed message can still be dropped downstream
                 if rule.action == DROP:
                     self.dropped += 1
@@ -191,7 +201,20 @@ class FaultInjector:
                 else:
                     self.killed += 1
                     verdict = KILL
+                fired.append(rule.action)
                 break
+        if fired and self.ledger is not None:
+            for action in fired:
+                self.ledger.append(
+                    "fault_fired",
+                    {
+                        "action": action,
+                        "source": envelope.source,
+                        "destination": envelope.destination,
+                        "kind": envelope.kind.value,
+                        "round": envelope.round_number,
+                    },
+                )
         if delay > 0.0:
             time.sleep(delay)
         if verdict == KILL:

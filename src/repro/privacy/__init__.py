@@ -8,7 +8,7 @@ Bayesian "plausible deniability" interpretation, the Figure 6 sensitivity
 table, and an operational privacy-budget accountant.
 """
 
-from .accountant import PrivacyAccountant
+from .accountant import LedgerAuditReport, PrivacyAccountant, audit_ledger_records
 from .bayes import belief_amplification, plausible_deniability, posterior_belief
 from .calibration import (
     NoiseConfiguration,
@@ -74,6 +74,7 @@ __all__ = [
     "DIALING_AFFECTED_DEAD_DROPS",
     "DIALING_SENSITIVITY",
     "LaplaceParams",
+    "LedgerAuditReport",
     "NoiseConfiguration",
     "PAPER_CONVERSATION_CONFIGS",
     "PAPER_CONVERSATION_ROUNDS",
@@ -83,6 +84,7 @@ __all__ = [
     "PrivacyGuarantee",
     "TARGET_DELTA",
     "TARGET_EPSILON",
+    "audit_ledger_records",
     "belief_amplification",
     "calibrate_conversation_noise",
     "calibrate_dialing_noise",

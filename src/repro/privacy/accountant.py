@@ -15,6 +15,7 @@ per-user view that exploits idle rounds.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from .composition import DEFAULT_COMPOSITION_D, ComposedGuarantee, compose, max_rounds
@@ -69,3 +70,82 @@ class PrivacyAccountant:
         """True while the accumulated loss is still within the deployment target."""
         current = self.current_guarantee()
         return current.epsilon <= self.target_epsilon and current.delta <= self.target_delta
+
+
+@dataclass
+class LedgerAuditReport:
+    """Outcome of a post-hoc audit of ledger-recorded accountant checkpoints."""
+
+    protocol: str
+    rounds_audited: int = 0
+    #: Human-readable descriptions of every checkpoint that diverged from the
+    #: independently recomputed Theorem-2 composition.
+    divergences: list[str] = field(default_factory=list)
+    #: The final checkpoint still satisfies the deployment's (ε', δ') target.
+    within_target: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def audit_ledger_records(
+    records,
+    *,
+    protocol: str,
+    per_round: PrivacyGuarantee,
+    target_epsilon: float,
+    target_delta: float,
+    composition_d: float = DEFAULT_COMPOSITION_D,
+) -> LedgerAuditReport:
+    """Recompute the (ε, δ) trail of one protocol's ledger-recorded rounds.
+
+    ``records`` is an iterable of round-record dicts (the round ledger's
+    ``round_metrics`` payloads, any shape), each carrying an ``accountant``
+    checkpoint ``{rounds_used, epsilon, delta}``.  For the protocol's k-th
+    resolved round the auditor independently recomposes Theorem 2 for k
+    rounds and checks that the recorded checkpoint matches it exactly —
+    which catches a deployment whose accountant lost rounds (e.g. across a
+    crash), double-spent, or was recomputed with different noise parameters
+    than the config it claims.
+    """
+    report = LedgerAuditReport(protocol=protocol)
+    last: ComposedGuarantee | None = None
+    for data in records:
+        if data.get("protocol") != protocol:
+            continue
+        checkpoint = data.get("accountant")
+        round_number = data.get("round")
+        report.rounds_audited += 1
+        k = report.rounds_audited
+        if checkpoint is None:
+            report.divergences.append(f"round {round_number}: no accountant checkpoint")
+            continue
+        if int(checkpoint.get("rounds_used", -1)) != k:
+            report.divergences.append(
+                f"round {round_number}: recorded rounds_used="
+                f"{checkpoint.get('rounds_used')} but this is resolved round {k}"
+            )
+        expected = compose(per_round, k, composition_d)
+        for name, recomputed in (("epsilon", expected.epsilon), ("delta", expected.delta)):
+            recorded = checkpoint.get(name)
+            if recorded is None or not math.isclose(
+                float(recorded), recomputed, rel_tol=1e-9, abs_tol=0.0
+            ):
+                report.divergences.append(
+                    f"round {round_number}: recorded {name}={recorded} but "
+                    f"Theorem 2 over {k} rounds gives {recomputed}"
+                )
+        if last is not None and checkpoint.get("epsilon") is not None:
+            if float(checkpoint["epsilon"]) < last.epsilon:
+                report.divergences.append(
+                    f"round {round_number}: epsilon decreased "
+                    f"({last.epsilon} -> {checkpoint['epsilon']}) — privacy "
+                    "loss never un-happens"
+                )
+        last = expected
+    if last is not None:
+        report.within_target = (
+            last.epsilon <= target_epsilon and last.delta <= target_delta
+        )
+    return report

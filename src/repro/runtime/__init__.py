@@ -37,9 +37,14 @@ from .protocols import (
     make_protocol,
 )
 from .scheduler import ClientSession, RoundScheduler, ScheduleReport
+from .campaign import CAMPAIGN_ACTIONS, CampaignReport, ChaosCampaign, InvariantViolation
 
 __all__ = [
     "ABORTED",
+    "CAMPAIGN_ACTIONS",
+    "CampaignReport",
+    "ChaosCampaign",
+    "InvariantViolation",
     "ENGINE_MODES",
     "LATE",
     "PROCESS",

@@ -222,8 +222,29 @@ class RoundCoordinator:
         self.rounds_run = 0
         #: Round attempts aborted by a chain failure (and retried).
         self.rounds_aborted = 0
+        #: Optional round ledger the lifecycle is recorded into.
+        self.ledger = None
         self._shutdown = False
         transport.register(entry.name, self.handle)
+
+    # ---------------------------------------------------------------- ledger
+
+    def _record(self, type_: str, data: dict) -> None:
+        if self.ledger is not None:
+            self.ledger.append(type_, data)
+
+    def _submissions_digest(self, window: SubmissionWindow) -> str:
+        """SHA-256 fingerprint of the batch about to enter the chain.
+
+        Covers every (client, payload) pair in the entry buffer in buffer
+        order — the order the batch is driven in — so a replayed round can
+        be checked to have submitted byte-identical wires."""
+        digest = hashlib.sha256()
+        for client, payload in self.entry.submissions(window.kind, window.round_number):
+            digest.update(client.encode("utf-8"))
+            digest.update(len(payload).to_bytes(4, "big"))
+            digest.update(bytes(payload))
+        return digest.hexdigest()
 
     # -------------------------------------------------------------- windowing
 
@@ -270,6 +291,15 @@ class RoundCoordinator:
                 del self._windows[old_key]
                 self.resubmission_queue.pop(old_key, None)
         self._arm_deadline(window, seconds)
+        self._record(
+            "window_open",
+            {
+                "kind": kind.value,
+                "round": round_number,
+                "deadline_seconds": seconds,
+                "expected_requests": expected_requests,
+            },
+        )
         return window
 
     def _arm_deadline(self, window: SubmissionWindow, seconds: float | None) -> None:
@@ -439,8 +469,13 @@ class RoundCoordinator:
             )
             self._resolve(window, error=exc)
             raise
+        batch_digest = (
+            self._submissions_digest(window) if self.ledger is not None else None
+        )
         try:
-            grouped = self.entry.run_round_grouped(window.kind, window.round_number)
+            grouped = self.entry.run_round_grouped(
+                window.kind, window.round_number, window.attempt
+            )
         except (NetworkError, ProtocolError) as exc:
             # run_round_grouped restored the submissions into the entry
             # buffer; decide between abort-and-retry and permanent failure.
@@ -460,6 +495,16 @@ class RoundCoordinator:
             )
             if retryable and window.attempt < self.max_round_attempts and not self._shutdown:
                 retry = self._abort_and_reopen(window)
+                self._record(
+                    "round_aborted",
+                    {
+                        "kind": window.kind.value,
+                        "round": window.round_number,
+                        "attempt": window.attempt,
+                        "error": str(exc),
+                        "retry_attempt": retry.attempt,
+                    },
+                )
                 if not self.blocking_responses:
                     # Synchronous callers hold no long-polls: re-run the
                     # round inline (fresh noise, fresh permutations) and hand
@@ -492,6 +537,15 @@ class RoundCoordinator:
             self.resubmission_queue[(window.kind, window.round_number)] = self.entry.withdraw(
                 window.kind, window.round_number
             )
+            self._record(
+                "round_failed",
+                {
+                    "kind": window.kind.value,
+                    "round": window.round_number,
+                    "attempt": window.attempt,
+                    "error": str(error),
+                },
+            )
             self._resolve(window, error=error)
             if error is not exc:
                 raise error
@@ -503,6 +557,15 @@ class RoundCoordinator:
             self.resubmission_queue[(window.kind, window.round_number)] = self.entry.withdraw(
                 window.kind, window.round_number
             )
+            self._record(
+                "round_failed",
+                {
+                    "kind": window.kind.value,
+                    "round": window.round_number,
+                    "attempt": window.attempt,
+                    "error": str(exc),
+                },
+            )
             self._resolve(window, error=exc)
             raise
         result = RoundResult(
@@ -513,6 +576,22 @@ class RoundCoordinator:
             late=window.late,
             responses=grouped,
             attempts=window.attempt,
+        )
+        self._record(
+            "window_close",
+            {
+                "kind": window.kind.value,
+                "round": window.round_number,
+                "attempt": window.attempt,
+                "accepted": window.accepted,
+                "refused": window.refused,
+                "late": window.late,
+                "submissions_sha256": batch_digest,
+                # The fork label every chain server derives this attempt's
+                # noise, wrap scalars and mix permutation from (see
+                # MixServer.round_rng): the seed trail replay re-walks.
+                "rng_label": f"round-{window.round_number}/attempt-{window.attempt}",
+            },
         )
         self._resolve(window, result=result)
         return result

@@ -91,6 +91,13 @@ class RoundDriver(ABC):
         """
 
 
+def _as_hex(message: bytes | str) -> str:
+    """The ledger wire form of a user message (str and bytes converge on the
+    same utf-8 bytes the client would put on the wire)."""
+    raw = message.encode("utf-8") if isinstance(message, str) else bytes(message)
+    return raw.hex()
+
+
 @dataclass
 class ClientSession:
     """The per-client session loop: dial → poll invitations → converse.
@@ -112,6 +119,9 @@ class ClientSession:
     _greeted: bool = field(default=False, repr=False)
     invitations_received: int = 0
     conversations_started: int = 0
+    #: Round ledger the session's user-level events are recorded into
+    #: (set by the scheduler when a ledger is attached to the deployment).
+    ledger: Any = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
@@ -119,10 +129,14 @@ class ClientSession:
 
     def dial(self, peer) -> None:
         """Ask the session to dial ``peer`` at the next dialing round."""
+        if self.ledger is not None:
+            self.ledger.append("dial", {"name": self.name, "peer": peer.hex()})
         self._pending_dial = peer
 
     def say(self, message: bytes | str) -> None:
         """Queue a message: now if a conversation is active, else as greeting."""
+        if self.ledger is not None:
+            self.ledger.append("say", {"name": self.name, "message": _as_hex(message)})
         if self.client.active_conversations:
             self.client.send_message(message)
         else:
@@ -225,18 +239,57 @@ class RoundScheduler:
         self.pipeline_depth = pipeline_depth
         self.dialing_interval = dialing_interval
         self.sessions: list[ClientSession] = []
+        #: Round ledger the schedule is recorded into (attached by the
+        #: deployment shape's ``attach_ledger``); ``None`` records nothing.
+        self.ledger: Any = None
 
     # ------------------------------------------------------------- sessions
 
     def add_session(self, session: ClientSession) -> ClientSession:
+        session.ledger = self.ledger
+        if self.ledger is not None:
+            self.ledger.append("session_added", self._session_record(session))
         self.sessions.append(session)
         return session
+
+    def remove_session(self, name: str) -> ClientSession | None:
+        """Drop the session wrapping client ``name`` (churn); ``None`` if absent.
+
+        Not recorded on its own: the deployment records the client removal,
+        and replay drops the session together with the client.
+        """
+        for session in self.sessions:
+            if session.name == name:
+                self.sessions.remove(session)
+                return session
+        return None
 
     def session(self, name: str) -> ClientSession:
         for session in self.sessions:
             if session.name == name:
                 return session
         raise ProtocolError(f"no session for client {name!r}")
+
+    # -------------------------------------------------------------- ledger
+
+    @staticmethod
+    def _session_record(session: ClientSession) -> dict:
+        return {
+            "name": session.name,
+            "auto_accept": session.auto_accept,
+            "greetings": [_as_hex(message) for message in session.greetings],
+        }
+
+    def record_existing(self, ledger: Any) -> None:
+        """Adopt ``ledger`` and back-fill the sessions added before attach."""
+        self.ledger = ledger
+        for session in self.sessions:
+            session.ledger = ledger
+            ledger.append("session_added", self._session_record(session))
+
+    def _client_digests(self) -> dict:
+        digests = getattr(self.driver, "ledger_client_digests", None)
+        return digests() if callable(digests) else {}
 
     # ------------------------------------------------------------ one round
 
@@ -247,6 +300,8 @@ class RoundScheduler:
         ``run_dialing_round`` delegate to — one round at a time, no overlap.
         """
         protocol = self.driver.protocol(protocol_name)
+        if self.ledger is not None:
+            self.ledger.append("single_round", {"protocol": protocol_name})
         opened = self.driver.open_scheduled_round(protocol)
         return self.driver.drive_scheduled_round(protocol, opened)
 
@@ -281,6 +336,15 @@ class RoundScheduler:
 
         conversation = self.driver.protocol("conversation")
         dialing = self.driver.protocol("dialing")
+        if self.ledger is not None:
+            self.ledger.append(
+                "schedule",
+                {
+                    "conversation_rounds": conversation_rounds,
+                    "dialing_interval": interval,
+                    "pipeline_depth": depth,
+                },
+            )
         report = ScheduleReport(pipeline_depth=depth, dialing_interval=interval)
         started = time.perf_counter()
 
@@ -359,6 +423,10 @@ class RoundScheduler:
                 # round still completes (and its invitations still land).
                 finish_dialing(dialing_task)
                 dialing_task = None
+        except BaseException as exc:
+            if self.ledger is not None:
+                self.ledger.append("schedule_failed", {"error": str(exc)})
+            raise
         finally:
             # Never leak helper threads, slots or open windows on a failed
             # round: an abandoned open window would wedge the coordinator's
@@ -381,4 +449,13 @@ class RoundScheduler:
                         pass  # best-effort cleanup on an already-failing path
 
         report.wall_clock_seconds = time.perf_counter() - started
+        if self.ledger is not None:
+            self.ledger.append(
+                "schedule_done",
+                {
+                    "conversation_rounds": len(report.conversation),
+                    "dialing_rounds": len(report.dialing),
+                    "clients": self._client_digests(),
+                },
+            )
         return report

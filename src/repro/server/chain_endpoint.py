@@ -50,30 +50,38 @@ class ChainServerEndpoint:
         round populated is dropped — a server must not retain DH shared
         secrets past the round they belong to (forward secrecy).
         """
-        round_number, requests = decode_batch(envelope.payload)
+        round_number, attempt, requests = decode_batch(envelope.payload)
         if self.highest_round is not None and round_number < self.highest_round:
             raise ProtocolError(
                 f"{self.name}: round {round_number} arrived after round "
                 f"{self.highest_round} already ran — chain drives must stay in order"
             )
         self.highest_round = round_number
+        # Chain drives of one kind are serialized by the coordinator's
+        # in-order gate, so stashing the attempt for the downstream hop of
+        # the drive currently in flight is race-free.
+        self._attempt = attempt
         try:
             responses = self.mix_server.process_round(
-                round_number, requests, self._downstream
+                round_number, requests, self._downstream, attempt=attempt
             )
-            return encode_batch(round_number, responses)
+            return encode_batch(round_number, responses, attempt)
         finally:
             clear_derived_key_cache()
 
     def _downstream(self, round_number: int, batch: list[bytes]) -> list[bytes]:
         """Forward the mixed batch to the next server, or process it here."""
+        attempt = getattr(self, "_attempt", 1)
         if self.next_endpoint is None:
             assert self.processor is not None  # enforced in __post_init__
+            begin_attempt = getattr(self.processor, "begin_attempt", None)
+            if begin_attempt is not None:
+                begin_attempt(round_number, attempt)
             return self.processor(round_number, batch)
         reply = self.network.send(
             self.name,
             self.next_endpoint,
-            encode_batch(round_number, batch),
+            encode_batch(round_number, batch, attempt),
             kind=self.request_kind,
             round_number=round_number,
         )
@@ -81,7 +89,7 @@ class ChainServerEndpoint:
             raise NetworkError(
                 f"round {round_number}: the link from {self.name} to {self.next_endpoint} is down"
             )
-        reply_round, responses = decode_batch(reply)
+        reply_round, _, responses = decode_batch(reply)
         if reply_round != round_number:
             raise ProtocolError(
                 f"{self.next_endpoint} answered round {reply_round} instead of {round_number}"

@@ -145,7 +145,9 @@ class EntryServer:
         if submissions:
             self._buffers.setdefault((kind, round_number), []).extend(submissions)
 
-    def run_round_grouped(self, kind: MessageKind, round_number: int) -> dict[str, list[bytes]]:
+    def run_round_grouped(
+        self, kind: MessageKind, round_number: int, attempt: int = 1
+    ) -> dict[str, list[bytes]]:
         """Send the buffered batch through the chain; group responses per client.
 
         Each client's responses appear in the order it submitted its requests.
@@ -162,7 +164,7 @@ class EntryServer:
             reply = self.network.send(
                 self.name,
                 self.first_server[kind],
-                encode_batch(round_number, batch),
+                encode_batch(round_number, batch, attempt),
                 kind=kind,
                 round_number=round_number,
             )
@@ -170,7 +172,7 @@ class EntryServer:
                 raise NetworkError(
                     f"round {round_number}: the first chain server is unreachable"
                 )
-            reply_round, responses = decode_batch(reply)
+            reply_round, _, responses = decode_batch(reply)
         except Exception:
             self.restore(kind, round_number, submissions)
             raise

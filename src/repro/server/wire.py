@@ -16,13 +16,21 @@ import struct
 
 from ..errors import ProtocolError
 
-_HEADER = struct.Struct(">QI")  # round number, request count
+_HEADER = struct.Struct(">QII")  # round number, attempt, request count
 _LENGTH = struct.Struct(">I")
 _DOWNLOAD = struct.Struct(">Q")  # dialing round number
 
 
-def encode_batch(round_number: int, requests: list[bytes]) -> bytes:
+def encode_batch(round_number: int, requests: list[bytes], attempt: int = 1) -> bytes:
     """Serialise a round's worth of requests (or responses).
+
+    ``attempt`` is the coordinator's §6 retry counter for the round (1 for a
+    round's first drive).  It travels in the batch header so every hop — and
+    the last server's dead-drop processor — agrees on which attempt of the
+    round it is processing: each server derives its noise, wrap scalars and
+    mix permutation from a per-``(round, attempt)`` rng fork, so a retried or
+    crash-recovered round is a pure function of the config seed, not of how
+    many batches the server happened to process before it.
 
     Accepts any bytes-like entries (``bytes.join`` reads them through the
     buffer protocol), so zero-copy slices from :func:`decode_batch` can be
@@ -30,15 +38,17 @@ def encode_batch(round_number: int, requests: list[bytes]) -> bytes:
     """
     if round_number < 0:
         raise ProtocolError("round numbers are non-negative")
-    parts: list[bytes] = [_HEADER.pack(round_number, len(requests))]
+    if attempt < 1:
+        raise ProtocolError("round attempts are numbered from 1")
+    parts: list[bytes] = [_HEADER.pack(round_number, attempt, len(requests))]
     for request in requests:
         parts.append(_LENGTH.pack(len(request)))
         parts.append(request)
     return b"".join(parts)
 
 
-def decode_batch(payload: bytes) -> tuple[int, list[memoryview]]:
-    """Parse a batch back into (round_number, requests) without copying.
+def decode_batch(payload: bytes) -> tuple[int, int, list[memoryview]]:
+    """Parse a batch back into (round_number, attempt, requests) without copying.
 
     The returned requests are read-only :class:`memoryview` slices of
     ``payload`` — a round is parsed in one pass with zero per-request
@@ -47,7 +57,9 @@ def decode_batch(payload: bytes) -> tuple[int, list[memoryview]]:
     """
     if len(payload) < _HEADER.size:
         raise ProtocolError("batch too short to contain a header")
-    round_number, count = _HEADER.unpack_from(payload, 0)
+    round_number, attempt, count = _HEADER.unpack_from(payload, 0)
+    if attempt < 1:
+        raise ProtocolError("round attempts are numbered from 1")
     view = memoryview(payload)
     total = len(payload)
     offset = _HEADER.size
@@ -63,7 +75,7 @@ def decode_batch(payload: bytes) -> tuple[int, list[memoryview]]:
         offset += length
     if offset != total:
         raise ProtocolError("trailing bytes after the last request in a batch")
-    return round_number, requests
+    return round_number, attempt, requests
 
 
 def encode_download_request(round_number: int) -> bytes:

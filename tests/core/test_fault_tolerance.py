@@ -300,6 +300,59 @@ class TestNetworkedKillAndRestart:
             }
 
 
+class TestNetworkedFaultRulePersistence:
+    def test_injected_rules_survive_restart_server(self):
+        """Regression: a respawned server process starts with an empty fault
+        injector, so without re-injection a SIGKILL+restart silently erased
+        the scenario's remaining chaos rules.  The fault schedule is
+        deployment state — the launcher must re-ship active rules."""
+        config = scenario_config(round_deadline_seconds=10.0, max_round_attempts=8)
+        with DeploymentLauncher(config) as deployment:
+            alice = deployment.add_client("alice", retry_backoff_seconds=0.4)
+            bob = deployment.add_client("bob", retry_backoff_seconds=0.4)
+            alice.client.start_conversation(bob.client.public_key)
+            bob.client.start_conversation(alice.client.public_key)
+            deployment.run_conversation_round([alice, bob])  # warm-up
+
+            # The rule lives in server 1's injector and would kill its first
+            # forward to server 2 — but server 1 is SIGKILLed before any
+            # round lets the rule fire.
+            deployment.inject_fault(
+                1,
+                {
+                    "action": "kill",
+                    "destination": "server-2/conversation",
+                    "count": 1,
+                },
+            )
+            deployment.kill_server(1)
+            deployment.restart_server(1)
+            assert deployment.wait_alive(1, timeout=30.0)
+            # A dialing round first: it reconnects every stale pooled socket
+            # to the respawned process (aborting and retrying as needed), so
+            # the conversation round below aborts for exactly one reason —
+            # the re-injected conversation-hop rule.
+            deployment.run_dialing_round([alice, bob])
+
+            alice.client.send_message("after the respawn")
+            result = deployment.run_conversation_round([alice, bob])
+            # The re-injected rule fired exactly once: the round aborted and
+            # the automatic retry delivered.
+            assert result.aborts == 1
+            assert bob.client.messages_from(alice.client.public_key) == [
+                b"after the respawn"
+            ]
+
+            # Healed rules must NOT be resurrected by a later restart.
+            deployment.heal_faults(1)
+            deployment.kill_server(1)
+            deployment.restart_server(1)
+            assert deployment.wait_alive(1, timeout=30.0)
+            deployment.run_dialing_round([alice, bob])  # flush stale pools
+            follow_up = deployment.run_conversation_round([alice, bob])
+            assert follow_up.aborts == 0
+
+
 class TestLauncherLifecycle:
     def test_stop_then_start_spawns_a_fresh_deployment(self):
         """Regression: stop() never reset _started, so a stopped launcher's

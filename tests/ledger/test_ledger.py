@@ -1,0 +1,202 @@
+"""The append-only round ledger: hashing, crash consistency, recovery.
+
+The ledger's two promises (module docstring of :mod:`repro.ledger.writer`)
+are exercised directly against the file bytes here: any interior edit breaks
+the hash chain and is detected, and the only crash damage a single writer
+can leave behind is a torn final line, which both the reader and a resuming
+writer truncate away.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.ledger import (
+    GENESIS,
+    LedgerWriter,
+    canonical_json,
+    client_digest,
+    load_ledger,
+    record_hash,
+    slice_ledger,
+)
+
+
+def write_sample(path, n=5, fsync="round"):
+    with LedgerWriter(path, fsync=fsync) as writer:
+        writer.append("session_start", {"shape": "test", "config": {}})
+        for i in range(n):
+            writer.append("round_metrics", {"protocol": "conversation", "round": i})
+    return path
+
+
+class TestHashChain:
+    def test_records_chain_from_genesis(self, tmp_path):
+        path = write_sample(tmp_path / "ledger.jsonl", n=3)
+        view = load_ledger(path)
+        assert len(view) == 4
+        assert view.records[0].prev == GENESIS
+        for earlier, later in zip(view.records, view.records[1:]):
+            assert later.prev == earlier.hash
+            assert later.seq == earlier.seq + 1
+        for record in view:
+            assert record.hash == record_hash(
+                record.seq, record.type, record.data, record.prev
+            )
+        assert view.head() == view.records[-1].hash
+
+    def test_append_canonicalises_data_through_json(self, tmp_path):
+        with LedgerWriter(tmp_path / "ledger.jsonl") as writer:
+            record = writer.append("t", {"tuple": (1, 2), "b": 1, "a": 2})
+        # Tuples become lists, and the hash covers exactly the stored bytes.
+        assert record.data == {"tuple": [1, 2], "b": 1, "a": 2}
+        loaded = load_ledger(tmp_path / "ledger.jsonl").records[0]
+        assert loaded == record
+
+    def test_writer_resume_continues_the_chain(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        write_sample(path, n=2)
+        head_before = load_ledger(path).head()
+        with LedgerWriter(path) as writer:
+            assert not writer.recovered_tail
+            assert writer.head() == head_before
+            writer.append("round_metrics", {"round": 99})
+        view = load_ledger(path)
+        assert len(view) == 4
+        assert view.records[-1].prev == head_before
+
+    def test_unknown_fsync_policy_is_rejected(self, tmp_path):
+        with pytest.raises(LedgerError):
+            LedgerWriter(tmp_path / "ledger.jsonl", fsync="sometimes")
+
+    def test_append_after_close_raises(self, tmp_path):
+        writer = LedgerWriter(tmp_path / "ledger.jsonl")
+        writer.close()
+        with pytest.raises(LedgerError):
+            writer.append("t", {})
+
+    def test_concurrent_appends_keep_the_chain_valid(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with LedgerWriter(path, fsync="never") as writer:
+            threads = [
+                threading.Thread(
+                    target=lambda worker=worker: [
+                        writer.append("t", {"worker": worker, "i": i}) for i in range(25)
+                    ]
+                )
+                for worker in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        view = load_ledger(path)
+        assert len(view) == 100
+        assert [record.seq for record in view] == list(range(100))
+
+
+class TestCrashConsistency:
+    def test_torn_tail_is_dropped_on_read(self, tmp_path):
+        path = write_sample(tmp_path / "ledger.jsonl", n=3)
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 4, "ty')  # crash mid-append
+        view = load_ledger(path)
+        assert view.truncated
+        assert len(view) == 4
+        with pytest.raises(LedgerError):
+            load_ledger(path, allow_truncated_tail=False)
+
+    def test_newline_less_valid_line_is_still_a_torn_tail(self, tmp_path):
+        """The commit rule is the trailing newline: a final line that parses
+        and hashes correctly but never got its newline is uncommitted."""
+        path = write_sample(tmp_path / "ledger.jsonl", n=2)
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        path.write_bytes(data[:-1])
+        view = load_ledger(path)
+        assert view.truncated
+        assert len(view) == 2
+
+    def test_resuming_writer_truncates_the_torn_tail(self, tmp_path):
+        path = write_sample(tmp_path / "ledger.jsonl", n=2)
+        clean = path.read_bytes()
+        with open(path, "ab") as handle:
+            handle.write(b"garbage that never finished")
+        with LedgerWriter(path) as writer:
+            assert writer.recovered_tail
+            writer.append("round_metrics", {"round": 7})
+        # The torn bytes are gone and the new record chains off the old head.
+        assert path.read_bytes().startswith(clean)
+        view = load_ledger(path)
+        assert not view.truncated
+        assert view.records[-1].data == {"round": 7}
+
+    def test_interior_tamper_is_detected(self, tmp_path):
+        path = write_sample(tmp_path / "ledger.jsonl", n=4)
+        lines = path.read_bytes().splitlines(keepends=True)
+        doctored = json.loads(lines[2])
+        doctored["data"]["round"] = 1000  # rewrite history
+        lines[2] = json.dumps(doctored).encode() + b"\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(LedgerError, match="hash chain broken"):
+            load_ledger(path)
+
+    def test_interior_deletion_is_detected(self, tmp_path):
+        path = write_sample(tmp_path / "ledger.jsonl", n=4)
+        lines = path.read_bytes().splitlines(keepends=True)
+        del lines[1]
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(LedgerError):
+            load_ledger(path)
+
+    def test_damaged_final_line_with_newline_is_recovered(self, tmp_path):
+        path = write_sample(tmp_path / "ledger.jsonl", n=3)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[-1] = b'{"not": "a record"}\n'
+        path.write_bytes(b"".join(lines))
+        view = load_ledger(path)
+        assert view.truncated
+        assert len(view) == 3
+
+
+class TestSlicing:
+    def test_slice_is_a_valid_loadable_prefix(self, tmp_path):
+        path = write_sample(tmp_path / "ledger.jsonl", n=5)
+        destination = tmp_path / "slice.jsonl"
+        written = slice_ledger(path, destination, upto_seq=3)
+        assert written == 4
+        view = load_ledger(destination)
+        assert len(view) == 4
+        assert view.records[0].prev == GENESIS
+        assert view.head() == load_ledger(path).records[3].hash
+
+
+class TestClientDigest:
+    def _client(self, bodies):
+        return SimpleNamespace(
+            received=[
+                SimpleNamespace(
+                    round_number=i,
+                    sender=SimpleNamespace(hex=lambda: "ab" * 32),
+                    body=body,
+                )
+                for i, body in enumerate(bodies)
+            ],
+            incoming_calls=[],
+        )
+
+    def test_digest_is_deterministic_and_body_sensitive(self):
+        first = client_digest(self._client([b"hello", b"world"]))
+        again = client_digest(self._client([b"hello", b"world"]))
+        other = client_digest(self._client([b"hello", b"world!"]))
+        assert first == again
+        assert first["received_count"] == 2
+        assert first["received"] != other["received"]
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})

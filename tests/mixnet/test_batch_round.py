@@ -57,7 +57,9 @@ def sequential_process_round(server, round_number, requests, downstream):
         layer_keys.append(layer_key)
         valid_positions.append(position)
     combined = list(peeled)
-    permutation = Permutation.random(len(combined), server.rng)
+    permutation = Permutation.random(
+        len(combined), server.round_rng(round_number, attempt=1)
+    )
     forwarded = permutation.apply(combined)
     downstream_responses = downstream(round_number, forwarded)
     unshuffled = permutation.invert(downstream_responses)

@@ -1,0 +1,110 @@
+"""Post-hoc (ε, δ) audit of ledger-recorded accountant checkpoints.
+
+:func:`repro.privacy.audit_ledger_records` independently recomposes
+Theorem 2 for every recorded round and flags any checkpoint that does not
+match — a deployment whose accountant lost rounds across a crash,
+double-spent, or ran with different noise parameters than it claims.
+"""
+
+from __future__ import annotations
+
+from repro.privacy import (
+    LaplaceParams,
+    PrivacyAccountant,
+    audit_ledger_records,
+    conversation_guarantee,
+)
+
+
+PER_ROUND = conversation_guarantee(LaplaceParams(mu=300.0, b=13.8))
+TARGETS = {"target_epsilon": 5.0, "target_delta": 1e-4}
+
+
+def recorded_rounds(n):
+    """The round_metrics payload trail a correct deployment writes."""
+    accountant = PrivacyAccountant(per_round=PER_ROUND, **TARGETS)
+    rounds = []
+    for i in range(n):
+        guarantee = accountant.spend(1)
+        rounds.append(
+            {
+                "protocol": "conversation",
+                "round": i,
+                "accountant": {
+                    "rounds_used": accountant.rounds_used,
+                    "epsilon": guarantee.epsilon,
+                    "delta": guarantee.delta,
+                },
+            }
+        )
+    return rounds
+
+
+def audit(rounds, **overrides):
+    kwargs = {"protocol": "conversation", "per_round": PER_ROUND, **TARGETS}
+    kwargs.update(overrides)
+    return audit_ledger_records(rounds, **kwargs)
+
+
+class TestCleanTrail:
+    def test_a_faithful_trail_audits_clean(self):
+        report = audit(recorded_rounds(8))
+        assert report.ok
+        assert report.rounds_audited == 8
+        assert report.within_target
+
+    def test_other_protocols_records_are_ignored(self):
+        rounds = recorded_rounds(3)
+        rounds.insert(1, {"protocol": "dialing", "round": 0, "accountant": None})
+        report = audit(rounds)
+        assert report.ok
+        assert report.rounds_audited == 3
+
+    def test_empty_trail_is_vacuously_ok(self):
+        report = audit([])
+        assert report.ok and report.rounds_audited == 0
+
+
+class TestDivergences:
+    def test_tampered_epsilon_is_flagged(self):
+        rounds = recorded_rounds(5)
+        rounds[2]["accountant"]["epsilon"] *= 0.5  # understating the loss
+        report = audit(rounds)
+        assert not report.ok
+        assert any("epsilon" in d for d in report.divergences)
+
+    def test_lost_rounds_are_flagged(self):
+        """An accountant that forgot a round across a crash: every later
+        checkpoint's rounds_used disagrees with the resolved-round index."""
+        rounds = recorded_rounds(6)
+        del rounds[2]  # the ledger shows 5 resolved rounds ...
+        report = audit(rounds)  # ... but checkpoints 4..6 claim one more
+        assert not report.ok
+        assert any("rounds_used" in d for d in report.divergences)
+
+    def test_missing_checkpoint_is_flagged(self):
+        rounds = recorded_rounds(3)
+        rounds[1].pop("accountant")
+        # A dict without the key and an explicit None both count as missing.
+        assert not audit(rounds).ok
+        rounds[1]["accountant"] = None
+        report = audit(rounds)
+        assert any("no accountant checkpoint" in d for d in report.divergences)
+
+    def test_wrong_noise_parameters_are_flagged(self):
+        """Checkpoints recorded under different noise than the config claims
+        recompose to different numbers everywhere."""
+        report = audit(
+            recorded_rounds(4), per_round=conversation_guarantee(LaplaceParams(mu=600.0, b=13.8))
+        )
+        assert not report.ok
+        assert len(report.divergences) >= 4
+
+    def test_exceeded_target_clears_within_target(self):
+        # Austere targets: the recomposed trail is internally consistent but
+        # blows past the deployment's provisioned budget.
+        report = audit(recorded_rounds(50), target_epsilon=0.01)
+        assert report.ok  # no divergence — the accountant was honest
+        assert not report.within_target
+
+

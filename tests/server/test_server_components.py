@@ -16,14 +16,22 @@ from repro.server import ChainServerEndpoint, EntryServer, decode_batch, encode_
 class TestBatchFraming:
     def test_roundtrip(self):
         batch = [b"first", b"", b"third-request"]
-        assert decode_batch(encode_batch(7, batch)) == (7, batch)
+        assert decode_batch(encode_batch(7, batch)) == (7, 1, batch)
+
+    def test_roundtrip_carries_the_attempt(self):
+        batch = [b"retry-me"]
+        assert decode_batch(encode_batch(7, batch, 3)) == (7, 3, batch)
 
     def test_empty_batch(self):
-        assert decode_batch(encode_batch(0, [])) == (0, [])
+        assert decode_batch(encode_batch(0, [])) == (0, 1, [])
 
     def test_negative_round_rejected(self):
         with pytest.raises(ProtocolError):
             encode_batch(-1, [])
+
+    def test_zero_attempt_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_batch(0, [], 0)
 
     def test_truncated_batches_rejected(self):
         payload = encode_batch(1, [b"abc", b"def"])
@@ -36,10 +44,18 @@ class TestBatchFraming:
         with pytest.raises(ProtocolError):
             decode_batch(payload + b"extra")
 
-    @given(st.lists(st.binary(max_size=64), max_size=20), st.integers(min_value=0, max_value=2**60))
+    @given(
+        st.lists(st.binary(max_size=64), max_size=20),
+        st.integers(min_value=0, max_value=2**60),
+        st.integers(min_value=1, max_value=2**31),
+    )
     @settings(max_examples=50, deadline=None)
-    def test_roundtrip_property(self, batch: list[bytes], round_number: int):
-        assert decode_batch(encode_batch(round_number, batch)) == (round_number, batch)
+    def test_roundtrip_property(self, batch: list[bytes], round_number: int, attempt: int):
+        assert decode_batch(encode_batch(round_number, batch, attempt)) == (
+            round_number,
+            attempt,
+            batch,
+        )
 
 
 def _build_two_server_chain(rng):
