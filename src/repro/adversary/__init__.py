@@ -12,14 +12,26 @@ from .observer import (
     DialingRoundObservation,
     GlobalObserver,
 )
+from .workloads import (
+    DeadDropFloodResult,
+    EntryObservationResult,
+    PrivacyLoadPoint,
+    run_deaddrop_flood,
+    run_entry_observation,
+)
 
 __all__ = [
     "BayesianAttacker",
     "ConversationRoundObservation",
+    "DeadDropFloodResult",
     "DialingRoundObservation",
     "DiscardAttackResult",
+    "EntryObservationResult",
     "GlobalObserver",
     "IntersectionAttackResult",
+    "PrivacyLoadPoint",
+    "run_deaddrop_flood",
     "run_discard_attack",
+    "run_entry_observation",
     "run_intersection_attack",
 ]

@@ -62,7 +62,14 @@ class GlobalObserver:
 
     system: VuvuzelaSystem
     last_server_compromised: bool = True
+    #: Models a compromised entry server (§2, the untrusted entry): beyond
+    #: the connection set, the entry sees *per-client request counts* for
+    #: every round — metadata, never plaintexts, since requests are onion-
+    #: encrypted to the chain.  Everything content-related stays protected
+    #: by the chain's noise; this flag only unlocks the load view.
+    entry_compromised: bool = False
     _clients_seen: dict[tuple[MessageKind, int], set[str]] = field(default_factory=dict)
+    _request_counts: dict[tuple[MessageKind, int], dict[str, int]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.system.network.add_observer(self._on_traffic)
@@ -77,11 +84,21 @@ class GlobalObserver:
             return
         key = (observation.kind, observation.round_number)
         self._clients_seen.setdefault(key, set()).add(observation.source)
+        if self.entry_compromised:
+            counts = self._request_counts.setdefault(key, {})
+            counts[observation.source] = counts.get(observation.source, 0) + 1
 
     # ------------------------------------------------------------- observations
 
     def connected_clients(self, kind: MessageKind, round_number: int) -> frozenset[str]:
         return frozenset(self._clients_seen.get((kind, round_number), set()))
+
+    def entry_view(self, kind: MessageKind, round_number: int) -> dict[str, int]:
+        """Per-client request counts for one round — the compromised entry's
+        complete extra knowledge.  Empty unless ``entry_compromised``."""
+        if not self.entry_compromised:
+            return {}
+        return dict(self._request_counts.get((kind, round_number), {}))
 
     def observe_conversation_round(self, round_number: int) -> ConversationRoundObservation:
         connected = self.connected_clients(MessageKind.CONVERSATION_REQUEST, round_number)

@@ -49,9 +49,17 @@ def decode_frame(frame: bytes) -> tuple[int, bytes]:
 
 @dataclass
 class SequenceTracker:
-    """Sender-side sequence assignment and receiver-side duplicate suppression."""
+    """Sender-side sequence assignment and receiver-side duplicate suppression.
+
+    The receiver side compacts: every sequence below ``_contiguous`` has been
+    accepted, and ``_seen`` holds only the out-of-order numbers beyond that
+    watermark.  A client that goes offline for N rounds and then drains a
+    retransmitted backlog (§3.1) therefore keeps its dedup state bounded by
+    the reordering window, not by the session's lifetime.
+    """
 
     next_to_send: int = 0
+    _contiguous: int = field(default=0, repr=False)
     _seen: set[int] = field(default_factory=set)
 
     def assign(self) -> int:
@@ -62,11 +70,14 @@ class SequenceTracker:
 
     def accept(self, sequence: int) -> bool:
         """Record an incoming sequence number; False when it is a duplicate."""
-        if sequence in self._seen:
+        if sequence < self._contiguous or sequence in self._seen:
             return False
         self._seen.add(sequence)
+        while self._contiguous in self._seen:
+            self._seen.discard(self._contiguous)
+            self._contiguous += 1
         return True
 
     @property
     def received_count(self) -> int:
-        return len(self._seen)
+        return self._contiguous + len(self._seen)

@@ -46,7 +46,7 @@ from ..client import ClientConnection
 from ..deaddrop import InvitationDropStore
 from ..errors import LedgerError, NetworkError, ProtocolError
 from ..ledger import client_digest
-from ..net import TcpTransport
+from ..net import LinkConditioner, LinkProfile, TcpTransport
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
 from ..runtime import RoundScheduler, make_protocol
 from ..runtime.protocols import RoundProtocol
@@ -167,6 +167,24 @@ class DeploymentLauncher:
         #: re-sent to a chain server when :meth:`restart_server` respawns it
         #: (a fresh process has a fresh, empty injector).
         self._injected_rules: dict[str, list[tuple[dict, int]]] = {}
+        #: Link profiles shipped to live server processes, by normalized
+        #: target — re-sent on :meth:`restart_server` like fault rules (WAN
+        #: weather is deployment state, not process state).
+        self._conditioned: dict[str, list[tuple[dict, int]]] = {}
+        #: One launcher-side conditioner shared by every client connection's
+        #: transport: the client-edge WAN weather (DSL/3G access links, §8).
+        self._client_conditioner: LinkConditioner | None = None
+        #: Clients parked mid-session (crash/outage churn): connection and
+        #: session survive off-network so a resume keeps §3.1 sequence state
+        #: and the undelivered outbox.
+        self._parked: dict[str, tuple[ClientConnection, ClientSession | None]] = {}
+        #: Replay support: forced first-attempt numbers by (protocol, round),
+        #: shipped in the open-round command (see :meth:`force_attempts`).
+        self._forced_attempts: dict[tuple[str, int], int] = {}
+        #: Launcher-side mirror of the entry's round counters, so an
+        #: open-round command can look its round's forced attempt up *before*
+        #: the entry allocates the number.
+        self._round_counters = {"conversation": 0, "dialing": 0}
         #: The launcher-side DP accounting mirror: server processes make the
         #: noise draws, but the launcher drives every round, so it checkpoints
         #: the (ε, δ) composition per resolved round — the same numbers the
@@ -237,6 +255,8 @@ class DeploymentLauncher:
         if self._started:
             return self
         self._started = True
+        # A fresh entry process allocates rounds from zero again.
+        self._round_counters = {"conversation": 0, "dialing": 0}
         config_json = self.config.to_json()
         next_port: int | None = None
         chain: list[ServerProcess] = []
@@ -324,6 +344,7 @@ class DeploymentLauncher:
             if isinstance(connection.transport, TcpTransport):
                 connection.transport.close()
         self._connections = {}
+        self._parked = {}  # parked transports were closed at park time
         if self._control is not None:
             self._control.close()
         if self._probe is not None:
@@ -354,17 +375,40 @@ class DeploymentLauncher:
         plane) — server processes never touch the file.
         """
         self.ledger = ledger
-        ledger.append("session_start", {"shape": "tcp", "config": self.config.to_dict()})
+        if self._client_conditioner is not None:
+            self._client_conditioner.ledger = ledger
+        ledger.append(
+            "session_start",
+            {
+                "shape": "tcp",
+                "config": self.config.to_dict(),
+                # A TCP replay must rebuild the launcher in the same window
+                # mode: deadline-only windows never close early on expected
+                # counts, which changes the refused/late accounting.  The
+                # effective deadline rides along because it may have been a
+                # launcher-level override rather than a config knob.
+                "deadline_only_windows": self.deadline_only_windows,
+                "round_deadline_seconds": self.round_deadline_seconds,
+            },
+        )
         for name in self._connections:
             ledger.append("client_added", {"name": name})
         self.scheduler.record_existing(ledger)
 
     def ledger_client_digests(self) -> dict:
-        """Per-client fingerprints of user-visible state (see ledger docs)."""
-        return {
-            name: client_digest(self._connections[name].client)
-            for name in sorted(self._connections)
+        """Per-client fingerprints of user-visible state (see ledger docs).
+
+        Parked clients are included — their state is frozen while parked and
+        a replay parks the same clients at the same boundaries, so digests
+        stay comparable across a churny schedule.
+        """
+        population = {
+            name: connection.client for name, connection in self._connections.items()
         }
+        population.update(
+            {name: connection.client for name, (connection, _) in self._parked.items()}
+        )
+        return {name: client_digest(population[name]) for name in sorted(population)}
 
     def _record(self, type_: str, data: dict) -> None:
         if self.ledger is not None:
@@ -518,6 +562,13 @@ class DeploymentLauncher:
             self._retry_transient(
                 lambda: self.server_control(replacement.name, command)
             )
+        # Same story for WAN weather: a fresh process has a clear sky.
+        reconditioned = self._conditioned.get(replacement.name, [])
+        for profile, seed in reconditioned:
+            command = {"cmd": "condition-link", "profile": profile, "seed": seed}
+            self._retry_transient(
+                lambda: self.server_control(replacement.name, command)
+            )
         self._record(
             "restart_server", {"name": replacement.name, "reinjected": len(reinjected)}
         )
@@ -598,6 +649,101 @@ class DeploymentLauncher:
         """How many round attempts the entry has aborted (and retried) so far."""
         return int(self.entry_control({"cmd": "aborted-total"})["aborted"])
 
+    # ------------------------------------------------------- link conditioning
+
+    @staticmethod
+    def _profile_dict(profile: LinkProfile | dict) -> dict:
+        return profile.to_dict() if isinstance(profile, LinkProfile) else dict(profile)
+
+    def condition_link(
+        self, target: str | int, profile: LinkProfile | dict, *, seed: int = 0
+    ) -> dict:
+        """Install one :class:`~repro.net.LinkProfile` in a live process.
+
+        The profile conditions every matching envelope that process *sends*
+        (latency, jitter, bandwidth serialization, seeded loss).  Loss
+        decisions are a pure function of (seed, message identity), so the
+        same recording replays bit-identically in either deployment shape.
+        """
+        profile_dict = self._profile_dict(profile)
+        command = {"cmd": "condition-link", "profile": profile_dict, "seed": seed}
+        if target == "entry":
+            reply = self.entry_control(command)
+            normalized = "entry"
+        else:
+            reply = self.server_control(target, command)
+            normalized = f"server-{self._chain_index(target)}"
+        self._conditioned.setdefault(normalized, []).append((profile_dict, seed))
+        self._record(
+            "link_profile_added",
+            {"profile": profile_dict, "seed": seed, "target": normalized},
+        )
+        return reply
+
+    def condition_clients(
+        self, profile: LinkProfile | dict, *, seed: int = 0
+    ) -> LinkConditioner:
+        """Condition the client access links (the paper's DSL/3G edge, §8).
+
+        One launcher-side conditioner is shared by every client connection's
+        transport — existing, future and resumed ones — so a single seed
+        governs all client-edge weather.  Asking for a different seed once a
+        conditioner exists is an error, as with :meth:`inject_fault` seeds.
+        """
+        profile_obj = (
+            profile if isinstance(profile, LinkProfile) else LinkProfile.from_dict(profile)
+        )
+        if self._client_conditioner is None:
+            self._client_conditioner = LinkConditioner(seed)
+            self._client_conditioner.ledger = self.ledger
+            for connection in self._connections.values():
+                if isinstance(connection.transport, TcpTransport):
+                    connection.transport.link_conditioner = self._client_conditioner
+        elif self._client_conditioner.seed != seed:
+            raise ProtocolError(
+                f"a link conditioner seeded with {self._client_conditioner.seed} "
+                f"already exists; cannot reseed it to {seed}"
+            )
+        self._client_conditioner.add_profile(profile_obj)
+        return self._client_conditioner
+
+    def heal_links(self) -> None:
+        """Clear every link profile: the client edge and every live process."""
+        if self._client_conditioner is not None:
+            self._client_conditioner.heal()
+        for normalized in list(self._conditioned):
+            command = {"cmd": "heal-links"}
+            try:
+                if normalized == "entry":
+                    self.entry_control(command)
+                else:
+                    self.server_control(normalized, command)
+            except (NetworkError, ProtocolError):
+                pass  # the process may be mid-crash; healing must not wedge
+            self._record("links_healed", {"target": normalized})
+        self._conditioned.clear()
+
+    def link_stats(self, target: str | int | None = None) -> dict:
+        """One process's conditioner counters (``None`` = the client edge)."""
+        if target is None:
+            if self._client_conditioner is None:
+                return {"profiles": 0, "conditioned": 0, "lost": 0, "held": 0,
+                        "hold_seconds_total": 0.0}
+            return self._client_conditioner.stats()
+        command = {"cmd": "link-stats"}
+        if target == "entry":
+            return self.entry_control(command)
+        return self.server_control(target, command)
+
+    def force_attempts(self, plan: dict[tuple[str, int], int]) -> None:
+        """Replay support: pre-set first-attempt numbers by (protocol, round).
+
+        A recorded round that resolved on attempt N is replayed by opening
+        its window *at* attempt N — the chain then draws N's noise streams
+        directly instead of re-living the aborted attempts.
+        """
+        self._forced_attempts.update(plan)
+
     # ------------------------------------------------------------ control plane
 
     @staticmethod
@@ -650,6 +796,8 @@ class DeploymentLauncher:
         client = topology.build_client(self.config, name, self._root, self._server_publics)
         transport = TcpTransport(request_timeout=self.request_timeout)
         transport.add_route("entry", self.entry_process.host, self.entry_process.port)
+        if self._client_conditioner is not None:
+            transport.link_conditioner = self._client_conditioner
         connection = ClientConnection(
             client=client,
             transport=transport,
@@ -666,11 +814,43 @@ class DeploymentLauncher:
         """Disconnect a client mid-session (churn): its cover traffic stops.
 
         Per-client rng streams are forked by name at creation, so removing
-        one never shifts the draws of the clients that remain."""
+        one never shifts the draws of the clients that remain.  The entry
+        process is told to forget the departed client so its parked refunds,
+        dedup digests and pending state do not leak across a long session."""
+        if name in self._parked:
+            connection, _ = self._parked.pop(name)
+        elif name in self._connections:
+            connection = self._connections.pop(name)
+            self.scheduler.remove_session(name)
+            if self.config.require_registration:
+                try:
+                    self.entry_control({"cmd": "revoke", "name": name})
+                except (NetworkError, ProtocolError):
+                    pass  # the entry may be mid-crash; churn must not wedge
+        else:
+            raise ProtocolError(f"no client named {name!r}")
+        try:
+            self.entry_control({"cmd": "forget-client", "name": name})
+        except (NetworkError, ProtocolError):
+            pass  # best-effort pruning, same crash caveat as the revoke
+        if isinstance(connection.transport, TcpTransport):
+            connection.transport.close()
+        self._record("client_removed", {"name": name})
+
+    def park_client(self, name: str) -> None:
+        """Take a client offline mid-session, keeping its state for a resume.
+
+        Models a crashed or disconnected client (the §3.1 offline case): its
+        session leaves the schedule and its TCP connection closes, but the
+        client object — send sequencer, receive dedup tracker, undelivered
+        outbox — is parked so :meth:`resume_client` brings the same user
+        back.  On resume the outbox retransmits and the receiver's sequence
+        tracker suppresses any duplicates the retransmission causes.
+        """
         if name not in self._connections:
             raise ProtocolError(f"no client named {name!r}")
         connection = self._connections.pop(name)
-        self.scheduler.remove_session(name)
+        session = self.scheduler.remove_session(name)
         if self.config.require_registration:
             try:
                 self.entry_control({"cmd": "revoke", "name": name})
@@ -678,10 +858,39 @@ class DeploymentLauncher:
                 pass  # the entry may be mid-crash; churn must not wedge
         if isinstance(connection.transport, TcpTransport):
             connection.transport.close()
-        self._record("client_removed", {"name": name})
+        self._parked[name] = (connection, session)
+        self._record("client_parked", {"name": name})
+
+    def resume_client(self, name: str) -> ClientConnection:
+        """Reconnect a parked client on a fresh TCP connection, state intact."""
+        if name not in self._parked:
+            raise ProtocolError(f"no parked client named {name!r}")
+        assert self.entry_process is not None, "deployment not started"
+        connection, session = self._parked.pop(name)
+        transport = TcpTransport(request_timeout=self.request_timeout)
+        transport.add_route("entry", self.entry_process.host, self.entry_process.port)
+        if self._client_conditioner is not None:
+            transport.link_conditioner = self._client_conditioner
+        connection.transport = transport
+        connection.reconnects += 1
+        if self.config.require_registration:
+            self.entry_control({"cmd": "register", "name": name})
+        self._connections[name] = connection
+        if session is not None:
+            self.scheduler.restore_session(session)
+        self._record("client_resumed", {"name": name})
+        return connection
 
     def connection(self, name: str) -> ClientConnection:
         return self._connections[name]
+
+    def client(self, name: str):
+        """The underlying client object, parked or connected (system parity)."""
+        if name in self._connections:
+            return self._connections[name].client
+        if name in self._parked:
+            return self._parked[name][0].client
+        raise ProtocolError(f"no client named {name!r}")
 
     def add_session(self, name: str, **session_kwargs) -> ClientSession:
         """Create a TCP client and wrap it in a scheduler session in one step."""
@@ -770,12 +979,18 @@ class DeploymentLauncher:
         *,
         dialing_interval: int | None = None,
         pipeline_depth: int | None = None,
+        churn=None,
     ) -> ScheduleReport:
-        """Run a continuous overlapped schedule over TCP (see the scheduler)."""
+        """Run a continuous overlapped schedule over TCP (see the scheduler).
+
+        ``churn`` is an optional list of :class:`~repro.runtime.ChurnEvent`
+        population changes applied at round boundaries inside the schedule.
+        """
         return self.scheduler.run_session(
             conversation_rounds,
             dialing_interval=dialing_interval,
             pipeline_depth=pipeline_depth,
+            churn=churn,
         )
 
     # ------------------------------------------------------------------ rounds
@@ -792,7 +1007,15 @@ class DeploymentLauncher:
             command["deadline"] = deadline if deadline is not None else self.round_deadline_seconds
         if expected is not None:
             command["expected"] = expected
-        return int(self.entry_control(command)["round"])
+        # The entry allocates the round number, but it allocates sequentially
+        # from zero, so the launcher's mirror predicts it — which lets a
+        # replay ship the recorded first-attempt number with the open.
+        forced = self._forced_attempts.get((protocol, self._round_counters[protocol]))
+        if forced is not None:
+            command["attempt"] = forced
+        round_number = int(self.entry_control(command)["round"])
+        self._round_counters[protocol] = round_number + 1
+        return round_number
 
     def wait_round(self, protocol: str, round_number: int, *, wait: float = 60.0) -> dict:
         result = self.entry_control(

@@ -30,7 +30,7 @@ from ..client import VuvuzelaClient
 from ..deaddrop import InvitationDropStore
 from ..errors import LedgerError, ProtocolError
 from ..ledger import client_digest
-from ..net import FaultInjector, Network
+from ..net import FaultInjector, LinkConditioner, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
 from ..runtime import RoundCoordinator, RoundEngine, RoundScheduler, build_protocols
 from ..runtime.protocols import RoundProtocol
@@ -54,6 +54,10 @@ class VuvuzelaSystem:
         self.network = Network()
         self.metrics = SystemMetrics()
         self.clients: dict[str, VuvuzelaClient] = {}
+        # Clients parked mid-session (crash/churn): the client object and its
+        # session survive off-network so a later resume keeps §3.1 sequence
+        # state and undelivered outbox messages.
+        self._parked: dict[str, tuple[VuvuzelaClient, ClientSession | None]] = {}
         self._next_rounds: dict[str, int] = {"conversation": 0, "dialing": 0}
         self._round_lock = threading.Lock()
 
@@ -174,6 +178,8 @@ class VuvuzelaSystem:
         self.coordinator.ledger = ledger
         if self.network.fault_injector is not None:
             self.network.fault_injector.ledger = ledger
+        if self.network.link_conditioner is not None:
+            self.network.link_conditioner.ledger = ledger
         ledger.append(
             "session_start",
             {"shape": "in-process", "config": self.config.to_dict()},
@@ -183,8 +189,15 @@ class VuvuzelaSystem:
         self.scheduler.record_existing(ledger)
 
     def ledger_client_digests(self) -> dict:
-        """Per-client fingerprints of user-visible state (see ledger docs)."""
-        return {name: client_digest(self.clients[name]) for name in sorted(self.clients)}
+        """Per-client fingerprints of user-visible state (see ledger docs).
+
+        Parked clients are included: their state is frozen while parked, and
+        a replay parks the same clients at the same boundaries, so the
+        digests stay comparable across a churny schedule.
+        """
+        population = dict(self.clients)
+        population.update({name: client for name, (client, _) in self._parked.items()})
+        return {name: client_digest(population[name]) for name in sorted(population)}
 
     def _ledger_round_record(self, protocol: RoundProtocol, metrics: RoundMetrics) -> dict:
         """The shape-invariant observables of one resolved round.
@@ -252,20 +265,68 @@ class VuvuzelaSystem:
 
         Client rng streams are forked per client name at creation, so a
         removal never shifts the draws of the clients that remain — which is
-        what keeps churn deterministic and replayable.
+        what keeps churn deterministic and replayable.  A permanently
+        departed client's coordinator state (parked refunds, dedup digests,
+        per-round pending entries) is pruned so a long churny session does
+        not leak it.
         """
-        if name not in self.clients:
+        if name in self._parked:
+            del self._parked[name]
+        elif name in self.clients:
+            self.scheduler.remove_session(name)
+            self.network.unregister(name)
+            if self.config.require_registration:
+                self.entry.revoke_account(name)
+            del self.clients[name]
+        else:
             raise ProtocolError(f"no client named {name!r}")
-        self.scheduler.remove_session(name)
-        self.network.unregister(name)
-        if self.config.require_registration:
-            self.entry.revoke_account(name)
-        del self.clients[name]
+        self.coordinator.forget_client(name)
         if self.ledger is not None:
             self.ledger.append("client_removed", {"name": name})
 
+    def park_client(self, name: str) -> None:
+        """Take a client off the network mid-session, keeping its state.
+
+        Models a crash or a connectivity outage: the client stops submitting
+        (its session leaves the schedule) and its account is revoked, but the
+        client object — send sequencer, receive dedup tracker, undelivered
+        outbox — is parked so :meth:`resume_client` can bring the same user
+        back.  The rounds missed while parked are exactly the §3.1 "client
+        offline" case: on resume the outbox retransmits and the sequence
+        tracker suppresses any duplicate the retransmission causes.
+        """
+        if name not in self.clients:
+            raise ProtocolError(f"no client named {name!r}")
+        session = self.scheduler.remove_session(name)
+        self.network.unregister(name)
+        if self.config.require_registration:
+            self.entry.revoke_account(name)
+        self._parked[name] = (self.clients.pop(name), session)
+        if self.ledger is not None:
+            self.ledger.append("client_parked", {"name": name})
+
+    def resume_client(self, name: str) -> VuvuzelaClient:
+        """Bring a parked client back online with its session state intact."""
+        if name not in self._parked:
+            raise ProtocolError(f"no parked client named {name!r}")
+        client, session = self._parked.pop(name)
+        self.network.register(name, lambda envelope: b"")
+        if self.config.require_registration:
+            self.entry.register_account(name)
+        self.clients[name] = client
+        if session is not None:
+            self.scheduler.restore_session(session)
+        if self.ledger is not None:
+            self.ledger.append("client_resumed", {"name": name})
+        return client
+
     def client(self, name: str) -> VuvuzelaClient:
-        return self.clients[name]
+        """The client object, parked or active (launcher parity)."""
+        if name in self.clients:
+            return self.clients[name]
+        if name in self._parked:
+            return self._parked[name][0]
+        raise ProtocolError(f"no client named {name!r}")
 
     def add_session(self, name: str, **session_kwargs) -> ClientSession:
         """Create a client and wrap it in a scheduler session in one step."""
@@ -403,12 +464,18 @@ class VuvuzelaSystem:
         *,
         dialing_interval: int | None = None,
         pipeline_depth: int | None = None,
+        churn=None,
     ) -> ScheduleReport:
-        """Run a continuous overlapped schedule (see :class:`RoundScheduler`)."""
+        """Run a continuous overlapped schedule (see :class:`RoundScheduler`).
+
+        ``churn`` is an optional list of :class:`~repro.runtime.ChurnEvent`
+        population changes applied at round boundaries inside the schedule.
+        """
         return self.scheduler.run_session(
             conversation_rounds,
             dialing_interval=dialing_interval,
             pipeline_depth=pipeline_depth,
+            churn=churn,
         )
 
     #: Same schedule, launcher-compatible name: deployment code can drive
@@ -436,6 +503,27 @@ class VuvuzelaSystem:
                 f"already exists; cannot reseed it to {seed}"
             )
         return self.network.fault_injector
+
+    def link_conditioner(self, seed: int = 0, *, realtime: bool = True) -> LinkConditioner:
+        """The deployment's WAN weather, attached to the network on first use.
+
+        Profiles added here (latency, jitter, bandwidth caps, seeded loss)
+        shape every in-process hop they match.  Loss decisions are a pure
+        function of (seed, message identity), so a replay of the recorded
+        ledger reproduces them bit-identically; pass ``realtime=False`` to
+        draw the same decisions without ever sleeping.  As with the fault
+        injector, asking for a different seed once a conditioner exists is
+        an error.
+        """
+        if self.network.link_conditioner is None:
+            self.network.link_conditioner = LinkConditioner(seed, realtime=realtime)
+            self.network.link_conditioner.ledger = self.ledger
+        elif self.network.link_conditioner.seed != seed:
+            raise ProtocolError(
+                f"a link conditioner seeded with {self.network.link_conditioner.seed} "
+                f"already exists; cannot reseed it to {seed}"
+            )
+        return self.network.link_conditioner
 
     def close(self) -> None:
         """Shut the coordinator and the engine's worker pool down (idempotent).

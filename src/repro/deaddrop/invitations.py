@@ -66,12 +66,18 @@ class InvitationDropStore:
         self._closed = True
 
     def download(self, bucket: int) -> list[bytes]:
-        """Return every invitation in a bucket (what a client downloads)."""
+        """Return every invitation in a bucket (what a client downloads).
+
+        The order is canonical (sorted), not arrival order: a bucket is a
+        set, and over a real transport arrival order is a race.  Clients
+        react to invitations in download order, so a canonical order is what
+        keeps multi-dialer rounds reproducible across deployment shapes.
+        """
         if bucket == NOOP_BUCKET:
             raise ProtocolError("the no-op dead drop is never downloaded")
         if not 0 <= bucket < self.num_buckets:
             raise ProtocolError(f"invitation dead drop {bucket} does not exist")
-        return list(self._buckets[bucket])
+        return sorted(self._buckets[bucket])
 
     def bucket_size(self, bucket: int) -> int:
         """Number of invitations in a bucket — the adversary-observable count."""

@@ -26,7 +26,12 @@ from .writer import (
     slice_ledger,
 )
 
-_REPLAY_EXPORTS = ("ReplayReport", "RoundDiff", "replay_ledger")
+_REPLAY_EXPORTS = (
+    "ReplayReport",
+    "RoundDiff",
+    "replay_ledger",
+    "replay_ledger_over_tcp",
+)
 
 __all__ = [
     "GENESIS",

@@ -164,6 +164,121 @@ def _diff_round(recorded: dict, replayed: dict) -> dict:
     return mismatches
 
 
+#: Record types that end a ``schedule`` span (see :func:`_replay_walk`).
+_SCHEDULE_ENDS = ("schedule_done", "schedule_failed")
+
+
+def _replay_walk(driver, view, report: ReplayReport, apply_profile, heal_links) -> None:
+    """Re-execute a recording's structural records against ``driver``.
+
+    ``driver`` is either deployment shape — both expose the same lifecycle
+    surface (``add_client`` / ``remove_client`` / ``park_client`` /
+    ``resume_client`` / ``add_session`` / ``run_session`` / ``scheduler`` /
+    ``ledger_client_digests``).  Link conditioning differs per shape, so it
+    comes in as the two callbacks.
+
+    Everything recorded *inside* a ``schedule`` span — churn events and the
+    client/session records the events generated, window and round records,
+    conditioner losses — is skipped record-by-record: the span is re-executed
+    wholesale by ``run_session`` with the churn script the ``schedule``
+    record carries, which regenerates all of it at the same boundaries.
+    """
+    from ..crypto.keys import PublicKey
+    from ..runtime.scheduler import ChurnEvent
+
+    records = list(view)
+    index = 0
+    while index < len(records):
+        record = records[index]
+        data = record.data
+        if record.type == "client_added":
+            existing = getattr(driver, "clients", None)
+            if existing is None:
+                existing = getattr(driver, "_connections", {})
+            if data["name"] not in existing:
+                driver.add_client(data["name"])
+        elif record.type == "client_removed":
+            driver.remove_client(data["name"])
+        elif record.type == "client_parked":
+            driver.park_client(data["name"])
+        elif record.type == "client_resumed":
+            driver.resume_client(data["name"])
+        elif record.type == "session_added":
+            session = driver.add_session(data["name"], auto_accept=data["auto_accept"])
+            session.greetings.extend(
+                bytes.fromhex(greeting) for greeting in data["greetings"]
+            )
+            if data.get("flood_target") is not None:
+                session.flood_target = PublicKey(bytes.fromhex(data["flood_target"]))
+        elif record.type == "dial":
+            driver.scheduler.session(data["name"]).dial(
+                PublicKey(bytes.fromhex(data["peer"]))
+            )
+        elif record.type == "say":
+            driver.scheduler.session(data["name"]).say(
+                bytes.fromhex(data["message"])
+            )
+        elif record.type == "link_profile_added":
+            apply_profile(data)
+        elif record.type == "links_healed":
+            heal_links(data)
+        elif record.type == "schedule":
+            end = index + 1
+            while end < len(records) and records[end].type not in _SCHEDULE_ENDS:
+                end += 1
+            terminator = records[end] if end < len(records) else None
+            if terminator is not None and terminator.type == "schedule_failed":
+                raise LedgerError(
+                    f"{view.path}: the recording crashed mid-schedule "
+                    f"({terminator.data.get('error', 'unknown error')}) — replay "
+                    "reconstructs completed plans only"
+                )
+            # Serial replay of a possibly-overlapped plan is sound: the
+            # scheduler's whole design guarantee is that overlapped execution
+            # is byte-identical to serial execution.  The churn script rides
+            # in the schedule record, so population changes re-apply at the
+            # same round boundaries they originally hit.
+            driver.run_session(
+                data["conversation_rounds"],
+                dialing_interval=data["dialing_interval"],
+                pipeline_depth=1,
+                churn=[
+                    ChurnEvent.from_dict(event) for event in data.get("churn", ())
+                ],
+            )
+            if terminator is not None:
+                replayed_digests = driver.ledger_client_digests()
+                for name, recorded_digest in terminator.data.get("clients", {}).items():
+                    replayed_digest = replayed_digests.get(name)
+                    if recorded_digest != replayed_digest:
+                        report.client_mismatches[name] = (
+                            recorded_digest,
+                            replayed_digest,
+                        )
+            report.records_replayed += (end - index) + (1 if terminator is not None else 0)
+            index = end + 1
+            continue
+        elif record.type == "single_round":
+            driver.scheduler.run_round(data["protocol"])
+        elif record.type == "schedule_failed":
+            raise LedgerError(
+                f"{view.path}: the recording crashed mid-schedule "
+                f"({data.get('error', 'unknown error')}) — replay "
+                "reconstructs completed plans only"
+            )
+        elif record.type == "schedule_done":
+            replayed_digests = driver.ledger_client_digests()
+            for name, recorded_digest in data.get("clients", {}).items():
+                replayed_digest = replayed_digests.get(name)
+                if recorded_digest != replayed_digest:
+                    report.client_mismatches[name] = (
+                        recorded_digest,
+                        replayed_digest,
+                    )
+        report.records_replayed += 1
+        index += 1
+
+
 def replay_ledger(source: str | os.PathLike | LedgerView) -> ReplayReport:
     """Re-execute a recorded session from its ledger alone and diff it.
 
@@ -193,57 +308,17 @@ def replay_ledger(source: str | os.PathLike | LedgerView) -> ReplayReport:
     report = ReplayReport()
     system = _replay_system(config, recorded_attempts)
     try:
-        from ..crypto.keys import PublicKey
+        def apply_profile(data: dict) -> None:
+            from ..net import LinkProfile
 
-        for record in view:
-            data = record.data
-            if record.type == "client_added":
-                if data["name"] not in system.clients:
-                    system.add_client(data["name"])
-            elif record.type == "client_removed":
-                system.remove_client(data["name"])
-            elif record.type == "session_added":
-                session = system.add_session(
-                    data["name"], auto_accept=data["auto_accept"]
-                )
-                session.greetings.extend(
-                    bytes.fromhex(greeting) for greeting in data["greetings"]
-                )
-            elif record.type == "dial":
-                system.scheduler.session(data["name"]).dial(
-                    PublicKey(bytes.fromhex(data["peer"]))
-                )
-            elif record.type == "say":
-                system.scheduler.session(data["name"]).say(
-                    bytes.fromhex(data["message"])
-                )
-            elif record.type == "schedule":
-                # Serial replay of a possibly-overlapped plan is sound: the
-                # scheduler's whole design guarantee is that overlapped
-                # execution is byte-identical to serial execution.
-                system.run_continuous(
-                    data["conversation_rounds"],
-                    dialing_interval=data["dialing_interval"],
-                    pipeline_depth=1,
-                )
-            elif record.type == "single_round":
-                system.scheduler.run_round(data["protocol"])
-            elif record.type == "schedule_failed":
-                raise LedgerError(
-                    f"{view.path}: the recording crashed mid-schedule "
-                    f"({data.get('error', 'unknown error')}) — replay "
-                    "reconstructs completed plans only"
-                )
-            elif record.type == "schedule_done":
-                replayed_digests = system.ledger_client_digests()
-                for name, recorded_digest in data.get("clients", {}).items():
-                    replayed_digest = replayed_digests.get(name)
-                    if recorded_digest != replayed_digest:
-                        report.client_mismatches[name] = (
-                            recorded_digest,
-                            replayed_digest,
-                        )
-            report.records_replayed += 1
+            conditioner = system.link_conditioner(int(data["seed"]), realtime=False)
+            conditioner.add_profile(LinkProfile.from_dict(data["profile"]))
+
+        def heal_links(_data: dict) -> None:
+            if system.network.link_conditioner is not None:
+                system.network.link_conditioner.heal()
+
+        _replay_walk(system, view, report, apply_profile, heal_links)
 
         replayed_rounds = {
             (data["protocol"], data["round"]): data
@@ -281,4 +356,98 @@ def replay_ledger(source: str | os.PathLike | LedgerView) -> ReplayReport:
     return report
 
 
-__all__ = ["OBSERVABLES", "ReplayReport", "RoundDiff", "replay_ledger"]
+def replay_ledger_over_tcp(
+    source: str | os.PathLike | LedgerView,
+    *,
+    startup_timeout: float = 60.0,
+) -> ReplayReport:
+    """Replay a recording over an actual multi-process TCP deployment.
+
+    The cross-shape closing of the loop: a recording made by *either* shape
+    is re-executed against freshly spawned entry + chain server processes,
+    and the same shape-invariant observables are diffed.  Recorded attempt
+    numbers are forced through the open-round control command (the entry's
+    coordinator then draws attempt N's noise streams directly), and recorded
+    link profiles are re-shipped — to the client edge when the record has no
+    ``target``, to the named server process when it does.
+
+    The wire-level ``window_close`` check does not apply here: over TCP the
+    coordinator lives in the entry process, which never writes the replay's
+    ledger — round observables and client digests carry the comparison.
+    """
+    view = source if isinstance(source, LedgerView) else load_ledger(source)
+    head = [record for record in view if record.type == "session_start"]
+    if not head:
+        raise LedgerError(f"{view.path}: no session_start record — nothing to replay")
+    if len(head) > 1:
+        raise LedgerError(f"{view.path}: multiple sessions in one ledger")
+    from ..core.config import VuvuzelaConfig
+    from ..core.deployment import DeploymentLauncher
+
+    config = VuvuzelaConfig.from_dict(head[0].data["config"])
+
+    recorded_rounds: dict[tuple[str, int], dict] = {}
+    recorded_attempts: dict[tuple[str, int], int] = {}
+    for record in view.of_type("round_metrics"):
+        key = (record.data["protocol"], record.data["round"])
+        recorded_rounds[key] = record.data
+        recorded_attempts[key] = int(record.data.get("attempts", 1))
+
+    report = ReplayReport()
+    capture = _CaptureLedger()
+    deadline = head[0].data.get("round_deadline_seconds")
+    launcher = DeploymentLauncher(
+        config,
+        startup_timeout=startup_timeout,
+        round_deadline_seconds=None if deadline is None else float(deadline),
+        deadline_only_windows=bool(head[0].data.get("deadline_only_windows", False)),
+    )
+    launcher.start()
+    try:
+        # Round records flow straight into the capture; the launcher's
+        # lifecycle records land there too and are simply never diffed.
+        launcher.ledger = capture
+        launcher.force_attempts(recorded_attempts)
+
+        def apply_profile(data: dict) -> None:
+            if data.get("target") is not None:
+                launcher.condition_link(
+                    data["target"], data["profile"], seed=int(data["seed"])
+                )
+            else:
+                launcher.condition_clients(data["profile"], seed=int(data["seed"]))
+
+        def heal_links(_data: dict) -> None:
+            launcher.heal_links()
+
+        _replay_walk(launcher, view, report, apply_profile, heal_links)
+
+        replayed_rounds = {
+            (data["protocol"], data["round"]): data
+            for data in capture.of_type("round_metrics")
+        }
+        for key, recorded in sorted(recorded_rounds.items()):
+            replayed = replayed_rounds.get(key)
+            if replayed is None:
+                report.missing_rounds.append(key)
+                continue
+            report.rounds.append(
+                RoundDiff(
+                    protocol=key[0],
+                    round_number=key[1],
+                    mismatches=_diff_round(recorded, replayed),
+                )
+            )
+    finally:
+        launcher.ledger = None
+        launcher.stop()
+    return report
+
+
+__all__ = [
+    "OBSERVABLES",
+    "ReplayReport",
+    "RoundDiff",
+    "replay_ledger",
+    "replay_ledger_over_tcp",
+]

@@ -7,7 +7,14 @@ from .links import (
     HostSpec,
     LinkSpec,
 )
-from .faults import FaultInjector, FaultRule
+from .faults import (
+    FaultInjector,
+    FaultRule,
+    LinkConditioner,
+    LinkDecision,
+    LinkProfile,
+    apply_fault_command,
+)
 from .messages import Envelope, MessageKind, Observation
 from .tcp import TcpTransport, parse_address
 from .transport import (
@@ -30,8 +37,12 @@ __all__ = [
     "FaultRule",
     "HostSpec",
     "Interference",
+    "LinkConditioner",
+    "LinkDecision",
+    "LinkProfile",
     "LinkSpec",
     "MessageKind",
+    "apply_fault_command",
     "Network",
     "Observation",
     "PAPER_DATACENTER_LINK",

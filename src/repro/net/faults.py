@@ -1,4 +1,4 @@
-"""Deterministic fault injection for both transports.
+"""Deterministic fault injection and WAN link conditioning for both transports.
 
 A :class:`FaultInjector` sits inside a transport's ``send`` path and decides,
 per envelope, whether the message is delivered, dropped, delayed or whether
@@ -17,17 +17,34 @@ be bounded (``count=N`` applies it to the first N matching messages and then
 expires), which is the standard way to model a transient failure: the first
 batch on a link dies, the retry goes through.
 
-Rules are JSON-round-trippable (:meth:`FaultRule.to_dict` /
-:meth:`FaultRule.from_dict`) so a deployment launcher can ship them to server
-processes over the control plane.
+Next to the injector's discrete faults sits the :class:`LinkConditioner`: the
+continuous, WAN-shaped degradation of the paper's evaluation (§8 — 10 Gb/s
+datacenter links between servers, DSL/3G clients).  A
+:class:`LinkProfile` attaches a :class:`~repro.net.links.LinkSpec`
+(bandwidth + propagation delay — the same model the deployment simulator
+uses), a jitter bound and a loss rate to matching links.  Unlike the
+injector, whose probabilistic rules consume a *shared* rng stream in message
+arrival order (and therefore only reproduce under a serial schedule), every
+conditioner decision is a **pure function of the message's identity**:
+``(seed, source, destination, kind, round, payload digest)`` keys a fresh
+:class:`DeterministicRandom` fork per message.  The same wire on the same
+link in the same round is lost — or not — identically across the in-process
+and TCP shapes, across idempotent resubmissions, under an overlapped
+scheduler, and under ledger replay that skips aborted attempts.
+
+Rules and profiles are JSON-round-trippable (``to_dict`` / ``from_dict``) so
+a deployment launcher can ship them to server processes over the control
+plane (``inject-fault`` / ``condition-link`` commands).
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
 
+from .links import LinkSpec
 from .messages import Envelope, MessageKind
 from ..crypto.rng import DeterministicRandom
 from ..errors import NetworkError, ProtocolError
@@ -172,17 +189,24 @@ class FaultInjector:
 
     # -------------------------------------------------------------- decisions
 
-    def before_send(self, envelope: Envelope) -> str:
-        """Decide one envelope's fate; sleeps for matching delay rules.
+    def decide(self, envelope: Envelope) -> tuple[str, float]:
+        """Decide one envelope's fate without applying it.
 
-        Returns :data:`DELIVER` or :data:`DROP`; a matching kill rule raises
+        Returns ``(verdict, delay_seconds)`` where the verdict is
+        :data:`DELIVER` or :data:`DROP`; a matching kill rule raises
         :class:`NetworkError` so the sender sees a dead link, not a quiet
-        loss.  The first matching rule of each envelope wins, so ordering
-        rules from specific to general behaves like a routing table.
+        loss.  The first matching drop/kill rule of each envelope wins, so
+        ordering rules from specific to general behaves like a routing table.
+
+        Delay rules never sleep here — the *transport* routes the returned
+        stall through its :class:`LinkConditioner`'s scheduling
+        (:meth:`LinkConditioner.hold`), so the decision path stays
+        non-blocking and a fired delay is applied outside the injector's
+        lock.  Every fired delay is recorded in the ledger with its seconds.
         """
         delay = 0.0
         verdict = DELIVER
-        fired: list[str] = []
+        fired: list[tuple[str, float]] = []
         with self._lock:
             for rule in self.rules:
                 if not rule.matches(envelope):
@@ -193,7 +217,7 @@ class FaultInjector:
                 if rule.action == "delay":
                     delay = rule.delay_seconds
                     self.delayed += 1
-                    fired.append("delay")
+                    fired.append(("delay", rule.delay_seconds))
                     continue  # a delayed message can still be dropped downstream
                 if rule.action == DROP:
                     self.dropped += 1
@@ -201,10 +225,10 @@ class FaultInjector:
                 else:
                     self.killed += 1
                     verdict = KILL
-                fired.append(rule.action)
+                fired.append((rule.action, 0.0))
                 break
         if fired and self.ledger is not None:
-            for action in fired:
+            for action, seconds in fired:
                 self.ledger.append(
                     "fault_fired",
                     {
@@ -213,26 +237,282 @@ class FaultInjector:
                         "destination": envelope.destination,
                         "kind": envelope.kind.value,
                         "round": envelope.round_number,
+                        "delay_seconds": seconds,
                     },
                 )
-        if delay > 0.0:
-            time.sleep(delay)
         if verdict == KILL:
             raise NetworkError(
                 f"fault injection: the link from {envelope.source!r} to "
                 f"{envelope.destination!r} is down"
             )
+        return verdict, delay
+
+    def before_send(self, envelope: Envelope) -> str:
+        """Decide one envelope's fate; the verdict without the stall.
+
+        Kept as the simple entry point for callers that only care about
+        drop/kill verdicts.  Matching delay rules are *counted and recorded*
+        but not slept here — transports apply them via
+        :meth:`LinkConditioner.hold` so one slow hop no longer serializes an
+        overlapped scheduler drive inside the injector.
+        """
+        verdict, _ = self.decide(envelope)
         return verdict
 
 
+@dataclass
+class LinkProfile:
+    """The WAN conditioning of matching links: capacity, jitter and loss.
+
+    ``spec`` is the :class:`~repro.net.links.LinkSpec` the simulation layer
+    already uses — its bandwidth serialises transfers and its latency is the
+    propagation delay, so the conditioner and the deployment simulator share
+    one source of truth for what a link *is*.  ``jitter_seconds`` adds a
+    per-message uniform draw in ``[0, jitter)`` on top; ``loss`` silently
+    loses that fraction of matching messages (the sender sees the
+    transport's lost-message signal and the client retransmits, §3.1).
+
+    Matching follows :class:`FaultRule`: ``(source, destination, kind)``
+    with ``None`` as a wildcard; the first matching profile wins.
+    """
+
+    spec: LinkSpec | None = None
+    source: str | None = None
+    destination: str | None = None
+    kind: MessageKind | None = None
+    jitter_seconds: float = 0.0
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jitter_seconds < 0:
+            raise ProtocolError("link jitter cannot be negative")
+        if not 0.0 <= self.loss < 1.0:
+            raise ProtocolError("link loss rate must be in [0, 1)")
+
+    def matches(self, envelope: Envelope) -> bool:
+        if self.source is not None and envelope.source != self.source:
+            return False
+        if self.destination is not None and envelope.destination != self.destination:
+            return False
+        if self.kind is not None and envelope.kind is not self.kind:
+            return False
+        # Never condition the control plane by accident: a wildcard profile
+        # stalling or losing liveness probes and round RPCs would wedge the
+        # deployment, not degrade it.  Conditioning CONTROL requires naming it.
+        if self.kind is None and envelope.kind is MessageKind.CONTROL:
+            return False
+        return True
+
+    # The control-plane wire form (``condition-link`` commands).
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "source": self.source,
+            "destination": self.destination,
+            "kind": self.kind.value if self.kind is not None else None,
+            "jitter_seconds": self.jitter_seconds,
+            "loss": self.loss,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkProfile":
+        kind = data.get("kind")
+        spec = data.get("spec")
+        return cls(
+            spec=LinkSpec.from_dict(spec) if spec is not None else None,
+            source=data.get("source"),
+            destination=data.get("destination"),
+            kind=MessageKind(kind) if kind is not None else None,
+            jitter_seconds=float(data.get("jitter_seconds", 0.0)),
+            loss=float(data.get("loss", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class LinkDecision:
+    """What the conditioner decided for one envelope."""
+
+    lost: bool = False
+    delay_seconds: float = 0.0
+
+
+class LinkConditioner:
+    """Seeded WAN conditioning shared by both transports.
+
+    Loss and jitter draws are **hash-keyed**, not streamed: each message gets
+    a fresh rng forked at
+    ``link/{source}->{destination}/{kind}/{round}/{payload digest}``, so the
+    decision depends only on the message's identity, never on how many other
+    messages the conditioner has seen.  That is what makes conditioned
+    scenarios deterministic where probabilistic fault rules are not: the
+    same submission is lost identically under a serial or overlapped
+    schedule, in the in-process and TCP shapes, when idempotently
+    resubmitted after an abort, and under ledger replay that jumps straight
+    to a recorded retry attempt.
+
+    Bandwidth caps are modelled per concrete link with a busy-until horizon:
+    concurrent transfers on one link queue behind each other's serialisation
+    time, then each waits its own propagation delay + jitter.  Timing shapes
+    wall clocks only, never protocol bytes, so a replaying conditioner runs
+    with ``realtime=False``: it makes the *identical* loss decisions without
+    sleeping.
+    """
+
+    def __init__(self, seed: int = 0, *, realtime: bool = True) -> None:
+        self.seed = seed
+        self.realtime = realtime
+        self._lock = threading.Lock()
+        self.profiles: list[LinkProfile] = []
+        #: Per concrete link: the monotonic instant its capacity frees up.
+        self._busy_until: dict[tuple[str, str], float] = {}
+        #: Matching messages seen / silently lost / stalled.
+        self.conditioned = 0
+        self.lost = 0
+        self.held = 0
+        self.hold_seconds_total = 0.0
+        #: Optional round ledger: profile installs, heals and every lost
+        #: message are recorded so a replay reproduces the same conditions.
+        self.ledger = None
+
+    # --------------------------------------------------------- profile editing
+
+    def add_profile(self, profile: LinkProfile) -> LinkProfile:
+        with self._lock:
+            self.profiles.append(profile)
+        if self.ledger is not None:
+            self.ledger.append(
+                "link_profile_added", {"profile": profile.to_dict(), "seed": self.seed}
+            )
+        return profile
+
+    def condition(self, spec: LinkSpec | None = None, **kwargs) -> LinkProfile:
+        """Install a profile built from keyword arguments (tests' shorthand)."""
+        return self.add_profile(LinkProfile(spec=spec, **kwargs))
+
+    def heal(self) -> None:
+        """Remove every profile (the weather cleared)."""
+        with self._lock:
+            had = bool(self.profiles)
+            self.profiles.clear()
+        if had and self.ledger is not None:
+            self.ledger.append("links_healed", {"seed": self.seed})
+
+    def active_profiles(self) -> list[LinkProfile]:
+        with self._lock:
+            return list(self.profiles)
+
+    # -------------------------------------------------------------- decisions
+
+    def _message_rng(self, envelope: Envelope) -> DeterministicRandom:
+        digest = hashlib.sha256(bytes(envelope.payload)).hexdigest()[:16]
+        label = (
+            f"link/{envelope.source}->{envelope.destination}"
+            f"/{envelope.kind.value}/{envelope.round_number}/{digest}"
+        )
+        return DeterministicRandom(self.seed).fork(label)
+
+    def before_send(self, envelope: Envelope) -> LinkDecision:
+        """Decide one envelope's conditioning without applying it.
+
+        Returns the loss verdict and the total stall (queueing behind the
+        link's bandwidth + propagation latency + jitter).  The caller applies
+        the stall via :meth:`hold` *after* releasing its own locks.
+        """
+        with self._lock:
+            profile = next((p for p in self.profiles if p.matches(envelope)), None)
+        if profile is None:
+            return LinkDecision()
+        with self._lock:
+            self.conditioned += 1
+        rng = None
+        if profile.loss > 0.0 or profile.jitter_seconds > 0.0:
+            rng = self._message_rng(envelope)
+        if profile.loss > 0.0 and rng.random_float() < profile.loss:
+            with self._lock:
+                self.lost += 1
+            if self.ledger is not None:
+                self.ledger.append(
+                    "link_lost",
+                    {
+                        "source": envelope.source,
+                        "destination": envelope.destination,
+                        "kind": envelope.kind.value,
+                        "round": envelope.round_number,
+                    },
+                )
+            return LinkDecision(lost=True)
+        jitter = 0.0
+        if profile.jitter_seconds > 0.0:
+            # Drawn even when not sleeping: timing-only, but keeps the draw
+            # schedule identical between realtime and replay conditioners.
+            jitter = rng.random_float() * profile.jitter_seconds
+        delay = jitter
+        if profile.spec is not None:
+            delay += self._transfer_delay(envelope, profile.spec)
+        return LinkDecision(delay_seconds=delay)
+
+    def _transfer_delay(self, envelope: Envelope, spec: LinkSpec) -> float:
+        """Queueing + serialisation + propagation for one transfer.
+
+        Only meaningful in realtime mode — a replaying conditioner never
+        waits, so it skips the (wall-clock dependent) queueing model and the
+        busy-until bookkeeping entirely.
+        """
+        if not self.realtime:
+            return 0.0
+        serialization = envelope.size / spec.bandwidth_bytes_per_sec
+        key = (envelope.source, envelope.destination)
+        now = time.monotonic()
+        with self._lock:
+            start = max(now, self._busy_until.get(key, 0.0))
+            self._busy_until[key] = start + serialization
+        return (start - now) + serialization + spec.latency_seconds
+
+    def hold(self, seconds: float) -> None:
+        """Apply a stall decided earlier — the single place conditioned and
+        fault-injected delays actually wait, outside every decision lock."""
+        if seconds <= 0.0:
+            return
+        with self._lock:
+            self.held += 1
+            self.hold_seconds_total += seconds
+        if self.realtime:
+            time.sleep(seconds)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "conditioned": self.conditioned,
+                "lost": self.lost,
+                "held": self.held,
+                "hold_seconds_total": self.hold_seconds_total,
+                "profiles": len(self.profiles),
+            }
+
+
+def hold_delay(conditioner: LinkConditioner | None, seconds: float) -> None:
+    """Apply a decided stall through the conditioner's scheduling.
+
+    Transports call this after their decision phase; with no conditioner
+    installed it degrades to a plain sleep on the calling thread.
+    """
+    if seconds <= 0.0:
+        return
+    if conditioner is not None:
+        conditioner.hold(seconds)
+    else:
+        time.sleep(seconds)
+
+
 def apply_fault_command(transport, command: dict) -> dict | None:
-    """Handle an ``inject-fault`` / ``heal-faults`` control command.
+    """Handle a fault / link-conditioning control command.
 
     Shared by the entry and chain server processes' control planes so rule
-    installation stays in one place.  Returns the reply dict, or ``None``
-    when ``command`` is not a fault command (the caller keeps dispatching).
-    ``transport`` is any object with a ``fault_injector`` attribute (both
-    transports have one).
+    and profile installation stays in one place.  Returns the reply dict, or
+    ``None`` when ``command`` is not a fault command (the caller keeps
+    dispatching).  ``transport`` is any object with ``fault_injector`` and
+    ``link_conditioner`` attributes (both transports have them).
     """
     cmd = command.get("cmd")
     if cmd == "inject-fault":
@@ -253,7 +533,39 @@ def apply_fault_command(transport, command: dict) -> dict | None:
         if transport.fault_injector is not None:
             transport.fault_injector.heal()
         return {"ok": True}
+    if cmd == "condition-link":
+        profile = LinkProfile.from_dict(command["profile"])
+        seed = int(command.get("seed", 0))
+        if transport.link_conditioner is None:
+            transport.link_conditioner = LinkConditioner(seed)
+        elif transport.link_conditioner.seed != seed:
+            raise ProtocolError(
+                f"a link conditioner seeded with {transport.link_conditioner.seed} "
+                f"already exists; cannot reseed it to {seed}"
+            )
+        transport.link_conditioner.add_profile(profile)
+        return {"ok": True, "profiles": len(transport.link_conditioner.active_profiles())}
+    if cmd == "heal-links":
+        if transport.link_conditioner is not None:
+            transport.link_conditioner.heal()
+        return {"ok": True}
+    if cmd == "link-stats":
+        conditioner = transport.link_conditioner
+        if conditioner is None:
+            return {"conditioned": 0, "lost": 0, "held": 0, "hold_seconds_total": 0.0, "profiles": 0}
+        return conditioner.stats()
     return None
 
 
-__all__ = ["DELIVER", "DROP", "KILL", "FaultInjector", "FaultRule", "apply_fault_command"]
+__all__ = [
+    "DELIVER",
+    "DROP",
+    "KILL",
+    "FaultInjector",
+    "FaultRule",
+    "LinkConditioner",
+    "LinkDecision",
+    "LinkProfile",
+    "apply_fault_command",
+    "hold_delay",
+]

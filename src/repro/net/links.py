@@ -33,6 +33,22 @@ class LinkSpec:
             raise ConfigurationError("cannot transfer a negative number of bytes")
         return self.latency_seconds + num_bytes / self.bandwidth_bytes_per_sec
 
+    # The control-plane wire form: a :class:`~repro.net.faults.LinkProfile`
+    # embeds a LinkSpec when it is shipped to a live server process.
+
+    def to_dict(self) -> dict:
+        return {
+            "bandwidth_bytes_per_sec": self.bandwidth_bytes_per_sec,
+            "latency_seconds": self.latency_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkSpec":
+        return cls(
+            bandwidth_bytes_per_sec=float(data["bandwidth_bytes_per_sec"]),
+            latency_seconds=float(data.get("latency_seconds", 0.0)),
+        )
+
 
 @dataclass(frozen=True)
 class HostSpec:

@@ -41,7 +41,7 @@ from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
-from .faults import DROP, FaultInjector
+from .faults import DROP, FaultInjector, LinkConditioner, hold_delay
 from .messages import Envelope, MessageKind
 from .transport import Handler, TrafficStats, Transport
 from ..errors import ConnectTimeout, NetworkError, ProtocolError, TransportTimeout
@@ -250,6 +250,8 @@ class TcpTransport(Transport):
         self.failed_sends = 0
         #: Deterministic chaos hook, mirroring ``Network.fault_injector``.
         self.fault_injector: FaultInjector | None = None
+        #: Deterministic WAN hook, mirroring ``Network.link_conditioner``.
+        self.link_conditioner: LinkConditioner | None = None
         self._pools: dict[tuple[str, int], _ConnectionPool] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=handler_workers, thread_name_prefix="tcp-handler"
@@ -381,15 +383,27 @@ class TcpTransport(Transport):
             kind=kind,
             round_number=round_number,
         )
+        stall = 0.0
         if self.fault_injector is not None:
             try:
-                verdict = self.fault_injector.before_send(envelope)
+                verdict, stall = self.fault_injector.decide(envelope)
             except NetworkError:
                 self._record_failure()
                 raise
             if verdict == DROP:
                 self._record_failure()
                 return None
+        if self.link_conditioner is not None:
+            decision = self.link_conditioner.before_send(envelope)
+            if decision.lost:
+                self._record_failure()
+                return None
+            stall += decision.delay_seconds
+        if stall > 0.0:
+            # Fault-rule delays and WAN latency share one scheduling point:
+            # the stall runs on the calling thread (each submission and each
+            # chain hop has its own), never inside the injector's lock.
+            hold_delay(self.link_conditioner, stall)
         address = self._routes.get(destination)
         if address is None:
             # A locally served endpoint can be reached without a socket —

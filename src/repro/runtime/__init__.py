@@ -36,17 +36,29 @@ from .protocols import (
     build_protocols,
     make_protocol,
 )
-from .scheduler import ClientSession, RoundScheduler, ScheduleReport
+from .scheduler import (
+    CHURN_ACTIONS,
+    ChurnEvent,
+    ClientSession,
+    RoundScheduler,
+    ScheduleReport,
+)
 from .campaign import CAMPAIGN_ACTIONS, CampaignReport, ChaosCampaign, InvariantViolation
+from .wan import CAMPAIGN_SHAPES, WanCampaignReport, WanChurnCampaign
 
 __all__ = [
     "ABORTED",
     "CAMPAIGN_ACTIONS",
+    "CAMPAIGN_SHAPES",
     "CampaignReport",
     "ChaosCampaign",
     "InvariantViolation",
+    "CHURN_ACTIONS",
+    "ChurnEvent",
     "ENGINE_MODES",
     "LATE",
+    "WanCampaignReport",
+    "WanChurnCampaign",
     "PROCESS",
     "PROTOCOL_KINDS",
     "SERIAL",

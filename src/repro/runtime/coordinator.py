@@ -255,6 +255,7 @@ class RoundCoordinator:
         *,
         deadline_seconds: float | None = None,
         expected_requests: int | None = None,
+        attempt: int = 1,
     ) -> SubmissionWindow:
         """Open the submission window for one round.
 
@@ -262,9 +263,17 @@ class RoundCoordinator:
         blocking mode a deadline starts a timer that force-closes the window;
         in synchronous mode it only marks later submissions as stragglers —
         the caller still closes explicitly.
+
+        ``attempt`` pre-forces the window's attempt number.  Ledger replay
+        uses it to jump straight to a recorded round's final retry: the
+        chain's rng streams are labelled ``round-R/attempt-N``, so forcing N
+        reproduces the recorded bytes without re-running the aborted
+        attempts (which leave no observable trace).
         """
         if kind not in self.entry.first_server:
             raise ProtocolError(f"the entry server does not handle {kind}")
+        if attempt < 1:
+            raise ProtocolError("a round's attempt number starts at 1")
         seconds = deadline_seconds if deadline_seconds is not None else self.deadline_seconds
         with self._lock:
             if self._shutdown:
@@ -280,6 +289,7 @@ class RoundCoordinator:
                 deadline=None if seconds is None else self._clock() + seconds,
                 deadline_seconds=seconds,
                 expected_requests=expected_requests,
+                attempt=attempt,
             )
             self._windows[key] = window
             horizon = round_number - self.keep_windows
@@ -314,6 +324,43 @@ class RoundCoordinator:
     def window(self, kind: MessageKind, round_number: int) -> SubmissionWindow | None:
         with self._lock:
             return self._windows.get((kind, round_number))
+
+    def forget_client(self, name: str) -> int:
+        """Drop every trace of a permanently-departed client.
+
+        Without this, a long churny session leaks per departed client: its
+        parked refunds in :attr:`resubmission_queue` (kept until the
+        keep-windows horizon — forever, for the rounds that failed last),
+        and its payload-digest dedup entries / pending per-round state on
+        resolved windows.  In-flight (unresolved) windows are deliberately
+        left alone: an accepted submission still runs through the chain as
+        cover traffic even though nobody will read the response — the same
+        §6 behaviour as a client crashing after its request was accepted.
+
+        Returns the number of parked refund payloads discarded.
+        """
+        discarded = 0
+        with self._lock:
+            for key in list(self.resubmission_queue):
+                entries = self.resubmission_queue[key]
+                kept = [(client, payload) for client, payload in entries if client != name]
+                discarded += len(entries) - len(kept)
+                if kept:
+                    self.resubmission_queue[key] = kept
+                else:
+                    del self.resubmission_queue[key]
+            for window in self._windows.values():
+                if not window.resolved:
+                    continue
+                window.per_client.pop(name, None)
+                window.submitted.pop(name, None)
+                window.claimed = {
+                    claim for claim in window.claimed if claim[0] != name
+                }
+                window.refused_digests = {
+                    entry for entry in window.refused_digests if entry[0] != name
+                }
+        return discarded
 
     def _deadline_close(self, window: SubmissionWindow) -> None:
         try:

@@ -90,6 +90,65 @@ class RoundDriver(ABC):
         close it (as an empty round) instead.  Best-effort by contract.
         """
 
+    # Churn support (overridden by deployment shapes that have clients).
+
+    def park_client(self, name: str) -> None:
+        """Crash a client mid-session, keeping its state for a later resume."""
+        raise ProtocolError("this deployment shape cannot park clients")
+
+    def resume_client(self, name: str):
+        """Bring a parked client back; it resumes via §3.1 retransmission."""
+        raise ProtocolError("this deployment shape cannot resume clients")
+
+
+#: Actions a mid-session churn event may take.
+CHURN_ACTIONS = ("join", "park", "resume", "remove", "dial", "say")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One population change applied at a deterministic schedule boundary.
+
+    ``before_round`` is the conversation-round index *within the schedule*
+    the event precedes: the scheduler applies it after every earlier round
+    has fully resolved and before the dialing round due at that index (if
+    any) launches — the same point in serial and overlapped execution, which
+    is what keeps churny schedules byte-identical to their replay.
+    """
+
+    before_round: int
+    action: str
+    name: str
+    #: Hex-encoded public key: who a ``join``/``dial`` event dials.
+    peer: str | None = None
+    #: Message a ``join``/``say`` event queues (greeting or live message).
+    message: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in CHURN_ACTIONS:
+            raise ProtocolError(f"unknown churn action {self.action!r}")
+        if self.before_round < 0:
+            raise ProtocolError("a churn event cannot precede round 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "before_round": self.before_round,
+            "action": self.action,
+            "name": self.name,
+            "peer": self.peer,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnEvent":
+        return cls(
+            before_round=int(data["before_round"]),
+            action=str(data["action"]),
+            name=str(data["name"]),
+            peer=data.get("peer"),
+            message=data.get("message"),
+        )
+
 
 def _as_hex(message: bytes | str) -> str:
     """The ledger wire form of a user message (str and bytes converge on the
@@ -113,6 +172,11 @@ class ClientSession:
     #: Messages queued (once) when this session's first conversation opens —
     #: whether it dialed out or accepted a call.
     greetings: list[bytes | str] = field(default_factory=list)
+    #: Adversarial standing dial: when set, this session dials the target
+    #: every dialing round without entering a conversation — the targeted
+    #: dead-drop flooding workload (the victim's invitation bucket inflates
+    #: with every attacker).
+    flood_target: Any = None
     _pending_dial: Any = field(default=None, repr=False)
     _dialed: Any = field(default=None, repr=False)
     _calls_seen: int = field(default=0, repr=False)
@@ -149,6 +213,8 @@ class ClientSession:
             self.client.dial(self._pending_dial)
             self._dialed = self._pending_dial
             self._pending_dial = None
+        elif self.flood_target is not None:
+            self.client.dial(self.flood_target)
 
     def after_dialing_round(self) -> None:
         """React to the round's polled invitations (already on the client)."""
@@ -252,6 +318,18 @@ class RoundScheduler:
         self.sessions.append(session)
         return session
 
+    def restore_session(self, session: ClientSession) -> ClientSession:
+        """Re-attach a parked session (resume churn), preserving its state.
+
+        Unlike :meth:`add_session` this is not recorded: the deployment's
+        ``client_resumed`` record covers it, and replay resumes the same
+        session object — outbox, sequence numbers and pending dials intact —
+        which is exactly what §3.1 retransmission across missed rounds needs.
+        """
+        session.ledger = self.ledger
+        self.sessions.append(session)
+        return session
+
     def remove_session(self, name: str) -> ClientSession | None:
         """Drop the session wrapping client ``name`` (churn); ``None`` if absent.
 
@@ -274,11 +352,14 @@ class RoundScheduler:
 
     @staticmethod
     def _session_record(session: ClientSession) -> dict:
-        return {
+        record = {
             "name": session.name,
             "auto_accept": session.auto_accept,
             "greetings": [_as_hex(message) for message in session.greetings],
         }
+        if session.flood_target is not None:
+            record["flood_target"] = session.flood_target.hex()
+        return record
 
     def record_existing(self, ledger: Any) -> None:
         """Adopt ``ledger`` and back-fill the sessions added before attach."""
@@ -290,6 +371,31 @@ class RoundScheduler:
     def _client_digests(self) -> dict:
         digests = getattr(self.driver, "ledger_client_digests", None)
         return digests() if callable(digests) else {}
+
+    # --------------------------------------------------------------- churn
+
+    def _apply_churn_event(self, event: ChurnEvent) -> None:
+        """Apply one population change through the driver, at a boundary."""
+        from ..crypto.keys import PublicKey
+
+        if self.ledger is not None:
+            self.ledger.append("churn_event", {"event": event.to_dict()})
+        if event.action == "join":
+            session = self.driver.add_session(event.name)
+            if event.peer is not None:
+                session.dial(PublicKey(bytes.fromhex(event.peer)))
+            if event.message is not None:
+                session.say(event.message)
+        elif event.action == "park":
+            self.driver.park_client(event.name)
+        elif event.action == "resume":
+            self.driver.resume_client(event.name)
+        elif event.action == "remove":
+            self.driver.remove_client(event.name)
+        elif event.action == "dial":
+            self.session(event.name).dial(PublicKey(bytes.fromhex(event.peer)))
+        elif event.action == "say":
+            self.session(event.name).say(event.message)
 
     # ------------------------------------------------------------ one round
 
@@ -313,6 +419,7 @@ class RoundScheduler:
         *,
         dialing_interval: int | None = None,
         pipeline_depth: int | None = None,
+        churn: list[ChurnEvent] | None = None,
     ) -> ScheduleReport:
         """Run a continuous schedule of overlapped rounds.
 
@@ -324,6 +431,13 @@ class RoundScheduler:
         same deterministic point as in serial execution: before the next
         conversation round builds), and the next conversation window is
         pre-opened while the current round's chain is still mixing.
+
+        ``churn`` makes the client population dynamic mid-schedule: each
+        :class:`ChurnEvent` is applied at its round boundary, after every
+        earlier round fully resolved.  The scheduler refuses to look ahead
+        *across* a churn boundary — no dialing overlap into it, no window
+        pre-opening past it — so the in-flight population is always the one
+        the event left behind, in serial and overlapped execution alike.
         """
         if conversation_rounds < 0:
             raise ProtocolError("cannot schedule a negative number of rounds")
@@ -333,6 +447,16 @@ class RoundScheduler:
             raise ProtocolError("the pipeline needs a depth of at least 1")
         if interval < 0:
             raise ProtocolError("the dialing interval cannot be negative")
+        churn = list(churn or [])
+        churn_due: dict[int, list[ChurnEvent]] = {}
+        for event in churn:
+            if event.before_round >= conversation_rounds and conversation_rounds:
+                raise ProtocolError(
+                    f"churn event before round {event.before_round} is beyond "
+                    f"the schedule's {conversation_rounds} rounds"
+                )
+            churn_due.setdefault(event.before_round, []).append(event)
+        boundaries = set(churn_due)
 
         conversation = self.driver.protocol("conversation")
         dialing = self.driver.protocol("dialing")
@@ -343,6 +467,7 @@ class RoundScheduler:
                     "conversation_rounds": conversation_rounds,
                     "dialing_interval": interval,
                     "pipeline_depth": depth,
+                    "churn": [event.to_dict() for event in churn],
                 },
             )
         report = ScheduleReport(pipeline_depth=depth, dialing_interval=interval)
@@ -377,6 +502,12 @@ class RoundScheduler:
 
         try:
             for index in range(conversation_rounds):
+                # A churn boundary: every earlier round has fully resolved
+                # (lookahead across it was suppressed below), so population
+                # changes here are deterministic under any pipeline depth.
+                for event in churn_due.get(index, ()):
+                    self._apply_churn_event(event)
+
                 if interval and index % interval == 0 and dialing_task is None:
                     # Due now and not launched ahead (round 0, or depth 1):
                     # run the dialing round serially in this slot.
@@ -395,7 +526,7 @@ class RoundScheduler:
                     slots.acquire()
                     opened = open_conversation()
 
-                overlap = depth >= 2
+                overlap = depth >= 2 and (index + 1) not in boundaries
                 if overlap and interval and (index + 1) % interval == 0 and index + 1 < conversation_rounds:
                     # The dialing round due before round index+1 overlaps
                     # this round's submission window and chain drive.

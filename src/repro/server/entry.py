@@ -126,6 +126,10 @@ class EntryServer:
     def pending_requests(self, kind: MessageKind, round_number: int) -> int:
         return len(self._buffers.get((kind, round_number), []))
 
+    def buffered_total(self) -> int:
+        """Submissions buffered across all open rounds (refund conservation)."""
+        return sum(len(submissions) for submissions in self._buffers.values())
+
     def submissions(self, kind: MessageKind, round_number: int) -> list[tuple[str, bytes]]:
         """A read-only view of one round's buffered ``(client, payload)`` pairs."""
         return list(self._buffers.get((kind, round_number), []))

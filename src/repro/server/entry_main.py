@@ -178,6 +178,23 @@ class EntryServerProcess:
             return {"late": self.coordinator.late_requests}
         if cmd == "aborted-total":
             return {"aborted": self.coordinator.rounds_aborted}
+        if cmd == "buffered-total":
+            # Submissions buffered at the entry, all open rounds: one side of
+            # the refund-conservation invariant a campaign checks over TCP.
+            return {"buffered": self.entry.buffered_total()}
+        if cmd == "resubmission-total":
+            # Refund payloads parked in the coordinator's resubmission queue
+            # (the other side of the same invariant).
+            return {
+                "parked": sum(
+                    len(pairs)
+                    for pairs in self.coordinator.resubmission_queue.values()
+                )
+            }
+        if cmd == "forget-client":
+            # Permanent churn: prune the departed client's parked refunds,
+            # dedup digests and per-round pending state (see the coordinator).
+            return {"forgotten": self.coordinator.forget_client(str(command["name"]))}
         fault_reply = apply_fault_command(self.transport, command)
         if fault_reply is not None:
             return fault_reply
@@ -193,6 +210,9 @@ class EntryServerProcess:
                 round_number,
                 deadline_seconds=float(deadline) if deadline is not None else None,
                 expected_requests=int(expected) if expected is not None else None,
+                # Replay support: a recorded round that resolved on attempt N
+                # can jump straight to N's noise streams.
+                attempt=int(command.get("attempt", 1)),
             )
             return {"round": round_number}
         if cmd == "close-round":

@@ -1,0 +1,82 @@
+"""Adversarial load workloads: dead-drop flooding and the compromised entry.
+
+Both attacks measure *load*, and both tests pin the paper's claim: the
+attacker can inflate work (the victim's bucket, the entry's view) without
+changing the rate at which the Laplace accountant spends (ε, δ).
+"""
+
+from __future__ import annotations
+
+from repro import VuvuzelaConfig, VuvuzelaSystem
+from repro.adversary import (
+    GlobalObserver,
+    run_deaddrop_flood,
+    run_entry_observation,
+)
+from repro.net import MessageKind
+
+
+def small_system() -> VuvuzelaSystem:
+    return VuvuzelaSystem(VuvuzelaConfig.small(seed=909))
+
+
+class TestDeadDropFlood:
+    def test_flood_inflates_victim_bucket_not_the_guarantee(self):
+        with small_system() as system:
+            system.add_session("victim")
+            system.add_session("bystander")
+            result = run_deaddrop_flood(
+                system, "victim", attackers=3, rounds=2
+            )
+            assert result.attackers == 3
+            assert len(result.points) == 2
+            # Every attacker lands in the victim's bucket every round.
+            assert result.peak_load >= 3
+            assert result.amplification >= 1.0
+            # The accountant spends exactly one round per dialing round —
+            # the flood buys the adversary zero extra (ε, δ).
+            spends = [point.rounds_used for point in result.points]
+            assert spends == [1, 2]
+            assert result.points[1].epsilon > result.points[0].epsilon
+            assert "dead-drop flood" in result.summary()
+            assert [set(p) for p in result.curve()] == [
+                {"round", "load", "baseline", "epsilon", "delta", "rounds_used"}
+            ] * 2
+
+    def test_flooders_keep_flooding_across_rounds(self):
+        with small_system() as system:
+            system.add_session("victim")
+            result = run_deaddrop_flood(system, "victim", attackers=2, rounds=2)
+            loads = [point.load for point in result.points]
+            assert all(load >= 2 for load in loads)
+
+
+class TestEntryObservation:
+    def test_compromised_entry_sees_counts_only(self):
+        with small_system() as system:
+            system.add_session("alice")
+            system.add_session("bob")
+            result = run_entry_observation(system, rounds=2)
+            assert result.rounds_observed == 2
+            # Every client submits every round: the entry's whole take is
+            # participation counts.
+            for round_number, view in result.participation.items():
+                assert set(view) == {"alice", "bob"}
+                assert all(count == 1 for count in view.values())
+            assert result.total_requests_observed == 4
+            # Load == baseline membership count scaled by per-client requests;
+            # the accountant spent exactly one round per observed round.
+            assert [p.rounds_used for p in result.points] == [1, 2]
+            assert "compromised entry" in result.summary()
+
+    def test_uncompromised_entry_records_nothing(self):
+        with small_system() as system:
+            system.add_session("alice")
+            observer = GlobalObserver(system)
+            system.run_conversation_round()
+            assert observer.entry_view(MessageKind.CONVERSATION_REQUEST, 0) == {}
+            observer.entry_compromised = True
+            system.run_conversation_round()
+            assert observer.entry_view(MessageKind.CONVERSATION_REQUEST, 1) == {
+                "alice": 1
+            }

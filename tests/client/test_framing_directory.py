@@ -48,10 +48,53 @@ class TestFraming:
         assert receiver.accept(5)
         assert receiver.received_count == 2
 
+    def test_sequence_tracker_dedups_across_long_gaps(self):
+        """§3.1 across a long outage: when a retransmitted backlog replays
+        frames the receiver already accepted before going offline, every one
+        of them is suppressed — including those compacted into the prefix."""
+        receiver = SequenceTracker()
+        for sequence in range(10):
+            assert receiver.accept(sequence)
+        for sequence in range(10):
+            assert not receiver.accept(sequence)
+        # The peer kept assigning while the receiver was away; the resumed
+        # receiver accepts the new window once and rejects its replay.
+        for sequence in range(50, 60):
+            assert receiver.accept(sequence)
+        for sequence in range(50, 60):
+            assert not receiver.accept(sequence)
+        assert receiver.received_count == 20
+
+    def test_sequence_tracker_compacts_contiguous_prefix(self):
+        """Dedup state stays bounded by the reordering window, not the
+        session length — a long-lived client does not accumulate one set
+        entry per message ever received."""
+        receiver = SequenceTracker()
+        for sequence in range(1000):
+            receiver.accept(sequence)
+        assert receiver.received_count == 1000
+        assert len(receiver._seen) == 0  # fully compacted
+        receiver.accept(2000)
+        assert len(receiver._seen) == 1  # only the out-of-order tail
+        for sequence in range(1000, 2000):
+            receiver.accept(sequence)
+        assert len(receiver._seen) == 0  # the gap closed and re-compacted
+        assert receiver.received_count == 2001
+
     @given(st.integers(min_value=0, max_value=2**32 - 1), st.binary(max_size=MAX_BODY_SIZE))
     @settings(max_examples=50, deadline=None)
     def test_roundtrip_property(self, sequence: int, body: bytes):
         assert decode_frame(encode_frame(sequence, body)) == (sequence, body)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_tracker_accepts_each_sequence_exactly_once(self, sequences: list[int]):
+        tracker = SequenceTracker()
+        seen: set[int] = set()
+        for sequence in sequences:
+            assert tracker.accept(sequence) == (sequence not in seen)
+            seen.add(sequence)
+        assert tracker.received_count == len(seen)
 
 
 class TestKeyDirectory:

@@ -503,13 +503,32 @@ class TestFaultInjectorUnit:
             with pytest.raises(ProtocolError, match="cannot reseed"):
                 system.fault_injector(seed=2)
 
-    def test_delay_rule_stalls_delivery(self):
+    def test_delay_rule_reports_stall_without_sleeping(self):
+        # The injector *decides* the stall; the transport routes it through
+        # the link conditioner's scheduling.  Deciding must never sleep —
+        # that is the fix for delay rules serializing an overlapped drive.
         from repro.net import Envelope
 
         injector = FaultInjector()
         injector.delay(0.15, destination="entry", count=1)
         envelope = Envelope(source="a", destination="entry", payload=b"x")
         started = time.perf_counter()
-        assert injector.before_send(envelope) == "deliver"
-        assert time.perf_counter() - started >= 0.14
+        verdict, stall = injector.decide(envelope)
+        assert time.perf_counter() - started < 0.1
+        assert (verdict, stall) == ("deliver", 0.15)
         assert injector.delayed == 1
+
+    def test_delay_rule_stall_is_applied_by_the_transport(self):
+        from repro.net import Envelope, Network
+
+        network = Network()
+        network.register("entry", lambda envelope: b"ok")
+        network.fault_injector = FaultInjector()
+        network.fault_injector.delay(0.12, destination="entry", count=1)
+        started = time.perf_counter()
+        assert network.send("a", "entry", b"x") == b"ok"
+        assert time.perf_counter() - started >= 0.11
+        # The second send matches no rule (count=1 expired) and is instant.
+        started = time.perf_counter()
+        assert network.send("a", "entry", b"x") == b"ok"
+        assert time.perf_counter() - started < 0.1

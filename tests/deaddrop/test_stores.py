@@ -117,6 +117,17 @@ class TestInvitationDropStore:
         assert store.download(3) == [b"invite-3"]
         assert store.download(0) == []
 
+    def test_download_order_is_canonical_not_arrival_order(self):
+        """Over a real transport, deposit order is a race between dialers;
+        the download a client reacts to must not depend on it."""
+        first = InvitationDropStore(num_buckets=2)
+        second = InvitationDropStore(num_buckets=2)
+        first.deposit(1, b"invite-b")
+        first.deposit(1, b"invite-a")
+        second.deposit(1, b"invite-a")
+        second.deposit(1, b"invite-b")
+        assert first.download(1) == second.download(1) == [b"invite-a", b"invite-b"]
+
     def test_noop_bucket_absorbs_idle_requests(self):
         store = InvitationDropStore(num_buckets=2)
         store.deposit(NOOP_BUCKET, b"idle-request")

@@ -1,0 +1,161 @@
+"""Unit tests for the deterministic WAN link conditioner."""
+
+import time
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import (
+    Envelope,
+    LinkConditioner,
+    LinkProfile,
+    LinkSpec,
+    MessageKind,
+    Network,
+    apply_fault_command,
+)
+
+
+def _envelope(payload=b"wire", source="alice", destination="entry", round_number=0,
+              kind=MessageKind.CONVERSATION_REQUEST):
+    return Envelope(
+        source=source,
+        destination=destination,
+        payload=payload,
+        kind=kind,
+        round_number=round_number,
+    )
+
+
+class TestLinkProfile:
+    def test_roundtrips_through_json_form(self):
+        profile = LinkProfile(
+            spec=LinkSpec(bandwidth_bytes_per_sec=1_000_000, latency_seconds=0.03),
+            source="alice",
+            destination="entry",
+            kind=MessageKind.CONVERSATION_REQUEST,
+            jitter_seconds=0.005,
+            loss=0.25,
+        )
+        assert LinkProfile.from_dict(profile.to_dict()) == profile
+
+    def test_loss_only_profile_needs_no_spec(self):
+        profile = LinkProfile(loss=0.5, destination="entry")
+        assert LinkProfile.from_dict(profile.to_dict()) == profile
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            LinkProfile(loss=1.0)
+        with pytest.raises(ProtocolError):
+            LinkProfile(jitter_seconds=-0.1)
+
+    def test_wildcard_profile_never_matches_control_plane(self):
+        profile = LinkProfile(loss=0.9)
+        assert not profile.matches(_envelope(kind=MessageKind.CONTROL))
+        assert profile.matches(_envelope())
+        named = LinkProfile(loss=0.9, kind=MessageKind.CONTROL)
+        assert named.matches(_envelope(kind=MessageKind.CONTROL))
+
+
+class TestLinkConditioner:
+    def test_loss_decisions_are_a_pure_function_of_message_identity(self):
+        first = LinkConditioner(seed=7)
+        first.condition(loss=0.5, destination="entry")
+        second = LinkConditioner(seed=7, realtime=False)
+        second.condition(loss=0.5, destination="entry")
+        envelopes = [_envelope(payload=bytes([i]) * 8, round_number=i % 3) for i in range(64)]
+        # Same decisions in a different visiting order and a different mode.
+        forward = [first.before_send(e).lost for e in envelopes]
+        backward = [second.before_send(e).lost for e in reversed(envelopes)]
+        assert forward == list(reversed(backward))
+        assert 10 < sum(forward) < 54  # the rate is actually applied
+
+    def test_resubmitted_identical_wire_gets_the_identical_decision(self):
+        conditioner = LinkConditioner(seed=3)
+        conditioner.condition(loss=0.5, destination="entry")
+        envelope = _envelope(payload=b"resubmitted-wire")
+        decisions = {conditioner.before_send(envelope).lost for _ in range(10)}
+        assert len(decisions) == 1
+
+    def test_different_seeds_make_different_weather(self):
+        draws = []
+        for seed in (0, 1):
+            conditioner = LinkConditioner(seed=seed, realtime=False)
+            conditioner.condition(loss=0.5, destination="entry")
+            draws.append(
+                tuple(
+                    conditioner.before_send(_envelope(payload=bytes([i]) * 4)).lost
+                    for i in range(32)
+                )
+            )
+        assert draws[0] != draws[1]
+
+    def test_bandwidth_and_latency_stall_delivery(self):
+        conditioner = LinkConditioner()
+        conditioner.condition(
+            spec=LinkSpec(bandwidth_bytes_per_sec=10_000, latency_seconds=0.02),
+            destination="entry",
+        )
+        decision = conditioner.before_send(_envelope(payload=b"x" * 1000))
+        assert not decision.lost
+        # ~0.1s serialization + 20ms propagation.
+        assert decision.delay_seconds == pytest.approx(0.12, abs=0.02)
+
+    def test_consecutive_transfers_queue_behind_the_links_capacity(self):
+        conditioner = LinkConditioner()
+        conditioner.condition(
+            spec=LinkSpec(bandwidth_bytes_per_sec=100_000), destination="entry"
+        )
+        first = conditioner.before_send(_envelope(payload=b"x" * 5000))
+        second = conditioner.before_send(_envelope(payload=b"x" * 5000))
+        # The second transfer waits for the first's serialization to finish.
+        assert second.delay_seconds >= first.delay_seconds + 0.04
+
+    def test_replay_mode_never_sleeps_but_draws_identically(self):
+        realtime = LinkConditioner(seed=5)
+        replay = LinkConditioner(seed=5, realtime=False)
+        for conditioner in (realtime, replay):
+            conditioner.condition(
+                spec=LinkSpec(bandwidth_bytes_per_sec=100, latency_seconds=1.0),
+                jitter_seconds=0.5,
+                loss=0.3,
+                destination="entry",
+            )
+        envelope = _envelope(payload=b"y" * 50)
+        started = time.perf_counter()
+        lost = replay.before_send(envelope).lost
+        replay.hold(5.0)
+        assert time.perf_counter() - started < 0.5
+        assert lost == realtime.before_send(envelope).lost
+
+    def test_network_drops_lost_messages(self):
+        network = Network()
+        network.register("entry", lambda envelope: b"ok")
+        network.link_conditioner = LinkConditioner(seed=1)
+        network.link_conditioner.condition(loss=0.5, destination="entry")
+        replies = [
+            network.send("alice", "entry", bytes([i]) * 6, MessageKind.CONVERSATION_REQUEST, i)
+            for i in range(40)
+        ]
+        lost = sum(reply is None for reply in replies)
+        assert lost == network.dropped == network.link_conditioner.lost
+        assert 5 < lost < 35
+
+    def test_control_command_roundtrip(self):
+        network = Network()
+        profile = LinkProfile(loss=0.25, destination="entry")
+        reply = apply_fault_command(
+            network, {"cmd": "condition-link", "profile": profile.to_dict(), "seed": 9}
+        )
+        assert reply == {"ok": True, "profiles": 1}
+        assert network.link_conditioner.seed == 9
+        assert network.link_conditioner.active_profiles() == [profile]
+        with pytest.raises(ProtocolError, match="cannot reseed"):
+            apply_fault_command(
+                network, {"cmd": "condition-link", "profile": profile.to_dict(), "seed": 10}
+            )
+        stats = apply_fault_command(network, {"cmd": "link-stats"})
+        assert stats["profiles"] == 1
+        assert apply_fault_command(network, {"cmd": "heal-links"}) == {"ok": True}
+        assert network.link_conditioner.active_profiles() == []
+        assert apply_fault_command(network, {"cmd": "unrelated"}) is None

@@ -593,3 +593,49 @@ class TestDialingRoundsShareThePipeline:
         result = coordinator.wait_for_result(MessageKind.DIALING_REQUEST, 0, timeout=5.0)
         assert result.attempts == 2
         assert result.accepted == 1
+
+
+class TestForgetClient:
+    def test_forget_prunes_refunds_and_resolved_window_state(self, rng):
+        """Satellite audit: a permanently-departed client leaves no parked
+        refunds, dedup digests or per-round pending state behind."""
+        network, entry, publics, coordinator = build_stack(rng, max_round_attempts=2)
+        flaky_hop(network, "server-1/conversation", failures=2)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        for name, body in (("alice", b"doomed a"), ("bob", b"doomed b")):
+            wire, _ = wrap_request(body, publics, 0, rng)
+            network.send(name, "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        with pytest.raises(NetworkError):
+            coordinator.close_round(window)
+        key = (MessageKind.CONVERSATION_REQUEST, 0)
+        assert {client for client, _ in coordinator.resubmission_queue[key]} == {
+            "alice",
+            "bob",
+        }
+
+        clean = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 1)
+        wire, _ = wrap_request(b"clean", publics, 1, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 1)
+        coordinator.close_round(clean)
+        assert "alice" in clean.per_client
+
+        assert coordinator.forget_client("alice") == 1
+        assert [client for client, _ in coordinator.resubmission_queue[key]] == ["bob"]
+        assert "alice" not in clean.per_client
+        assert "alice" not in clean.submitted
+        # Idempotent: forgetting a forgotten (or never-seen) client is a no-op.
+        assert coordinator.forget_client("alice") == 0
+        assert coordinator.forget_client("nobody") == 0
+
+    def test_forget_leaves_unresolved_windows_alone(self, rng):
+        """An in-flight window keeps the departed client's accepted
+        submission: it runs through the chain as cover traffic (§6), exactly
+        as if the client crashed after its request was accepted."""
+        network, entry, publics, coordinator = build_stack(rng)
+        window = coordinator.open_round(MessageKind.CONVERSATION_REQUEST, 0)
+        wire, _ = wrap_request(b"in flight", publics, 0, rng)
+        network.send("alice", "entry", wire, MessageKind.CONVERSATION_REQUEST, 0)
+        coordinator.forget_client("alice")
+        assert "alice" in window.per_client  # untouched while unresolved
+        result = coordinator.close_round(window)
+        assert result.accepted == 1
