@@ -40,7 +40,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_common import emit  # noqa: E402
+from bench_common import emit, peak_rss_bytes  # noqa: E402
 
 from repro import VuvuzelaConfig, VuvuzelaSystem  # noqa: E402
 from repro.ledger import LedgerWriter, load_ledger, replay_ledger  # noqa: E402
@@ -166,6 +166,7 @@ def run(rounds: int, clients: int, segments: int, output: str) -> None:
         "Chaos campaign (seeded faults + churn + invariants + replay)",
         [campaign],
     )
+    results["peak_rss_bytes"] = peak_rss_bytes()
     Path(output).write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}", file=sys.stderr)
 

@@ -10,7 +10,21 @@ shows the numbers being compared against the paper.
 
 from __future__ import annotations
 
+import resource
 import sys
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise so the
+    JSON artifacts are comparable across hosts.  This is a high-water mark —
+    report it once at the end of a run, after the largest round.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
 
 
 def emit(title: str, rows: list[dict[str, object]]) -> None:

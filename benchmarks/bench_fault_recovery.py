@@ -36,7 +36,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_common import emit  # noqa: E402
+from bench_common import emit, peak_rss_bytes  # noqa: E402
 
 from repro import DeploymentLauncher, VuvuzelaConfig, VuvuzelaSystem  # noqa: E402
 
@@ -161,6 +161,7 @@ def run(rounds: int, clients: int, output: str) -> None:
         f"(SIGKILL -> respawn -> recovered round)",
         file=sys.stderr,
     )
+    results["peak_rss_bytes"] = peak_rss_bytes()
     Path(output).write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}", file=sys.stderr)
 

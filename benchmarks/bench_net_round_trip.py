@@ -38,7 +38,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_common import emit  # noqa: E402
+from bench_common import emit, peak_rss_bytes  # noqa: E402
 
 from repro import DeploymentLauncher, VuvuzelaConfig, VuvuzelaSystem  # noqa: E402
 
@@ -199,6 +199,7 @@ def main() -> None:
 
     results = run(client_counts, args.rounds)
     output = Path(args.output)
+    results["peak_rss_bytes"] = peak_rss_bytes()
     output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {output}", file=sys.stderr)
 

@@ -48,7 +48,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_common import emit  # noqa: E402
+from bench_common import emit, peak_rss_bytes  # noqa: E402
 
 from repro.crypto import (  # noqa: E402
     DeterministicRandom,
@@ -234,6 +234,7 @@ def run(
         "Process-sharded engine worker sweep",
         [row for row in rows if row["mode"] == "process"],
     )
+    results["peak_rss_bytes"] = peak_rss_bytes()
     return results
 
 

@@ -44,7 +44,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_common import emit  # noqa: E402
+from bench_common import emit, peak_rss_bytes  # noqa: E402
 
 from repro import VuvuzelaConfig, VuvuzelaSystem  # noqa: E402
 from repro.ledger import load_ledger, replay_ledger  # noqa: E402
@@ -233,6 +233,7 @@ def run(rounds: int, bystanders: int, segments: int, output: str) -> None:
     }
     emit("Goodput vs client-edge severity (loss / latency / jitter)", curve)
     emit("WAN+churn campaign (conditioning + churn + flood + replay)", [campaign])
+    results["peak_rss_bytes"] = peak_rss_bytes()
     Path(output).write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {output}", file=sys.stderr)
 

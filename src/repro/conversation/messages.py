@@ -89,6 +89,17 @@ def message_key(shared_secret: bytes) -> bytes:
     return derive_key(shared_secret, _BOX_LABEL)
 
 
+def message_nonce(round_number: int) -> bytes:
+    """The nonce every message box of ``round_number`` is sealed under.
+
+    All boxes of a round share this nonce (each under its own key), which is
+    what lets the client swarm seal and open a whole round's boxes through
+    the batched secretbox kernels, byte-identically to
+    :func:`encrypt_message` / :func:`decrypt_message`.
+    """
+    return nonce_for_round(round_number, _BOX_LABEL)
+
+
 def encrypt_message(key: bytes, round_number: int, message: bytes) -> bytes:
     """Pad and encrypt a (possibly empty) message for ``round_number``.
 

@@ -46,8 +46,14 @@ from ..client import ClientConnection
 from ..deaddrop import InvitationDropStore
 from ..errors import LedgerError, NetworkError, ProtocolError
 from ..ledger import client_digest
-from ..net import LinkConditioner, LinkProfile, TcpTransport
+from ..net import LinkConditioner, LinkProfile, MessageKind, TcpTransport
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
+from ..server.wire import (
+    decode_batch_verdicts,
+    decode_collect_reply,
+    encode_collect_request,
+    encode_submission_batch,
+)
 from ..runtime import RoundScheduler, make_protocol
 from ..runtime.protocols import RoundProtocol
 from ..runtime.scheduler import ClientSession, ScheduledRound, ScheduleReport
@@ -1071,6 +1077,106 @@ class DeploymentLauncher:
         return self.run_protocol_round(
             "dialing", connections, deadline=deadline, poll=poll
         )
+
+    def run_swarm_round(
+        self,
+        swarm,
+        *,
+        chunk_size: int = 0,
+        collect_chunk: int = 4096,
+    ) -> tuple[NetworkRoundResult, "object", "object"]:
+        """Drive one conversation round from a :class:`ClientSwarm` over TCP.
+
+        The swarm's wires travel as ``SUBMISSION_BATCH`` frames straight to the
+        entry's coordinator, which gates each chunk under the same window logic
+        the per-client path uses and replies with an immediate verdict frame —
+        submitting sequentially on one connection is the backpressure: the next
+        chunk is not framed until the previous chunk's verdicts are back.  The
+        round is then closed explicitly and the onion responses are pulled down
+        with ``RESPONSE_COLLECT`` frames in name-chunks.
+
+        Returns ``(result, ingest_stats, outcome)``.
+        """
+        if self._control is None:
+            raise NetworkError("deployment is not running; call start() first")
+        protocol = self.protocol("conversation")
+        control = self._control
+        self._record("swarm_round", {"wires": len(swarm.names)})
+        started = time.perf_counter()
+        # No expected count: the window must not close itself inside the last
+        # chunk's verdict reply — the launcher closes it explicitly below.
+        round_number = self.open_round(protocol.name)
+        peak_buffer = 0
+
+        def submit(chunk) -> bytes:
+            nonlocal peak_buffer
+            frame = encode_submission_batch(protocol.kind, round_number, chunk.entries)
+            reply = control.send(
+                "swarm",
+                "entry",
+                frame,
+                kind=MessageKind.SUBMISSION_BATCH,
+                round_number=round_number,
+            )
+            if reply is None:
+                raise NetworkError(f"entry dropped a swarm batch in round {round_number}")
+            got_round, verdicts = decode_batch_verdicts(reply)
+            if got_round != round_number:
+                raise ProtocolError(
+                    f"batch verdicts for round {got_round}, expected {round_number}"
+                )
+            buffered = int(self.entry_control({"cmd": "buffered-total"})["buffered"])
+            peak_buffer = max(peak_buffer, buffered)
+            return verdicts
+
+        # One connection, strictly ordered chunks: verdicts of chunk k gate
+        # the framing of chunk k+1, so pipelining adds nothing over TCP.
+        stats = swarm.submit_round(
+            round_number, submit, chunk_size=chunk_size, pipeline=False
+        )
+        stats.peak_server_buffer = peak_buffer
+        self.entry_control(
+            {"cmd": "close-round", "protocol": protocol.name, "round": round_number}
+        )
+        result = self.wait_round(protocol.name, round_number)
+        grouped: dict[str, list[bytes]] = {}
+        names = swarm.names
+        step = max(1, int(collect_chunk))
+        for start in range(0, len(names), step):
+            batch = names[start : start + step]
+            reply = control.send(
+                "swarm",
+                "entry",
+                encode_collect_request(protocol.kind, round_number, batch),
+                kind=MessageKind.RESPONSE_COLLECT,
+                round_number=round_number,
+            )
+            if reply is None:
+                raise NetworkError(f"entry dropped a collect request in round {round_number}")
+            got_round, responses = decode_collect_reply(reply)
+            if got_round != round_number:
+                raise ProtocolError(
+                    f"collected responses for round {got_round}, expected {round_number}"
+                )
+            for name, wires in zip(batch, responses):
+                grouped[name] = wires
+        outcome = swarm.handle_round_responses(round_number, grouped)
+        network_result = NetworkRoundResult(
+            protocol=protocol.name,
+            round_number=round_number,
+            accepted=result["accepted"],
+            refused=result["refused"],
+            late=result["late"],
+            responded=result["responded"],
+            wall_clock_seconds=time.perf_counter() - started,
+            aborts=int(result.get("aborts", 0)),
+        )
+        self._accountants[protocol.name].spend(1)
+        if self.ledger is not None:
+            self.ledger.append(
+                "round_metrics", self._ledger_round_record(protocol, network_result)
+            )
+        return network_result, stats, outcome
 
     # ------------------------------------------------------------ observability
 

@@ -30,12 +30,31 @@ from ..client import VuvuzelaClient
 from ..deaddrop import InvitationDropStore
 from ..errors import LedgerError, ProtocolError
 from ..ledger import client_digest
-from ..net import FaultInjector, LinkConditioner, Network
+from ..net import FaultInjector, LinkConditioner, MessageKind, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
 from ..runtime import RoundCoordinator, RoundEngine, RoundScheduler, build_protocols
 from ..runtime.protocols import RoundProtocol
 from ..runtime.scheduler import ClientSession, ScheduledRound, ScheduleReport
 from ..server import ACK, ChainServerEndpoint, EntryServer
+from ..server.wire import decode_batch_verdicts, encode_submission_batch
+
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SwarmRoundReport:
+    """Everything one swarm-driven round produced, in one place.
+
+    ``metrics`` is the same :class:`~repro.core.metrics.RoundMetrics` shape a
+    per-client round reports; ``ingest`` carries the chunked admission path's
+    backpressure observables; ``outcome`` is the swarm's bulk-decoded view of
+    the responses.
+    """
+
+    metrics: RoundMetrics
+    ingest: "object"
+    outcome: "object"
 
 
 class VuvuzelaSystem:
@@ -439,6 +458,74 @@ class VuvuzelaSystem:
         if self.ledger is not None:
             self.ledger.append("round_metrics", self._ledger_round_record(protocol, metrics))
         return metrics
+
+    # ------------------------------------------------------------ swarm rounds
+
+    def run_swarm_round(self, swarm, *, chunk_size: int = 0) -> "SwarmRoundReport":
+        """Drive one conversation round offered by a whole client swarm.
+
+        The swarm counterpart of :meth:`drive_scheduled_round`: the population
+        lives in a :class:`~repro.simulation.ClientSwarm` instead of
+        ``self.clients``, requests arrive in ``SUBMISSION_BATCH`` chunks
+        through the coordinator's batched gate instead of one envelope per
+        client, and responses are decoded in bulk by the swarm (no per-client
+        push — the swarm consumes the grouped responses directly).  Every
+        server-side observable — admission verdicts, window accounting, the
+        chain drive, noise, metrics, the ledger record — goes through the
+        same code as the per-client path.
+        """
+        protocol = self.protocols["conversation"]
+        opened = self.open_scheduled_round(protocol)
+        round_number = opened.round_number
+        started = time.perf_counter()
+        bytes_before = self.network.total_bytes()
+        extra = protocol.before_round({})
+
+        peak_buffer = 0
+
+        def submit(chunk) -> bytes:
+            nonlocal peak_buffer
+            reply = self.network.send(
+                "swarm",
+                self.entry.name,
+                encode_submission_batch(protocol.kind, round_number, chunk.entries),
+                kind=MessageKind.SUBMISSION_BATCH,
+                round_number=round_number,
+            )
+            if reply is None:
+                raise ProtocolError(
+                    f"round {round_number}: the entry dropped a submission batch"
+                )
+            reply_round, verdicts = decode_batch_verdicts(reply)
+            if reply_round != round_number:
+                raise ProtocolError(
+                    f"round {round_number}: verdict frame for round {reply_round}"
+                )
+            peak_buffer = max(
+                peak_buffer, self.entry.pending_requests(protocol.kind, round_number)
+            )
+            return verdicts
+
+        stats = swarm.submit_round(round_number, submit, chunk_size=chunk_size)
+        stats.peak_server_buffer = peak_buffer
+        result = self.coordinator.close_round(opened.handle)
+        outcome = swarm.handle_round_responses(round_number, result.responses)
+
+        self._accountants[protocol.name].spend(1)
+        metrics = protocol.collect_metrics(
+            round_number,
+            result,
+            client_requests=stats.wires,
+            delivered=outcome.delivered,
+            lost=outcome.lost,
+            extra=extra,
+            bytes_moved=self.network.total_bytes() - bytes_before,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+        self.metrics.record(metrics)
+        if self.ledger is not None:
+            self.ledger.append("round_metrics", self._ledger_round_record(protocol, metrics))
+        return SwarmRoundReport(metrics=metrics, ingest=stats, outcome=outcome)
 
     # ---------------------------------------------------------- round driving
 

@@ -27,6 +27,7 @@ from .onion import (
     request_size,
     response_size,
     unwrap_response,
+    unwrap_response_batch,
     wrap_request,
     wrap_request_batch,
     wrap_response,
@@ -91,6 +92,7 @@ __all__ = [
     "shared_secret",
     "unpad",
     "unwrap_response",
+    "unwrap_response_batch",
     "wrap_request",
     "wrap_request_batch",
     "wrap_response",

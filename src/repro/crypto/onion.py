@@ -307,6 +307,53 @@ def unwrap_response(wire: bytes, context: OnionContext) -> bytes:
     return payload
 
 
+def unwrap_response_batch(
+    wires: Sequence[bytes | None], contexts: Sequence[OnionContext]
+) -> list[bytes | None]:
+    """Remove all response layers from many responses in one pass per layer.
+
+    The client-side counterpart of :func:`wrap_response_batch`: every response
+    of a round shares the per-layer nonce, so a swarm of clients unwraps the
+    whole round through the backend's batched open.  Positions whose wire is
+    ``None`` (no response arrived) or that fail authentication at any layer
+    come back as ``None`` instead of raising — one corrupt response must not
+    stall a round.  Surviving positions are byte-identical to
+    :func:`unwrap_response`.
+
+    All contexts must agree on round number and depth (they come from one
+    round's :func:`wrap_request_batch`).
+    """
+    count = len(wires)
+    if len(contexts) != count:
+        raise OnionError("response batch and contexts must align")
+    alive = [i for i in range(count) if wires[i] is not None]
+    results: list[bytes | None] = [None] * count
+    if not alive:
+        return results
+    round_number = contexts[alive[0]].round_number
+    depth = contexts[alive[0]].depth
+    for i in alive:
+        if contexts[i].round_number != round_number or contexts[i].depth != depth:
+            raise OnionError("a response batch must share one round and chain depth")
+    payloads: list[bytes] = [wires[i] for i in alive]  # type: ignore[misc]
+    for index in range(depth):
+        nonce = nonce_for_round(round_number, _RESPONSE_LABEL)
+        keys = [contexts[i].layer_keys[index] for i in alive]
+        opened = open_box_batch(keys, nonce, payloads)
+        next_alive: list[int] = []
+        next_payloads: list[bytes] = []
+        for i, inner in zip(alive, opened):
+            if inner is not None:
+                next_alive.append(i)
+                next_payloads.append(inner)
+        alive, payloads = next_alive, next_payloads
+        if not alive:
+            return results
+    for i, payload in zip(alive, payloads):
+        results[i] = payload
+    return results
+
+
 def peel_response_layer(wire: bytes, layer_key: bytes, round_number: int) -> bytes:
     """Remove a single response layer (used by tests and the simulator)."""
     return open_box(layer_key, nonce_for_round(round_number, _RESPONSE_LABEL), wire)

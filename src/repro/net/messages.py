@@ -21,6 +21,16 @@ class MessageKind(Enum):
     DIALING_RESPONSE = "dialing-response"
     DIAL_DOWNLOAD = "dial-download"
     CONTROL = "control"
+    # New kinds are appended at the end: the TCP framing ships a kind as its
+    # definition-order index, so appending keeps old frames decodable.
+    #: A whole chunk of one round's submissions in a single frame — the
+    #: vectorized swarm's ingest path.  Answered with a per-entry verdict
+    #: frame immediately (never a long-poll), so the sender's synchronous
+    #: wait on each chunk is the ingest backpressure.
+    SUBMISSION_BATCH = "submission-batch"
+    #: Bulk retrieval of a resolved round's responses for many clients at
+    #: once (the swarm's counterpart to the per-client long-poll).
+    RESPONSE_COLLECT = "response-collect"
 
 
 @dataclass(frozen=True)

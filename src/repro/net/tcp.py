@@ -102,7 +102,12 @@ def decode_request(body: bytes) -> Envelope:
     return Envelope(
         source=source,
         destination=destination,
-        payload=body[offset:],
+        # A zero-copy view over the received frame: the payload is the bulk
+        # of the body, and every server-side consumer (struct.unpack_from
+        # decoders, batch buffers, digests) accepts bytes-like objects, so
+        # the one frame-sized copy per request is avoided.  Consumers that
+        # must retain data past the frame call bytes() themselves.
+        payload=memoryview(body)[offset:],
         kind=_KINDS[kind_index],
         round_number=round_number,
     )

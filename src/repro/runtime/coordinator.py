@@ -74,6 +74,15 @@ from ..errors import (
 )
 from ..net import Envelope, MessageKind, Transport
 from ..server import ACK, REFUSED, EntryServer
+from ..server.wire import (
+    VERDICT_ACCEPTED,
+    VERDICT_LATE,
+    VERDICT_REFUSED,
+    decode_collect_request,
+    decode_submission_batch,
+    encode_batch_verdicts,
+    encode_collect_reply,
+)
 
 #: Reply sent to requests that arrive after their round's window closed.
 LATE = b"late"
@@ -388,6 +397,10 @@ class RoundCoordinator:
             # must not run under the coordinator lock (it would wedge every
             # submission and close until the fetch resolved).
             return self.entry.handle(envelope)
+        if envelope.kind is MessageKind.SUBMISSION_BATCH:
+            return self._handle_submission_batch(envelope)
+        if envelope.kind is MessageKind.RESPONSE_COLLECT:
+            return self._handle_response_collect(envelope)
         with self._lock:
             window = self._windows.get((envelope.kind, envelope.round_number))
             if window is None:
@@ -403,48 +416,9 @@ class RoundCoordinator:
                 window.late += 1
                 self.late_requests += 1
                 return LATE
-            # The digest bookkeeping exists for networked resubmission (abort
-            # recovery, retried long-polls); synchronous deployments push
-            # responses and never resubmit, so they skip the per-message hash.
-            digests: list[bytes] | None = None
-            digest = b""
-            if self.blocking_responses:
-                digest = _digest(envelope.payload)
-                digests = window.submitted.setdefault(envelope.source, [])
-            if digests is not None and digest in digests:
-                # Idempotent resubmission (abort recovery, or a client whose
-                # long-poll timed out): the payload already occupies a batch
-                # slot — re-attach to it instead of admitting it twice.  Only
-                # the slot owner's *first* check-in on this window counts
-                # toward the expected-close: re-claiming a slot the client
-                # already checked in (a duplicate retry) must not close a
-                # window other clients are still submitting into.
-                window.resubmissions += 1
-                reply, refused = ACK, False
-                index = digests.index(digest)
-                if (envelope.source, index) not in window.claimed:
-                    window.claimed.add((envelope.source, index))
-                    window.arrivals += 1
-            elif digests is not None and (envelope.source, digest) in window.refused_digests:
-                # A retry of a refusal whose reply was lost in transit:
-                # answer it again, but it already counted.
-                reply, refused, index = REFUSED, True, -1
-            else:
-                reply = self.entry.handle(envelope)
-                refused = reply == REFUSED
-                window.arrivals += 1
-                if refused:
-                    window.refused += 1
-                    if digests is not None:
-                        window.refused_digests.add((envelope.source, digest))
-                    index = -1
-                else:
-                    index = window.per_client.get(envelope.source, 0)
-                    if digests is not None:
-                        digests.append(digest)
-                        window.claimed.add((envelope.source, index))
-                    window.accepted += 1
-                    window.per_client[envelope.source] = index + 1
+            reply, refused, index = self._gate_one(
+                window, envelope.kind, envelope.round_number, envelope.source, envelope.payload
+            )
             should_close = (
                 self.blocking_responses
                 and window.expected_requests is not None
@@ -458,6 +432,130 @@ class RoundCoordinator:
         if refused or not self.blocking_responses:
             return reply
         return self._await_response(window, envelope.source, index)
+
+    def _gate_one(
+        self,
+        window: SubmissionWindow,
+        kind: MessageKind,
+        round_number: int,
+        source: str,
+        payload: bytes,
+    ) -> tuple[bytes, bool, int]:
+        """Gate one submission through an open window (caller holds the lock).
+
+        Returns ``(reply, refused, accepted index)``; index is -1 for a
+        refusal.  Shared verbatim by the per-envelope path and the batched
+        swarm path, so both produce identical window observables.
+        """
+        # The digest bookkeeping exists for networked resubmission (abort
+        # recovery, retried long-polls); synchronous deployments push
+        # responses and never resubmit, so they skip the per-message hash.
+        digests: list[bytes] | None = None
+        digest = b""
+        if self.blocking_responses:
+            digest = _digest(payload)
+            digests = window.submitted.setdefault(source, [])
+        if digests is not None and digest in digests:
+            # Idempotent resubmission (abort recovery, or a client whose
+            # long-poll timed out): the payload already occupies a batch
+            # slot — re-attach to it instead of admitting it twice.  Only
+            # the slot owner's *first* check-in on this window counts
+            # toward the expected-close: re-claiming a slot the client
+            # already checked in (a duplicate retry) must not close a
+            # window other clients are still submitting into.
+            window.resubmissions += 1
+            reply, refused = ACK, False
+            index = digests.index(digest)
+            if (source, index) not in window.claimed:
+                window.claimed.add((source, index))
+                window.arrivals += 1
+        elif digests is not None and (source, digest) in window.refused_digests:
+            # A retry of a refusal whose reply was lost in transit:
+            # answer it again, but it already counted.
+            reply, refused, index = REFUSED, True, -1
+        else:
+            reply = self.entry.admit(kind, round_number, source, payload)
+            refused = reply == REFUSED
+            window.arrivals += 1
+            if refused:
+                window.refused += 1
+                if digests is not None:
+                    window.refused_digests.add((source, digest))
+                index = -1
+            else:
+                index = window.per_client.get(source, 0)
+                if digests is not None:
+                    digests.append(digest)
+                    window.claimed.add((source, index))
+                window.accepted += 1
+                window.per_client[source] = index + 1
+        return reply, refused, index
+
+    def _handle_submission_batch(self, envelope: Envelope) -> bytes:
+        """Gate one chunk of submissions under a single lock acquisition.
+
+        The swarm's ingest path: every entry runs through the same
+        :meth:`_gate_one` logic as a per-envelope submission — same dedup,
+        refund and counter observables — but the reply is a per-entry verdict
+        frame returned *immediately*, never a long-poll, so the sender's
+        synchronous wait on each chunk bounds its in-flight memory (the
+        explicit backpressure of the chunked ingest).  Responses are fetched
+        afterwards with :data:`MessageKind.RESPONSE_COLLECT` (networked) or
+        read off the :class:`RoundResult` directly (in-process).
+        """
+        kind, round_number, entries = decode_submission_batch(envelope.payload)
+        reply_to = {ACK: VERDICT_ACCEPTED, REFUSED: VERDICT_REFUSED, LATE: VERDICT_LATE}
+        verdicts = bytearray()
+        with self._lock:
+            window = self._windows.get((kind, round_number))
+            if window is None:
+                if round_number <= self._highest_closed.get(kind, -1):
+                    # Stragglers for a round that already ran, counted one by
+                    # one exactly as the per-envelope path would.
+                    self.late_requests += len(entries)
+                    return encode_batch_verdicts(
+                        round_number, bytes([VERDICT_LATE]) * len(entries)
+                    )
+                # No window: fall through to the entry server untouched
+                # (the historical out-of-band semantics, batched).
+                replies = self.entry.submit_batch(kind, round_number, entries)
+                return encode_batch_verdicts(
+                    round_number, bytes(reply_to[reply] for reply in replies)
+                )
+            for source, payload in entries:
+                if window.closed or (
+                    window.deadline is not None and self._clock() > window.deadline
+                ):
+                    window.late += 1
+                    self.late_requests += 1
+                    verdicts.append(VERDICT_LATE)
+                    continue
+                reply, refused, _ = self._gate_one(window, kind, round_number, source, payload)
+                verdicts.append(reply_to[reply])
+            should_close = (
+                self.blocking_responses
+                and window.expected_requests is not None
+                and window.arrivals >= window.expected_requests
+            )
+        if should_close:
+            try:
+                self.close_round(window)
+            except (NetworkError, ProtocolError):
+                pass  # recorded on the window; collect reports it
+        return encode_batch_verdicts(round_number, bytes(verdicts))
+
+    def _handle_response_collect(self, envelope: Envelope) -> bytes:
+        """Return a resolved round's responses for many clients in one frame.
+
+        Blocks until the round resolves (waiting across aborts, like the
+        per-client long-poll does) — the swarm collects after it closed the
+        round, so in practice the result is already there.
+        """
+        kind, round_number, names = decode_collect_request(envelope.payload)
+        result = self.wait_for_result(kind, round_number)
+        return encode_collect_reply(
+            round_number, [result.responses.get(name, []) for name in names]
+        )
 
     def _await_response(self, window: SubmissionWindow, source: str, index: int) -> bytes | None:
         """Block an accepted networked submission until its round resolves."""

@@ -59,6 +59,10 @@ class EntryServer:
     keep_snapshots: int = 8
     _accounts: set[str] = field(default_factory=set)
     _buffers: dict[tuple[MessageKind, int], list[tuple[str, bytes]]] = field(default_factory=dict)
+    #: Per-round, per-source submission counts mirroring ``_buffers`` — the
+    #: admission cap check must stay O(1) per request, not a scan of the
+    #: round's buffer (quadratic over a 100k-client swarm round).
+    _counts: dict[tuple[MessageKind, int], dict[str, int]] = field(default_factory=dict)
     _snapshots: dict[int, bytes] = field(default_factory=dict)
     refused_requests: int = 0
     #: Invitation-store downloads served (cache hits included).
@@ -84,23 +88,47 @@ class EntryServer:
             # bucket anyway, §5.3), so it is served even to unregistered
             # sources and is never gated by a submission window.
             return self.serve_invitations(decode_download_request(envelope.payload))
-        if envelope.kind not in self.first_server:
-            raise ProtocolError(f"the entry server does not handle {envelope.kind}")
-        if self.require_registration and envelope.source not in self._accounts:
+        return self.admit(envelope.kind, envelope.round_number, envelope.source, envelope.payload)
+
+    def admit(self, kind: MessageKind, round_number: int, source: str, payload: bytes) -> bytes:
+        """The §9 admission decision for one submission (any ingest path).
+
+        Both the per-envelope :meth:`handle` path and the batched
+        :meth:`submit_batch` path funnel through here, so registration gating,
+        the per-account cap and the refusal counters are identical observables
+        no matter how a submission arrived.  ``payload`` may be any bytes-like
+        object; zero-copy views from a decoded batch frame are buffered as-is.
+        """
+        if kind not in self.first_server:
+            raise ProtocolError(f"the entry server does not handle {kind}")
+        if self.require_registration and source not in self._accounts:
             self.refused_requests += 1
             return REFUSED
-        key = (envelope.kind, envelope.round_number)
+        key = (kind, round_number)
         submissions = self._buffers.setdefault(key, [])
+        counts = self._counts.setdefault(key, {})
         if self.require_registration:
-            already = sum(1 for source, _ in submissions if source == envelope.source)
-            if already >= self.max_requests_per_account_per_round:
+            if counts.get(source, 0) >= self.max_requests_per_account_per_round:
                 # A bounded number of requests per account per protocol per
                 # round: a flood from a registered-but-misbehaving client
                 # cannot inflate the round.
                 self.refused_requests += 1
                 return REFUSED
-        submissions.append((envelope.source, envelope.payload))
+        submissions.append((source, payload))
+        counts[source] = counts.get(source, 0) + 1
         return ACK
+
+    def submit_batch(
+        self, kind: MessageKind, round_number: int, entries: list[tuple[str, bytes]]
+    ) -> list[bytes]:
+        """Admit one chunk of ``(source, payload)`` submissions in one call.
+
+        The swarm ingest path: per-entry replies are returned aligned with
+        ``entries``, and every observable (buffers, counters, refusals) is
+        byte-identical to submitting each entry through :meth:`handle` —
+        by construction, since both paths run :meth:`admit`.
+        """
+        return [self.admit(kind, round_number, source, payload) for source, payload in entries]
 
     def serve_invitations(self, round_number: int) -> bytes:
         """One dialing round's invitation store, JSON-encoded, cached.
@@ -140,6 +168,7 @@ class EntryServer:
         The coordinator uses this to refund accepted submissions into its
         resubmission queue when a round aborts.
         """
+        self._counts.pop((kind, round_number), None)
         return self._buffers.pop((kind, round_number), [])
 
     def restore(
@@ -148,6 +177,9 @@ class EntryServer:
         """Re-buffer previously withdrawn submissions (abort/retry refunds)."""
         if submissions:
             self._buffers.setdefault((kind, round_number), []).extend(submissions)
+            counts = self._counts.setdefault((kind, round_number), {})
+            for source, _ in submissions:
+                counts[source] = counts.get(source, 0) + 1
 
     def run_round_grouped(
         self, kind: MessageKind, round_number: int, attempt: int = 1
@@ -163,6 +195,7 @@ class EntryServer:
         into its resubmission queue and re-runs the round).
         """
         submissions = self._buffers.pop((kind, round_number), [])
+        self._counts.pop((kind, round_number), None)
         batch = [payload for _, payload in submissions]
         try:
             reply = self.network.send(

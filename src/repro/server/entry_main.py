@@ -151,7 +151,9 @@ class EntryServerProcess:
 
     def handle_control(self, envelope: Envelope) -> bytes:
         try:
-            command = json.loads(envelope.payload.decode("utf-8"))
+            # bytes() first: the payload is a zero-copy view over the TCP
+            # frame, and memoryview has no .decode().
+            command = json.loads(bytes(envelope.payload).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(f"malformed control command: {exc}") from exc
         return json.dumps(self._dispatch(command)).encode("utf-8")

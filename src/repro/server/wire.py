@@ -8,6 +8,20 @@ The module also frames the one client-facing download in the system: the
 :data:`~repro.net.MessageKind.DIAL_DOWNLOAD` request a client sends to the
 entry server to fetch a dialing round's invitation store (the paper serves
 this from a CDN; the entry server is our untrusted CDN front).
+
+Three further frames carry the vectorized swarm's batched admission path:
+
+* a **submission batch** (:data:`~repro.net.MessageKind.SUBMISSION_BATCH`)
+  packs one chunk of a round's ``(client, wire)`` submissions into a single
+  frame, so ingesting 100k clients costs thousands of frames instead of
+  100k round trips;
+* a **verdict frame** answers it with one byte per entry (accepted /
+  refused / late) — immediately, never a long-poll, so the sender's
+  synchronous wait per chunk is the ingest backpressure;
+* a **collect request/reply** pair retrieves a resolved round's responses
+  for many clients in bulk.
+
+All decoders return zero-copy :class:`memoryview` slices for the payloads.
 """
 
 from __future__ import annotations
@@ -15,10 +29,24 @@ from __future__ import annotations
 import struct
 
 from ..errors import ProtocolError
+from ..net import MessageKind
 
 _HEADER = struct.Struct(">QII")  # round number, attempt, request count
 _LENGTH = struct.Struct(">I")
 _DOWNLOAD = struct.Struct(">Q")  # dialing round number
+_BATCH_HEAD = struct.Struct(">BQI")  # kind index, round number, entry count
+_NAME = struct.Struct(">H")
+_VERDICT_HEAD = struct.Struct(">QI")  # round number, verdict count
+
+#: The message kinds a submission batch may carry, shipped as a definition-
+#: order index exactly like the TCP transport ships envelope kinds.
+_KINDS = list(MessageKind)
+_KIND_INDEX = {kind: index for index, kind in enumerate(_KINDS)}
+
+#: Per-entry verdict bytes in a :func:`encode_batch_verdicts` frame.
+VERDICT_ACCEPTED = 0
+VERDICT_REFUSED = 1
+VERDICT_LATE = 2
 
 
 def encode_batch(round_number: int, requests: list[bytes], attempt: int = 1) -> bytes:
@@ -91,3 +119,164 @@ def decode_download_request(payload: bytes) -> int:
         raise ProtocolError("malformed invitation download request")
     (round_number,) = _DOWNLOAD.unpack(bytes(payload))
     return round_number
+
+
+def _kind_index(kind: MessageKind) -> int:
+    index = _KIND_INDEX.get(kind)
+    if index is None:  # pragma: no cover - MessageKind members are all indexed
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    return index
+
+
+def _decode_kind(index: int) -> MessageKind:
+    if index >= len(_KINDS):
+        raise ProtocolError(f"unknown message kind index {index} in a batch frame")
+    return _KINDS[index]
+
+
+def encode_submission_batch(
+    kind: MessageKind, round_number: int, entries: list[tuple[str, bytes]]
+) -> bytes:
+    """Frame one chunk of a round's ``(client, payload)`` submissions.
+
+    Payload entries may be any bytes-like object (``bytes.join`` reads them
+    through the buffer protocol), so a swarm chunk of memoryviews is framed
+    without intermediate copies.
+    """
+    if round_number < 0:
+        raise ProtocolError("round numbers are non-negative")
+    parts: list[bytes] = [_BATCH_HEAD.pack(_kind_index(kind), round_number, len(entries))]
+    for source, payload in entries:
+        name = source.encode("utf-8")
+        parts.append(_NAME.pack(len(name)))
+        parts.append(name)
+        parts.append(_LENGTH.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_submission_batch(
+    payload: bytes,
+) -> tuple[MessageKind, int, list[tuple[str, memoryview]]]:
+    """Parse a submission batch; payloads come back as zero-copy views."""
+    if len(payload) < _BATCH_HEAD.size:
+        raise ProtocolError("submission batch too short to contain a header")
+    kind_index, round_number, count = _BATCH_HEAD.unpack_from(payload, 0)
+    kind = _decode_kind(kind_index)
+    view = memoryview(payload)
+    total = len(payload)
+    offset = _BATCH_HEAD.size
+    entries: list[tuple[str, memoryview]] = []
+    for _ in range(count):
+        if offset + _NAME.size > total:
+            raise ProtocolError("truncated submission batch: missing name length")
+        (name_len,) = _NAME.unpack_from(payload, offset)
+        offset += _NAME.size
+        if offset + name_len + _LENGTH.size > total:
+            raise ProtocolError("truncated submission batch: missing entry header")
+        name = bytes(view[offset : offset + name_len]).decode("utf-8")
+        offset += name_len
+        (length,) = _LENGTH.unpack_from(payload, offset)
+        offset += _LENGTH.size
+        if offset + length > total:
+            raise ProtocolError("truncated submission batch: missing payload")
+        entries.append((name, view[offset : offset + length]))
+        offset += length
+    if offset != total:
+        raise ProtocolError("trailing bytes after the last submission in a batch")
+    return kind, round_number, entries
+
+
+def encode_batch_verdicts(round_number: int, verdicts: bytes) -> bytes:
+    """Frame the per-entry admission verdicts of one submission batch."""
+    return _VERDICT_HEAD.pack(round_number, len(verdicts)) + bytes(verdicts)
+
+
+def decode_batch_verdicts(payload: bytes) -> tuple[int, bytes]:
+    """Parse a verdict frame back to ``(round_number, verdict bytes)``."""
+    if len(payload) < _VERDICT_HEAD.size:
+        raise ProtocolError("verdict frame too short to contain a header")
+    round_number, count = _VERDICT_HEAD.unpack_from(payload, 0)
+    verdicts = bytes(memoryview(payload)[_VERDICT_HEAD.size :])
+    if len(verdicts) != count:
+        raise ProtocolError("verdict frame length does not match its count")
+    if any(v > VERDICT_LATE for v in verdicts):
+        raise ProtocolError("unknown verdict byte in a verdict frame")
+    return round_number, verdicts
+
+
+def encode_collect_request(kind: MessageKind, round_number: int, names: list[str]) -> bytes:
+    """Frame a bulk response-collection request for one round."""
+    if round_number < 0:
+        raise ProtocolError("round numbers are non-negative")
+    parts: list[bytes] = [_BATCH_HEAD.pack(_kind_index(kind), round_number, len(names))]
+    for source in names:
+        name = source.encode("utf-8")
+        parts.append(_NAME.pack(len(name)))
+        parts.append(name)
+    return b"".join(parts)
+
+
+def decode_collect_request(payload: bytes) -> tuple[MessageKind, int, list[str]]:
+    """Parse a collect request back to ``(kind, round_number, names)``."""
+    if len(payload) < _BATCH_HEAD.size:
+        raise ProtocolError("collect request too short to contain a header")
+    kind_index, round_number, count = _BATCH_HEAD.unpack_from(payload, 0)
+    kind = _decode_kind(kind_index)
+    view = memoryview(payload)
+    total = len(payload)
+    offset = _BATCH_HEAD.size
+    names: list[str] = []
+    for _ in range(count):
+        if offset + _NAME.size > total:
+            raise ProtocolError("truncated collect request: missing name length")
+        (name_len,) = _NAME.unpack_from(payload, offset)
+        offset += _NAME.size
+        if offset + name_len > total:
+            raise ProtocolError("truncated collect request: missing name")
+        names.append(bytes(view[offset : offset + name_len]).decode("utf-8"))
+        offset += name_len
+    if offset != total:
+        raise ProtocolError("trailing bytes after the last name in a collect request")
+    return kind, round_number, names
+
+
+def encode_collect_reply(round_number: int, responses: list[list[bytes]]) -> bytes:
+    """Frame per-client response lists, aligned with the request's names."""
+    parts: list[bytes] = [_VERDICT_HEAD.pack(round_number, len(responses))]
+    for client_responses in responses:
+        parts.append(_NAME.pack(len(client_responses)))
+        for response in client_responses:
+            parts.append(_LENGTH.pack(len(response)))
+            parts.append(response)
+    return b"".join(parts)
+
+
+def decode_collect_reply(payload: bytes) -> tuple[int, list[list[memoryview]]]:
+    """Parse a collect reply; responses come back as zero-copy views."""
+    if len(payload) < _VERDICT_HEAD.size:
+        raise ProtocolError("collect reply too short to contain a header")
+    round_number, count = _VERDICT_HEAD.unpack_from(payload, 0)
+    view = memoryview(payload)
+    total = len(payload)
+    offset = _VERDICT_HEAD.size
+    responses: list[list[memoryview]] = []
+    for _ in range(count):
+        if offset + _NAME.size > total:
+            raise ProtocolError("truncated collect reply: missing response count")
+        (response_count,) = _NAME.unpack_from(payload, offset)
+        offset += _NAME.size
+        client_responses: list[memoryview] = []
+        for _ in range(response_count):
+            if offset + _LENGTH.size > total:
+                raise ProtocolError("truncated collect reply: missing response length")
+            (length,) = _LENGTH.unpack_from(payload, offset)
+            offset += _LENGTH.size
+            if offset + length > total:
+                raise ProtocolError("truncated collect reply: missing response body")
+            client_responses.append(view[offset : offset + length])
+            offset += length
+        responses.append(client_responses)
+    if offset != total:
+        raise ProtocolError("trailing bytes after the last response in a collect reply")
+    return round_number, responses

@@ -9,6 +9,12 @@ from .costmodel import (
     measure_local_dh_rate,
 )
 from .simulator import DeploymentSimulator, RealRoundResult, run_real_round
+from .swarm import (
+    ClientSwarm,
+    SwarmChunk,
+    SwarmIngestStats,
+    SwarmRoundOutcome,
+)
 from .workload import (
     GeneratedPopulation,
     PAPER_WORKLOAD,
@@ -17,6 +23,7 @@ from .workload import (
 )
 
 __all__ = [
+    "ClientSwarm",
     "ConversationRoundEstimate",
     "CostModelParameters",
     "DeploymentSimulator",
@@ -24,6 +31,9 @@ __all__ = [
     "GeneratedPopulation",
     "PAPER_WORKLOAD",
     "RealRoundResult",
+    "SwarmChunk",
+    "SwarmIngestStats",
+    "SwarmRoundOutcome",
     "VuvuzelaCostModel",
     "WorkloadSpec",
     "best_case_crypto_latency",

@@ -1,0 +1,177 @@
+"""The vectorized client swarm: byte-identity and the batched admission path.
+
+The swarm's whole value rests on one guarantee: a round it builds is
+**byte-identical** to the same round built by individual
+:class:`~repro.client.VuvuzelaClient` instances — same onion wires, same
+draws from each client's forked rng, same dead drops — so every server-side
+observable (noise, permutations, histograms, the ledger's submissions
+digest) is independent of which driver produced the round.  These tests pin
+that guarantee in both deployment shapes: the in-process system and real
+subprocess servers over TCP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DeploymentLauncher, VuvuzelaConfig, VuvuzelaSystem
+from repro.errors import ProtocolError
+from repro.net import MessageKind
+from repro.server.wire import (
+    VERDICT_ACCEPTED,
+    decode_batch_verdicts,
+    decode_collect_reply,
+    decode_collect_request,
+    decode_submission_batch,
+    encode_batch_verdicts,
+    encode_collect_reply,
+    encode_collect_request,
+    encode_submission_batch,
+)
+from repro.simulation import ClientSwarm, WorkloadSpec
+
+SEED = 424
+NUM_USERS = 64
+
+
+def scenario(num_users: int = NUM_USERS, conversing: float = 0.5):
+    config = VuvuzelaConfig.small(seed=SEED)
+    spec = WorkloadSpec(
+        num_users=num_users, conversing_fraction=conversing, dialing_fraction=0.0
+    )
+    return config, ClientSwarm.from_spec(config, spec)
+
+
+class TestWireIdentity:
+    @pytest.mark.parametrize("chunk_size", [0, 17])
+    def test_swarm_wires_match_per_client_wires(self, chunk_size: int) -> None:
+        """Every wire of rounds 0 and 1, against real clients, byte for byte."""
+        config, swarm = scenario()
+        for round_number in (0, 1):
+            wires = swarm.build_round(round_number, chunk_size=chunk_size)
+            reference = swarm.reference_wires(round_number)
+            assert len(wires) == NUM_USERS
+            assert [bytes(w) for w in wires] == [bytes(w) for w in reference]
+
+    def test_chunking_does_not_change_the_wires(self) -> None:
+        config_a, swarm_a = scenario()
+        config_b, swarm_b = scenario()
+        unchunked = swarm_a.build_round(0)
+        chunked = swarm_b.build_round(0, chunk_size=7)
+        assert [bytes(w) for w in unchunked] == [bytes(w) for w in chunked]
+
+    def test_unseeded_config_is_rejected(self) -> None:
+        config = VuvuzelaConfig.small(seed=None)
+        spec = WorkloadSpec(num_users=4, conversing_fraction=0.0, dialing_fraction=0.0)
+        with pytest.raises(Exception):
+            ClientSwarm.from_spec(config, spec)
+
+
+class TestInProcessRound:
+    def test_full_round_through_the_system(self) -> None:
+        config, swarm = scenario()
+        sender, partner = swarm.population.pairs[0]
+        swarm.set_message(sender, b"swarm says hello")
+        with VuvuzelaSystem(config) as system:
+            report = system.run_swarm_round(swarm, chunk_size=10)
+        metrics, stats, outcome = report.metrics, report.ingest, report.outcome
+        assert metrics.client_requests == NUM_USERS
+        assert metrics.delivered_responses == NUM_USERS
+        assert metrics.refused_requests == 0
+        assert metrics.noise_requests > 0
+        assert stats.accepted == NUM_USERS
+        assert stats.refused == 0 and stats.late == 0
+        assert stats.chunks == (NUM_USERS + 9) // 10
+        assert stats.peak_server_buffer == NUM_USERS
+        assert outcome.delivered == NUM_USERS and outcome.lost == 0
+        assert outcome.undelivered == []
+        assert outcome.messages[partner] == b"swarm says hello"
+        # Every other conversing client exchanged the default empty message.
+        conversing = {name for pair in swarm.population.pairs for name in pair}
+        assert set(outcome.messages) == conversing
+        assert all(
+            plaintext == b""
+            for name, plaintext in outcome.messages.items()
+            if name != partner
+        )
+
+    def test_consecutive_rounds_keep_their_contexts_apart(self) -> None:
+        config, swarm = scenario(num_users=16)
+        with VuvuzelaSystem(config) as system:
+            first = system.run_swarm_round(swarm)
+            second = system.run_swarm_round(swarm)
+        assert first.outcome.round_number == 0
+        assert second.outcome.round_number == 1
+        assert first.outcome.delivered == second.outcome.delivered == 16
+
+
+class TestTcpRound:
+    def test_tcp_round_matches_the_in_process_round(self) -> None:
+        """Same seed, same population: both shapes resolve identically."""
+        config, swarm = scenario()
+        sender, partner = swarm.population.pairs[0]
+        swarm.set_message(sender, b"over tcp")
+        with VuvuzelaSystem(config) as system:
+            in_process = system.run_swarm_round(swarm, chunk_size=10)
+
+        config_tcp, swarm_tcp = scenario()
+        swarm_tcp.set_message(sender, b"over tcp")
+        with DeploymentLauncher(config_tcp, request_timeout=120.0) as deployment:
+            result, stats, outcome = deployment.run_swarm_round(
+                swarm_tcp, chunk_size=10, collect_chunk=20
+            )
+            chain_noise = deployment.chain_noise("conversation", result.round_number)
+
+        assert result.accepted == NUM_USERS
+        assert result.refused == 0 and result.late == 0
+        assert result.responded == NUM_USERS
+        assert stats.accepted == NUM_USERS and stats.chunks == (NUM_USERS + 9) // 10
+        assert stats.peak_server_buffer == NUM_USERS
+        assert outcome.delivered == NUM_USERS and outcome.lost == 0
+        # The decoded plaintexts are byte-identical across the two shapes:
+        # the wires are, so everything downstream is.
+        assert outcome.messages == in_process.outcome.messages
+        assert outcome.undelivered == in_process.outcome.undelivered
+        assert chain_noise == in_process.metrics.noise_requests
+
+
+class TestBatchFraming:
+    def test_submission_batch_round_trip(self) -> None:
+        entries = [(f"user-{i}", bytes([i]) * (i + 1)) for i in range(5)]
+        frame = encode_submission_batch(MessageKind.CONVERSATION_REQUEST, 9, entries)
+        kind, round_number, decoded = decode_submission_batch(frame)
+        assert kind is MessageKind.CONVERSATION_REQUEST
+        assert round_number == 9
+        assert [(name, bytes(payload)) for name, payload in decoded] == entries
+
+    def test_submission_batch_accepts_memoryview_payloads(self) -> None:
+        entries = [("alice", memoryview(b"wire-bytes"))]
+        frame = encode_submission_batch(MessageKind.CONVERSATION_REQUEST, 1, entries)
+        _, _, decoded = decode_submission_batch(memoryview(frame))
+        assert bytes(decoded[0][1]) == b"wire-bytes"
+
+    def test_verdicts_round_trip(self) -> None:
+        verdicts = bytes([VERDICT_ACCEPTED] * 4)
+        frame = encode_batch_verdicts(3, verdicts)
+        round_number, decoded = decode_batch_verdicts(frame)
+        assert round_number == 3
+        assert bytes(decoded) == verdicts
+
+    def test_collect_round_trip(self) -> None:
+        names = ["alice", "bob", "carol"]
+        request = encode_collect_request(MessageKind.CONVERSATION_REQUEST, 7, names)
+        kind, round_number, decoded_names = decode_collect_request(request)
+        assert kind is MessageKind.CONVERSATION_REQUEST
+        assert (round_number, decoded_names) == (7, names)
+        responses = [[b"one"], [], [b"two", b"three"]]
+        reply = encode_collect_reply(7, responses)
+        got_round, decoded = decode_collect_reply(reply)
+        assert got_round == 7
+        assert [[bytes(w) for w in wires] for wires in decoded] == responses
+
+    def test_truncated_batch_is_rejected(self) -> None:
+        frame = encode_submission_batch(
+            MessageKind.CONVERSATION_REQUEST, 2, [("bob", b"payload")]
+        )
+        with pytest.raises(ProtocolError):
+            decode_submission_batch(frame[: len(frame) - 3])

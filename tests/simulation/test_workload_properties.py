@@ -1,0 +1,91 @@
+"""Property-based invariants of :class:`WorkloadSpec` and its scaling.
+
+The swarm trusts these invariants when it materialises a population: every
+user is either paired or idle (user-count conservation), conversing users
+come in whole pairs (parity), and scaling a spec changes only the size, not
+the shape.  Rounding lives in ``conversing_users`` — these properties pin
+its behaviour at every population size and fraction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import DeterministicRandom
+from repro.simulation import WorkloadSpec, generate_population
+
+specs = st.builds(
+    WorkloadSpec,
+    num_users=st.integers(min_value=0, max_value=5000),
+    conversing_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    dialing_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+class TestWorkloadSpecInvariants:
+    @given(specs)
+    @settings(max_examples=200, deadline=None)
+    def test_user_count_is_conserved(self, spec: WorkloadSpec) -> None:
+        assert spec.conversing_users + spec.idle_users == spec.num_users
+
+    @given(specs)
+    @settings(max_examples=200, deadline=None)
+    def test_conversing_users_pair_up_exactly(self, spec: WorkloadSpec) -> None:
+        assert spec.conversing_users % 2 == 0
+        assert spec.conversation_pairs * 2 == spec.conversing_users
+
+    @given(specs)
+    @settings(max_examples=200, deadline=None)
+    def test_counts_are_bounded_by_population(self, spec: WorkloadSpec) -> None:
+        assert 0 <= spec.conversing_users <= spec.num_users
+        assert 0 <= spec.idle_users <= spec.num_users
+        assert 0 <= spec.dialing_users <= spec.num_users
+
+
+class TestScaledTo:
+    @given(specs, st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=200, deadline=None)
+    def test_scaling_preserves_shape(self, spec: WorkloadSpec, size: int) -> None:
+        scaled = spec.scaled_to(size)
+        assert scaled.num_users == size
+        assert scaled.conversing_fraction == spec.conversing_fraction
+        assert scaled.dialing_fraction == spec.dialing_fraction
+        assert scaled.messages_per_user_per_round == spec.messages_per_user_per_round
+
+    @given(specs, st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=200, deadline=None)
+    def test_scaled_spec_keeps_the_invariants(self, spec: WorkloadSpec, size: int) -> None:
+        scaled = spec.scaled_to(size)
+        assert scaled.conversing_users + scaled.idle_users == size
+        assert scaled.conversing_users % 2 == 0
+
+    @given(specs)
+    @settings(max_examples=100, deadline=None)
+    def test_scaling_to_same_size_is_identity(self, spec: WorkloadSpec) -> None:
+        assert spec.scaled_to(spec.num_users) == spec
+
+
+class TestGeneratedPopulation:
+    @given(specs, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_population_matches_the_spec(self, spec: WorkloadSpec, seed: int) -> None:
+        population = generate_population(spec, DeterministicRandom(seed))
+        assert len(population.names) == spec.num_users
+        assert len(population.pairs) == spec.conversation_pairs
+        assert len(population.idle) == spec.idle_users
+        assert len(population.dialers) == spec.dialing_users
+        # Every user appears exactly once: either in a pair or idle.
+        seen = sorted(
+            [name for pair in population.pairs for name in pair] + population.idle
+        )
+        assert seen == sorted(population.names)
+
+    @given(specs, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_population_is_deterministic_in_the_seed(
+        self, spec: WorkloadSpec, seed: int
+    ) -> None:
+        first = generate_population(spec, DeterministicRandom(seed))
+        second = generate_population(spec, DeterministicRandom(seed))
+        assert first == second
