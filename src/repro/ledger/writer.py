@@ -294,6 +294,7 @@ class LedgerWriter:
                 self.fsync == "round" and type_ in ROUND_BOUNDARY_TYPES
             ):
                 self._handle.flush()
+                # repro-lint: allow[lock-blocking-call] crash-consistency: the hash chain's append order must equal the on-disk order, so the sync stays inside the lock
                 os.fsync(self._handle.fileno())
             self._seq += 1
             self._prev = record.hash
@@ -304,6 +305,7 @@ class LedgerWriter:
         with self._lock:
             if not self._closed:
                 self._handle.flush()
+                # repro-lint: allow[lock-blocking-call] explicit flush(): callers asked for durability before the lock is released
                 os.fsync(self._handle.fileno())
 
     @property
@@ -319,6 +321,7 @@ class LedgerWriter:
         with self._lock:
             self._closed = True
             self._handle.flush()
+            # repro-lint: allow[lock-blocking-call] final durability barrier: no append may slip between the last sync and the close
             os.fsync(self._handle.fileno())
             self._handle.close()
 

@@ -1,0 +1,53 @@
+"""``repro.lint`` — the determinism & concurrency contract, checked statically.
+
+Every guarantee this reproduction makes — byte-identical serial ≡ overlapped
+≡ TCP rounds, bit-for-bit ledger replay, hash-keyed WAN conditioning — rests
+on invariants that are easy to state and easy to rot:
+
+* all entropy flows through seeded :class:`~repro.crypto.rng.DeterministicRandom`
+  forks; no wall clock, ambient RNG or hash-seed-dependent ordering leaks
+  into round-path code;
+* every rng fork label is derivable from ``(seed, label, round, attempt)``
+  identities, and no rng object crosses a thread or executor boundary
+  (rng draws are confined to the caller — the PR 2 / PR 5 rule);
+* the zero-copy wire path never silently re-materialises ``bytes`` from the
+  memoryviews it was built to avoid copying;
+* the coordinator/scheduler/tcp/ledger lock graph stays inversion-free, and
+  nothing blocks (send, sleep, fsync, join) while holding a round lock.
+
+This package enforces those invariants mechanically, as dataflow over the
+stdlib ``ast`` — no third-party dependencies.  Run it with::
+
+    python -m repro.lint                  # report every finding
+    python -m repro.lint --check-baseline # CI gate: only baselined findings
+
+Deliberate exceptions are annotated in the code itself::
+
+    os.fsync(handle.fileno())  # repro-lint: allow[lock-blocking-call] reason...
+
+and findings that are known-but-not-yet-fixed live in the checked-in
+baseline file with a one-line reason each.  The baseline can only shrink:
+a baseline entry whose finding disappeared makes ``--check-baseline`` fail
+until the entry is removed (stale-suppression detection), and a new
+finding fails it until fixed or explicitly triaged.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry, check_baseline
+from .config import LintConfig
+from .engine import Finding, LintReport, lint_paths
+from .suppress import Suppression, parse_suppressions, render_suppression
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Suppression",
+    "check_baseline",
+    "lint_paths",
+    "parse_suppressions",
+    "render_suppression",
+]

@@ -1,0 +1,143 @@
+"""The checked-in baseline: known findings, each with a one-line reason.
+
+A baseline entry pins a finding by ``(rule, module, source line text)`` — not
+by line *number*, so unrelated edits above a finding do not churn the file.
+``--check-baseline`` enforces two directions at once:
+
+* a finding **not** in the baseline fails the run (new violations cannot
+  land silently);
+* a baseline entry whose finding no longer exists also fails the run
+  (stale-suppression detection) — once a finding is fixed, its entry must
+  be deleted, so the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import Finding
+
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One triaged, known finding."""
+
+    rule: str
+    module: str
+    text: str
+    reason: str
+    #: Line number when the entry was recorded — informational only; matching
+    #: goes by the source line's text so the baseline survives line drift.
+    line: int = 0
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.module, self.text)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "line": self.line,
+            "text": self.text,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BaselineEntry":
+        return cls(
+            rule=str(data["rule"]),
+            module=str(data["module"]),
+            text=str(data["text"]),
+            reason=str(data.get("reason", "")),
+            line=int(data.get("line", 0)),
+        )
+
+
+@dataclass
+class Baseline:
+    """The set of known findings, loadable from / writable to JSON."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        resolved = Path(path)
+        if not resolved.exists():
+            return cls()
+        data = json.loads(resolved.read_text("utf-8"))
+        if not isinstance(data, dict) or int(data.get("version", 0)) != VERSION:
+            raise ValueError(f"{resolved}: not a repro-lint baseline (version {VERSION})")
+        return cls(entries=[BaselineEntry.from_dict(raw) for raw in data.get("entries", [])])
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": VERSION,
+            "entries": [entry.to_dict() for entry in sorted(self.entries, key=lambda e: (e.module, e.line, e.rule))],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", "utf-8")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class BaselineCheck:
+    """The two failure directions of a baseline comparison."""
+
+    new_findings: list["Finding"] = field(default_factory=list)
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings and not self.stale_entries
+
+
+def check_baseline(findings: list["Finding"], baseline: Baseline) -> BaselineCheck:
+    """Split findings/entries into the clean set and the two failure sets.
+
+    Matching is multiset-aware: two identical findings on identical source
+    lines need two baseline entries.
+    """
+    check = BaselineCheck()
+    budget: Counter[tuple[str, str, str]] = Counter(entry.key for entry in baseline.entries)
+    matched: Counter[tuple[str, str, str]] = Counter()
+    for finding in findings:
+        key = (finding.rule, finding.module, finding.text)
+        if budget[key] > matched[key]:
+            matched[key] += 1
+        else:
+            check.new_findings.append(finding)
+    for entry in baseline.entries:
+        if matched[entry.key] > 0:
+            matched[entry.key] -= 1
+        else:
+            check.stale_entries.append(entry)
+    return check
+
+
+def baseline_from_findings(findings: list["Finding"], reason: str) -> Baseline:
+    """Build a baseline covering ``findings``, stamping one shared reason.
+
+    Used by ``--write-baseline`` for the initial triage; reasons are then
+    edited per entry in the JSON file.
+    """
+    return Baseline(
+        entries=[
+            BaselineEntry(
+                rule=finding.rule,
+                module=finding.module,
+                text=finding.text,
+                reason=reason,
+                line=finding.line,
+            )
+            for finding in findings
+        ]
+    )

@@ -1,0 +1,145 @@
+"""``python -m repro.lint`` — the determinism & concurrency linter CLI.
+
+Exit status is the contract CI relies on:
+
+* ``0`` — no findings beyond the baseline, and no stale baseline entries;
+* ``1`` — new findings, stale entries, or (without ``--check-baseline``)
+  any finding at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, baseline_from_findings, check_baseline
+from .config import LintConfig
+from .engine import lint_paths
+
+DEFAULT_BASELINE = "repro-lint-baseline.json"
+
+
+def _default_paths() -> list[str]:
+    """``src/repro`` relative to the repo root this package lives in."""
+    package_root = Path(__file__).resolve().parent.parent  # .../src/repro
+    return [str(package_root)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static analysis for the determinism contract: nondeterminism "
+            "sources, rng-stream discipline, zero-copy discipline, and the "
+            "lock-acquisition graph."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} beside src/)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail on findings missing from the baseline AND on stale entries",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="triage mode: write current findings to the baseline file",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or _default_paths()
+    baseline_path = args.baseline
+    if baseline_path is None:
+        repo_root = Path(__file__).resolve().parents[3]
+        candidate = repo_root / DEFAULT_BASELINE
+        baseline_path = str(candidate if candidate.parent.exists() else DEFAULT_BASELINE)
+
+    report = lint_paths(paths, LintConfig())
+
+    if args.write_baseline:
+        baseline = baseline_from_findings(
+            report.findings, reason="triaged: edit this reason per entry"
+        )
+        baseline.save(baseline_path)
+        print(
+            f"wrote {len(baseline)} entries to {baseline_path} "
+            "(now edit each entry's reason)"
+        )
+        return 0
+
+    if args.check_baseline:
+        baseline = Baseline.load(baseline_path)
+        check = check_baseline(report.findings, baseline)
+        if args.fmt == "json":
+            print(
+                json.dumps(
+                    {
+                        "modules_scanned": report.modules_scanned,
+                        "baseline_entries": len(baseline),
+                        "new_findings": [f.to_dict() for f in check.new_findings],
+                        "stale_entries": [e.to_dict() for e in check.stale_entries],
+                        "suppressed": len(report.suppressed),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            for finding in check.new_findings:
+                print(finding.render())
+            for entry in check.stale_entries:
+                print(
+                    f"{entry.module}: stale baseline entry [{entry.rule}] "
+                    f"{entry.text!r} — the finding is gone; delete the entry"
+                )
+            status = "clean" if check.ok else "FAILED"
+            print(
+                f"repro-lint: {status} — {report.modules_scanned} modules, "
+                f"{len(check.new_findings)} new finding(s), "
+                f"{len(check.stale_entries)} stale baseline entr(ies), "
+                f"{len(baseline)} baselined, {len(report.suppressed)} suppressed"
+            )
+        return 0 if check.ok else 1
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "modules_scanned": report.modules_scanned,
+                    "findings": [f.to_dict() for f in report.findings],
+                    "by_rule": report.by_rule(),
+                    "suppressed": len(report.suppressed),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = ", ".join(
+            f"{rule}: {count}" for rule, count in report.by_rule().items()
+        )
+        print(
+            f"repro-lint: {report.modules_scanned} modules, "
+            f"{len(report.findings)} finding(s)"
+            + (f" ({summary})" if summary else "")
+            + f", {len(report.suppressed)} suppressed"
+        )
+    return 0 if not report.findings else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,237 @@
+"""The rule engine: parse once, dispatch rule families, apply suppressions.
+
+Rules come in two shapes:
+
+* **module rules** see one parsed module at a time (the nondeterminism,
+  rng-discipline and zero-copy families);
+* **project rules** see every parsed module at once (the lock-graph family —
+  lock-order inversions are a whole-program property).
+
+Suppressions are applied after all rules ran; an allow-comment that silenced
+nothing is itself reported (``unused-suppression``), so stale annotations rot
+as loudly as stale baseline entries.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from .config import LintConfig
+from .suppress import SuppressionIndex, parse_suppressions
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    module: str
+    line: int
+    col: int
+    message: str
+    #: The stripped source line, the baseline's drift-stable anchor.
+    text: str = ""
+    symbol: str = ""
+
+    def render(self) -> str:
+        where = f" [in {self.symbol}]" if self.symbol else ""
+        return f"{self.module}:{self.line}:{self.col}: {self.rule} {self.message}{where}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+            "symbol": self.symbol,
+        }
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: SuppressionIndex
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str, symbol: str = ""
+    ) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rule=rule,
+            module=self.module,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            text=self.line_text(line),
+            symbol=symbol,
+        )
+
+
+ModuleRule = Callable[[ParsedModule, LintConfig], Iterable[Finding]]
+ProjectRule = Callable[[list[ParsedModule], LintConfig], Iterable[Finding]]
+
+_MODULE_RULES: list[ModuleRule] = []
+_PROJECT_RULES: list[ProjectRule] = []
+
+
+def module_rule(fn: ModuleRule) -> ModuleRule:
+    _MODULE_RULES.append(fn)
+    return fn
+
+
+def project_rule(fn: ProjectRule) -> ProjectRule:
+    _PROJECT_RULES.append(fn)
+    return fn
+
+
+def module_id(path: Path) -> str:
+    """POSIX path of ``path`` relative to its topmost package's parent.
+
+    ``.../src/repro/net/tcp.py`` → ``repro/net/tcp.py``; a file outside any
+    package (no ``__init__.py`` beside it) is identified by its bare name —
+    which is how fixture files are scoped in tests.
+    """
+    resolved = path.resolve()
+    top = resolved.parent
+    while (top / "__init__.py").exists() and top.parent != top:
+        top = top.parent
+    return resolved.relative_to(top).as_posix()
+
+
+def parse_module(path: Path) -> ParsedModule | None:
+    """Parse one file; ``None`` for files the parser cannot read."""
+    try:
+        source = path.read_text("utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    return ParsedModule(
+        path=path,
+        module=module_id(path),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=parse_suppressions(source),
+    )
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+@dataclass
+class LintReport:
+    """Everything one run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+    modules_scanned: int = 0
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rule modules populates the registries; deferred so the
+    # package imports cleanly even if a rule module is mid-edit.
+    from . import rules  # noqa: F401
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> LintReport:
+    """Run every rule over ``paths`` and return the post-suppression report."""
+    _ensure_rules_loaded()
+    config = config or LintConfig()
+    report = LintReport()
+    modules: list[ParsedModule] = []
+    for path in collect_files(paths):
+        parsed = parse_module(path)
+        if parsed is None:
+            continue
+        modules.append(parsed)
+    report.modules_scanned = len(modules)
+
+    raw: list[Finding] = []
+    for module in modules:
+        for rule in _MODULE_RULES:
+            raw.extend(rule(module, config))
+    for rule in _PROJECT_RULES:
+        raw.extend(rule(modules, config))
+
+    by_module = {module.module: module for module in modules}
+    used: dict[tuple[str, int], bool] = {}
+    for module in modules:
+        for suppression in module.suppressions.all():
+            used[(module.module, suppression.line)] = False
+
+    for finding in raw:
+        module = by_module.get(finding.module)
+        suppression = (
+            module.suppressions.for_finding_line(finding.line) if module else None
+        )
+        if suppression is not None and suppression.covers(finding.rule):
+            used[(finding.module, suppression.line)] = True
+            report.suppressed.append((finding, suppression.reason))
+        else:
+            report.findings.append(finding)
+
+    # Stale annotations are findings too: an allow-comment that silences
+    # nothing is either dead (the violation was fixed — delete it) or wrong
+    # (it never matched — fix the rule id).  Malformed attempts likewise.
+    for module in modules:
+        for suppression in module.suppressions.all():
+            if not used[(module.module, suppression.line)]:
+                report.findings.append(
+                    Finding(
+                        rule="unused-suppression",
+                        module=module.module,
+                        line=suppression.line,
+                        col=1,
+                        message=(
+                            f"allow[{','.join(suppression.rules)}] suppresses nothing "
+                            "— delete it or fix its rule id"
+                        ),
+                        text=module.line_text(suppression.line),
+                    )
+                )
+        for line, error in module.suppressions.malformed:
+            report.findings.append(
+                Finding(
+                    rule="malformed-suppression",
+                    module=module.module,
+                    line=line,
+                    col=1,
+                    message=error,
+                    text=module.line_text(line),
+                )
+            )
+
+    report.findings.sort(key=lambda f: (f.module, f.line, f.col, f.rule))
+    return report

@@ -1,0 +1,28 @@
+"""Rule families — importing this package registers every rule.
+
+* :mod:`nondeterminism` — ``nd-ambient-rng``, ``nd-wallclock``, ``nd-uuid``,
+  ``nd-builtin-hash``, ``nd-unordered-iter``
+* :mod:`rng` — ``rng-label``, ``rng-thread-escape``
+* :mod:`zerocopy` — ``zero-copy``
+* :mod:`locks` — ``lock-order``, ``lock-blocking-call``
+"""
+
+from __future__ import annotations
+
+from . import locks, nondeterminism, rng, zerocopy  # noqa: F401
+
+#: Every rule id the engine can emit, for documentation and CLI validation.
+ALL_RULES = (
+    "nd-ambient-rng",
+    "nd-wallclock",
+    "nd-uuid",
+    "nd-builtin-hash",
+    "nd-unordered-iter",
+    "rng-label",
+    "rng-thread-escape",
+    "zero-copy",
+    "lock-order",
+    "lock-blocking-call",
+    "unused-suppression",
+    "malformed-suppression",
+)

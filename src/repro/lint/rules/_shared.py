@@ -1,0 +1,107 @@
+"""AST helpers shared by the rule families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def build_import_map(tree: ast.Module) -> dict[str, str]:
+    """Local name → dotted origin for every import in a module.
+
+    ``import time`` → ``{"time": "time"}``; ``from time import monotonic`` →
+    ``{"monotonic": "time.monotonic"}``; ``import numpy.random as npr`` →
+    ``{"npr": "numpy.random"}``.  Relative imports keep their bare module
+    name — the banned origins are all absolute stdlib/numpy paths.
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_origin(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """The dotted origin of a Name/Attribute chain, following imports.
+
+    ``monotonic`` with ``from time import monotonic`` resolves to
+    ``time.monotonic``; ``npr.default_rng`` with ``import numpy.random as
+    npr`` resolves to ``numpy.random.default_rng``.
+    """
+    chain = dotted_name(node)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return None
+    return f"{origin}.{rest}" if rest else origin
+
+
+def call_name(node: ast.Call) -> str:
+    """The terminal name of a call's callee (``x.y.fsync(...)`` → ``fsync``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualified name, node)`` for every function/method."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                yield name, child
+                yield from visit(child, f"{name}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+
+    yield from visit(tree, "")  # type: ignore[misc]
+
+
+def local_assignments(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, list[ast.expr]]:
+    """Name → every value it is assigned in the function (nested defs excluded)."""
+    assigns: dict[str, list[ast.expr]] = {}
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        assigns.setdefault(target.id, []).append(child.value)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                if isinstance(child.target, ast.Name):
+                    assigns.setdefault(child.target.id, []).append(child.value)
+            visit(child)
+
+    visit(func)
+    return assigns

@@ -1,0 +1,232 @@
+"""Nondeterminism sources inside round-path packages.
+
+Rounds must be a pure function of ``(seed, config, inputs)``; anything that
+reads ambient entropy or the wall clock inside the round path breaks
+serial ≡ overlapped ≡ TCP ≡ replay byte-identity in ways no test can pin
+down.  Rule ids:
+
+* ``nd-ambient-rng`` — ``random.*`` / ``secrets.*`` / ``os.urandom`` /
+  ``numpy.random.*`` outside the sanctioned boundary (``crypto/rng.py``);
+* ``nd-wallclock`` — ``time.time``/``monotonic``/``perf_counter``/…,
+  ``datetime.now``, ``threading.Timer``;
+* ``nd-uuid`` — ``uuid.uuid1()`` / ``uuid.uuid4()`` (entropy-derived ids);
+* ``nd-builtin-hash`` — builtin ``hash()`` (``PYTHONHASHSEED``-dependent for
+  str/bytes);
+* ``nd-unordered-iter`` — iteration over a set (hash-order), or ``set.pop``
+  / ``.popitem`` draining.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..config import LintConfig
+from ..engine import Finding, ParsedModule, module_rule
+from ._shared import build_import_map, call_name, iter_functions, resolve_origin
+
+#: Any resolved origin starting with one of these is ambient entropy.
+_RNG_PREFIXES = ("random", "secrets", "numpy.random")
+_RNG_EXACT = {"os.urandom", "os.getrandom"}
+
+_CLOCK_ORIGINS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "threading.Timer",
+}
+
+_UUID_ENTROPY = {"uuid.uuid1", "uuid.uuid4"}
+
+
+def _origin_matches_rng(origin: str) -> bool:
+    if origin in _RNG_EXACT:
+        return True
+    return any(
+        origin == prefix or origin.startswith(prefix + ".")
+        for prefix in _RNG_PREFIXES
+    )
+
+
+def _is_set_expr(node: ast.expr, set_names: frozenset[str]) -> bool:
+    """Syntactically a set: literal, comprehension, ``set(...)`` call, or a
+    name/attribute the module declares set-typed."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"set", "frozenset"}:
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # set algebra: a | b, a & b, a - b of known sets
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    return False
+
+
+def _unwrap_iter(node: ast.expr) -> tuple[ast.expr, bool]:
+    """Strip ``enumerate``/``list``/``tuple``/``iter`` wrappers; report
+    whether an ordering wrapper (``sorted``) was seen."""
+    ordered = False
+    while isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and node.args:
+        name = node.func.id
+        if name == "sorted":
+            ordered = True
+            node = node.args[0]
+        elif name in {"enumerate", "list", "tuple", "iter", "reversed"}:
+            node = node.args[0]
+        else:
+            break
+    return node, ordered
+
+
+def _collect_set_names(tree: ast.Module) -> frozenset[str]:
+    """Names (locals and ``self.X`` attrs) assigned set values anywhere in
+    the module — a cheap, module-local type inference."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign):
+            value = node.value
+            targets = [node.target]
+            annotation = ast.unparse(node.annotation) if node.annotation else ""
+            if annotation.startswith(("set", "Set", "typing.Set", "frozenset")):
+                names.update(_target_names(targets))
+                continue
+        if value is not None and _is_set_expr(value, frozenset()):
+            names.update(_target_names(targets))
+    return frozenset(names)
+
+
+def _target_names(targets: Iterable[ast.expr]) -> Iterator[str]:
+    for target in targets:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, ast.Attribute):
+            yield target.attr
+
+
+@module_rule
+def nondeterminism_rules(module: ParsedModule, config: LintConfig) -> list[Finding]:
+    if not config.in_round_path(module.module):
+        return []
+    imports = build_import_map(module.tree)
+    set_names = _collect_set_names(module.tree)
+    findings: list[Finding] = []
+
+    # Type annotations never execute: ``timer: threading.Timer | None`` is
+    # not a wall-clock read.
+    annotation_nodes: set[int] = set()
+    for node in ast.walk(module.tree):
+        annotations: list[ast.expr | None] = []
+        if isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+        elif isinstance(node, ast.arg):
+            annotations.append(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            annotations.append(node.returns)
+        for annotation in annotations:
+            if annotation is not None:
+                for child in ast.walk(annotation):
+                    annotation_nodes.add(id(child))
+
+    symbol_of: dict[int, str] = {}
+    for qualname, func in iter_functions(module.tree):
+        for node in ast.walk(func):
+            symbol_of.setdefault(id(node), qualname)
+
+    def emit(rule: str, node: ast.AST, message: str) -> None:
+        findings.append(
+            module.finding(rule, node, message, symbol=symbol_of.get(id(node), ""))
+        )
+
+    flagged_attrs: set[int] = set(annotation_nodes)
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Attribute, ast.Name)) and id(node) not in flagged_attrs:
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Load):
+                continue
+            origin = resolve_origin(node, imports)
+            if origin is None:
+                continue
+            # Only flag the outermost chain once, not x.y and x within it.
+            for child in ast.walk(node):
+                if child is not node:
+                    flagged_attrs.add(id(child))
+            if _origin_matches_rng(origin):
+                emit(
+                    "nd-ambient-rng",
+                    node,
+                    f"{origin} draws ambient entropy inside the round path — "
+                    "route through crypto/rng.py (SecureRandom/DeterministicRandom)",
+                )
+            elif origin in _CLOCK_ORIGINS:
+                emit(
+                    "nd-wallclock",
+                    node,
+                    f"{origin} reads the wall clock inside the round path — "
+                    "inject a clock, or annotate why timing never reaches protocol bytes",
+                )
+        elif isinstance(node, ast.Call):
+            origin = resolve_origin(node.func, imports)
+            if origin in _UUID_ENTROPY:
+                emit(
+                    "nd-uuid",
+                    node,
+                    f"{origin}() is entropy-derived — derive ids from "
+                    "(seed, round, index) instead",
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id == "hash" and node.args:
+                emit(
+                    "nd-builtin-hash",
+                    node,
+                    "builtin hash() is PYTHONHASHSEED-dependent for str/bytes — "
+                    "use hashlib for anything that feeds wire/digest/ledger output",
+                )
+            elif call_name(node) == "popitem":
+                emit(
+                    "nd-unordered-iter",
+                    node,
+                    ".popitem() drains in an order the replay engine cannot "
+                    "reconstruct — pop explicit keys in sorted order",
+                )
+            elif call_name(node) == "pop" and not node.args:
+                receiver = node.func.value if isinstance(node.func, ast.Attribute) else None
+                if receiver is not None and _is_set_expr(receiver, set_names):
+                    emit(
+                        "nd-unordered-iter",
+                        node,
+                        "set.pop() removes a hash-order-arbitrary element — "
+                        "pop min(...)/sorted(...) instead",
+                    )
+
+        iter_exprs: list[ast.expr] = []
+        if isinstance(node, ast.For):
+            iter_exprs.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            # SetComp is exempt: a set built from a set stays unordered, so
+            # the iteration order cannot leak into anything ordered.
+            iter_exprs.extend(gen.iter for gen in node.generators)
+        for iter_expr in iter_exprs:
+            inner, ordered = _unwrap_iter(iter_expr)
+            if not ordered and _is_set_expr(inner, set_names):
+                emit(
+                    "nd-unordered-iter",
+                    iter_expr,
+                    "iterating a set is hash-order nondeterministic "
+                    "(PYTHONHASHSEED) — wrap in sorted() before it can feed "
+                    "wire/digest/ledger output",
+                )
+    return findings

@@ -1,0 +1,188 @@
+"""RNG-stream discipline.
+
+Seeded runs replay because every rng stream is *addressable*: a fork label
+must be derivable from stable identities (seed, label, round, attempt,
+message digest) so the same draw happens at the same point of every replay.
+And a stream must stay confined to the thread that forked it — two threads
+interleaving draws on one stream is a data race on determinism itself.
+
+* ``rng-label`` — ``fork(...)`` / ``round_rng(...)`` label argument is not
+  derivable from stable identities;
+* ``rng-thread-escape`` — an rng object passed across a thread/executor
+  boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..config import LintConfig
+from ..engine import Finding, ParsedModule, module_rule
+from ._shared import call_name, iter_functions, local_assignments
+
+_FORK_NAMES = {"fork", "round_rng"}
+#: Matches names that conventionally carry an rng: ``rng``, ``_rng``,
+#: ``round_rng``, ``rng2`` — but not ``ring`` or ``orange``.
+_RNG_NAME = re.compile(r"(?:^|_)rng\d*$")
+
+_THREAD_CTORS = {"Thread", "Timer", "_RoundTask"}
+_SUBMIT_NAMES = {"submit", "run_in_executor", "apply_async", "map_async"}
+
+
+def _is_rng_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_RNG_NAME.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_RNG_NAME.search(node.attr))
+    if isinstance(node, ast.Call):
+        # fork()/round_rng() results are rngs too: Thread(args=(rng.fork("x"),))
+        return call_name(node) in _FORK_NAMES
+    return False
+
+
+def _label_derivable(
+    node: ast.expr,
+    assigns: dict[str, list[ast.expr]],
+    params: frozenset[str],
+    config: LintConfig,
+    depth: int = 0,
+) -> bool:
+    """Whether a label expression is a pure function of stable identities.
+
+    Constants, f-strings over attribute/name chains, arithmetic over those,
+    and calls into the pure-derivation allowlist (hashing, formatting) are
+    derivable.  A bare call into anything else — ``time.time()``, a method
+    with side effects — is not.
+    """
+    if depth > 6:
+        return False
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (str, int))
+    if isinstance(node, ast.JoinedStr):
+        return all(
+            _label_derivable(value.value, assigns, params, config, depth + 1)
+            for value in node.values
+            if isinstance(value, ast.FormattedValue)
+        )
+    if isinstance(node, ast.Name):
+        if node.id in params:
+            return True  # the caller's responsibility, checked at its site
+        values = assigns.get(node.id)
+        if values:
+            return all(
+                _label_derivable(value, assigns, params, config, depth + 1)
+                for value in values
+            )
+        return False
+    if isinstance(node, ast.Attribute):
+        return True  # self.round_number, envelope.sender, … — stored identity
+    if isinstance(node, ast.Subscript):
+        return _label_derivable(node.value, assigns, params, config, depth + 1)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Mod, ast.Mult, ast.FloorDiv, ast.BitXor)
+    ):
+        return _label_derivable(
+            node.left, assigns, params, config, depth + 1
+        ) and _label_derivable(node.right, assigns, params, config, depth + 1)
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in config.label_pure_calls or "label" in name:
+            return True
+        return False
+    return False
+
+
+@module_rule
+def rng_rules(module: ParsedModule, config: LintConfig) -> list[Finding]:
+    if not config.in_round_path(module.module):
+        return []
+    findings: list[Finding] = []
+
+    for qualname, func in iter_functions(module.tree):
+        assigns = local_assignments(func)
+        params = set(
+            arg.arg
+            for arg in (
+                *func.args.posonlyargs,
+                *func.args.args,
+                *func.args.kwonlyargs,
+            )
+        )
+        # For-loop targets (round numbers, enumerate indices) are stable
+        # identities of the iteration, exactly what labels are made of.
+        for inner in ast.walk(func):
+            if isinstance(inner, (ast.For, ast.AsyncFor)):
+                for target in ast.walk(inner.target):
+                    if isinstance(target, ast.Name):
+                        params.add(target.id)
+            elif isinstance(inner, ast.comprehension):
+                for target in ast.walk(inner.target):
+                    if isinstance(target, ast.Name):
+                        params.add(target.id)
+        params = frozenset(params)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+
+            if name in _FORK_NAMES and isinstance(node.func, ast.Attribute):
+                label = node.args[0] if node.args else None
+                for keyword in node.keywords:
+                    if keyword.arg == "label":
+                        label = keyword.value
+                if label is not None and not _label_derivable(
+                    label, assigns, params, config
+                ):
+                    findings.append(
+                        module.finding(
+                            "rng-label",
+                            label,
+                            "rng fork label must be derivable from stable "
+                            "identities (seed, label, round, attempt, digest) "
+                            "— this expression can differ between replays",
+                            symbol=qualname,
+                        )
+                    )
+
+            crossing_args: list[ast.expr] = []
+            if name in _THREAD_CTORS:
+                crossing_args.extend(node.args)
+                for keyword in node.keywords:
+                    if keyword.arg in {"args", "kwargs", "target"}:
+                        value = keyword.value
+                        if isinstance(value, (ast.Tuple, ast.List)):
+                            crossing_args.extend(value.elts)
+                        else:
+                            crossing_args.append(value)
+            elif name in _SUBMIT_NAMES and isinstance(node.func, ast.Attribute):
+                crossing_args.extend(node.args)
+                crossing_args.extend(kw.value for kw in node.keywords)
+            for arg in crossing_args:
+                if _is_rng_expr(arg):
+                    findings.append(
+                        module.finding(
+                            "rng-thread-escape",
+                            arg,
+                            "an rng stream crosses a thread/executor boundary "
+                            "— draws are caller-confined; fork a labelled "
+                            "child stream inside the worker instead",
+                            symbol=qualname,
+                        )
+                    )
+                elif isinstance(arg, ast.Lambda):
+                    for inner in ast.walk(arg.body):
+                        if isinstance(
+                            inner, (ast.Name, ast.Attribute)
+                        ) and _is_rng_expr(inner):
+                            findings.append(
+                                module.finding(
+                                    "rng-thread-escape",
+                                    inner,
+                                    "a lambda closing over an rng stream "
+                                    "crosses a thread/executor boundary",
+                                    symbol=qualname,
+                                )
+                            )
+                            break
+    return findings

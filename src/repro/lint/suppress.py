@@ -1,0 +1,123 @@
+"""Per-line suppressions: ``# repro-lint: allow[rule-id] reason``.
+
+A suppression silences matching findings on its own line, or — when the
+comment stands alone on a line — on the next code line below it.  Every
+suppression must carry a one-line reason: intent belongs in the code, not in
+tribal knowledge.  Suppressions are parsed from the token stream (not by
+string matching), so a ``"# repro-lint: ..."`` inside a string literal is
+never mistaken for one.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_ALLOW = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[a-z0-9*-]+(?:\s*,\s*[a-z0-9*-]+)*)\]\s*(?P<reason>.*)$"
+)
+#: Anything that *looks* like it tries to be a repro-lint comment; used to
+#: flag malformed variants instead of silently ignoring them.
+_ATTEMPT = re.compile(r"#\s*repro-lint\b")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed allow-comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: The comment occupies its own line (suppresses the next code line too).
+    standalone: bool = False
+
+    def covers(self, rule: str) -> bool:
+        return any(pattern == rule or pattern == "*" for pattern in self.rules)
+
+
+@dataclass
+class SuppressionIndex:
+    """Suppressions of one module, plus the malformed attempts found."""
+
+    by_line: dict[int, Suppression] = field(default_factory=dict)
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def for_finding_line(self, line: int) -> Suppression | None:
+        """The suppression covering a finding on ``line``, if any.
+
+        Same-line comments win; a standalone comment on the line above
+        covers the code line below it (the conventional place for long
+        reasons).
+        """
+        direct = self.by_line.get(line)
+        if direct is not None:
+            return direct
+        above = self.by_line.get(line - 1)
+        if above is not None and above.standalone:
+            return above
+        return None
+
+    def all(self) -> list[Suppression]:
+        return sorted(self.by_line.values(), key=lambda s: s.line)
+
+
+def parse_suppression_comment(comment: str) -> tuple[tuple[str, ...], str] | None:
+    """Parse one comment's text; ``None`` when it is not an allow-comment.
+
+    Raises :class:`ValueError` for a malformed attempt (a ``repro-lint``
+    marker that does not parse, or an allow with an empty reason).
+    """
+    match = _ALLOW.search(comment)
+    if match is None:
+        if _ATTEMPT.search(comment):
+            raise ValueError(f"malformed repro-lint comment: {comment.strip()!r}")
+        return None
+    rules = tuple(part.strip() for part in match.group("rules").split(","))
+    reason = match.group("reason").strip()
+    if not reason:
+        raise ValueError("a repro-lint suppression needs a one-line reason")
+    return rules, reason
+
+
+def render_suppression(rules: tuple[str, ...] | list[str], reason: str) -> str:
+    """The canonical comment form (the round-trip partner of the parser)."""
+    return f"# repro-lint: allow[{','.join(rules)}] {reason}"
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract every suppression (and malformed attempt) from a module."""
+    index = SuppressionIndex()
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            line = token.start[0]
+            try:
+                parsed = parse_suppression_comment(token.string)
+            except ValueError as exc:
+                index.malformed.append((line, str(exc)))
+                continue
+            if parsed is None:
+                continue
+            rules, reason = parsed
+            index.by_line[line] = Suppression(
+                line=line,
+                rules=rules,
+                reason=reason,
+                standalone=line not in code_lines,
+            )
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            for covered in range(token.start[0], token.end[0] + 1):
+                code_lines.add(covered)
+    return index

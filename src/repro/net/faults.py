@@ -405,7 +405,7 @@ class LinkConditioner:
     # -------------------------------------------------------------- decisions
 
     def _message_rng(self, envelope: Envelope) -> DeterministicRandom:
-        digest = hashlib.sha256(bytes(envelope.payload)).hexdigest()[:16]
+        digest = hashlib.sha256(envelope.payload).hexdigest()[:16]
         label = (
             f"link/{envelope.source}->{envelope.destination}"
             f"/{envelope.kind.value}/{envelope.round_number}/{digest}"
@@ -463,7 +463,7 @@ class LinkConditioner:
             return 0.0
         serialization = envelope.size / spec.bandwidth_bytes_per_sec
         key = (envelope.source, envelope.destination)
-        now = time.monotonic()
+        now = time.monotonic()  # repro-lint: allow[nd-wallclock] realtime pacing only: guarded by self.realtime, delays shape wall time, never payloads
         with self._lock:
             start = max(now, self._busy_until.get(key, 0.0))
             self._busy_until[key] = start + serialization

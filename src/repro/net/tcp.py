@@ -114,7 +114,9 @@ def decode_request(body: bytes) -> Envelope:
 
 
 def encode_reply(status: int, payload: bytes) -> bytes:
-    return bytes([status]) + payload
+    # join accepts any buffer, so handlers may return memoryviews and the
+    # reply frame is assembled without re-materialising them first.
+    return b"".join((bytes((status,)), payload))
 
 
 def decode_reply(body: bytes) -> bytes | None:
@@ -362,7 +364,7 @@ class TcpTransport(Transport):
             return encode_reply(_PROTOCOL_ERROR, f"handler failed: {exc!r}".encode("utf-8"))
         if result is None:
             return encode_reply(_NONE, b"")
-        return encode_reply(_OK, bytes(result))
+        return encode_reply(_OK, result)
 
     # ------------------------------------------------------------ client side
 

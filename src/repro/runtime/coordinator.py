@@ -163,7 +163,9 @@ class SubmissionWindow:
 
 
 def _digest(payload: bytes) -> bytes:
-    return hashlib.sha256(bytes(payload)).digest()
+    # hashlib hashes memoryviews directly; copying first doubled the gate's
+    # per-submission allocation.
+    return hashlib.sha256(payload).digest()
 
 
 class RoundCoordinator:
@@ -184,6 +186,7 @@ class RoundCoordinator:
         blocking_responses: bool = False,
         response_wait_seconds: float = 120.0,
         max_round_attempts: int = 3,
+        # repro-lint: allow[nd-wallclock] injectable deadline clock: shapes timing only, never protocol bytes; deterministic tests swap in a fake
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_round_attempts < 1:
@@ -252,7 +255,7 @@ class RoundCoordinator:
         for client, payload in self.entry.submissions(window.kind, window.round_number):
             digest.update(client.encode("utf-8"))
             digest.update(len(payload).to_bytes(4, "big"))
-            digest.update(bytes(payload))
+            digest.update(payload)
         return digest.hexdigest()
 
     # -------------------------------------------------------------- windowing
@@ -325,6 +328,7 @@ class RoundCoordinator:
         """Start (and keep a handle on) a window's force-close timer."""
         if not self.blocking_responses or seconds is None:
             return
+        # repro-lint: allow[nd-wallclock] the deadline timer is real time by design (degraded-mode force-close); its firing aborts the attempt, it never writes bytes
         timer = threading.Timer(seconds, self._deadline_close, args=(window,))
         timer.daemon = True
         window.timer = timer
@@ -542,7 +546,7 @@ class RoundCoordinator:
                 self.close_round(window)
             except (NetworkError, ProtocolError):
                 pass  # recorded on the window; collect reports it
-        return encode_batch_verdicts(round_number, bytes(verdicts))
+        return encode_batch_verdicts(round_number, verdicts)
 
     def _handle_response_collect(self, envelope: Envelope) -> bytes:
         """Return a resolved round's responses for many clients in one frame.

@@ -471,7 +471,7 @@ class RoundScheduler:
                 },
             )
         report = ScheduleReport(pipeline_depth=depth, dialing_interval=interval)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: allow[nd-wallclock] wall-clock metric for ScheduleReport; never feeds wire/digest/ledger payloads
 
         slots = threading.BoundedSemaphore(depth)
         pre_opened: _RoundTask | None = None
@@ -579,6 +579,7 @@ class RoundScheduler:
                     except Exception:
                         pass  # best-effort cleanup on an already-failing path
 
+        # repro-lint: allow[nd-wallclock] closes the wall-clock metric pair above; reported, never hashed
         report.wall_clock_seconds = time.perf_counter() - started
         if self.ledger is not None:
             self.ledger.append(

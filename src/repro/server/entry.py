@@ -221,6 +221,7 @@ class EntryServer:
             # The zero-copy views from decode_batch stop here: clients get
             # real bytes (the documented contract), and retaining a response
             # must not pin the whole round's reply buffer alive.
+            # repro-lint: allow[zero-copy] declared retention boundary: responses outlive the frame, so this copy is the contract
             grouped.setdefault(client, []).append(bytes(response))
         return grouped
 

@@ -117,7 +117,7 @@ def decode_download_request(payload: bytes) -> int:
     """Parse a download request back to its dialing round number."""
     if len(payload) != _DOWNLOAD.size:
         raise ProtocolError("malformed invitation download request")
-    (round_number,) = _DOWNLOAD.unpack(bytes(payload))
+    (round_number,) = _DOWNLOAD.unpack(payload)
     return round_number
 
 
@@ -174,7 +174,7 @@ def decode_submission_batch(
         offset += _NAME.size
         if offset + name_len + _LENGTH.size > total:
             raise ProtocolError("truncated submission batch: missing entry header")
-        name = bytes(view[offset : offset + name_len]).decode("utf-8")
+        name = str(view[offset : offset + name_len], "utf-8")
         offset += name_len
         (length,) = _LENGTH.unpack_from(payload, offset)
         offset += _LENGTH.size
@@ -188,8 +188,12 @@ def decode_submission_batch(
 
 
 def encode_batch_verdicts(round_number: int, verdicts: bytes) -> bytes:
-    """Frame the per-entry admission verdicts of one submission batch."""
-    return _VERDICT_HEAD.pack(round_number, len(verdicts)) + bytes(verdicts)
+    """Frame the per-entry admission verdicts of one submission batch.
+
+    ``verdicts`` may be any buffer (the coordinator hands over its working
+    bytearray); ``join`` concatenates without an intermediate copy of it.
+    """
+    return b"".join((_VERDICT_HEAD.pack(round_number, len(verdicts)), verdicts))
 
 
 def decode_batch_verdicts(payload: bytes) -> tuple[int, bytes]:
@@ -197,6 +201,7 @@ def decode_batch_verdicts(payload: bytes) -> tuple[int, bytes]:
     if len(payload) < _VERDICT_HEAD.size:
         raise ProtocolError("verdict frame too short to contain a header")
     round_number, count = _VERDICT_HEAD.unpack_from(payload, 0)
+    # repro-lint: allow[zero-copy] declared retention boundary: verdicts are handed to callers that outlive the reply frame
     verdicts = bytes(memoryview(payload)[_VERDICT_HEAD.size :])
     if len(verdicts) != count:
         raise ProtocolError("verdict frame length does not match its count")
@@ -234,7 +239,7 @@ def decode_collect_request(payload: bytes) -> tuple[MessageKind, int, list[str]]
         offset += _NAME.size
         if offset + name_len > total:
             raise ProtocolError("truncated collect request: missing name")
-        names.append(bytes(view[offset : offset + name_len]).decode("utf-8"))
+        names.append(str(view[offset : offset + name_len], "utf-8"))
         offset += name_len
     if offset != total:
         raise ProtocolError("trailing bytes after the last name in a collect request")

@@ -1,0 +1,57 @@
+"""Known-bad fixture: a seeded ABBA inversion, a self-deadlock, and
+blocking calls under locks — direct, transitive, and cross-class."""
+
+import os
+import threading
+import time
+
+
+class Inverted:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+
+    def forward(self):
+        with self.lock_a:
+            with self.lock_b:
+                return 1
+
+    def backward(self):
+        with self.lock_b:
+            with self.lock_a:
+                return 2
+
+    def reenter(self):
+        with self.lock_a:
+            with self.lock_a:
+                return 3
+
+    def fsync_under_lock(self, handle):
+        with self.lock_a:
+            os.fsync(handle.fileno())
+
+    def sleep_via_helper(self):
+        with self.lock_b:
+            self._pause()
+
+    def _pause(self):
+        time.sleep(0.01)
+
+
+class FakeLedger:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def append(self, handle):
+        with self._lock:
+            os.fsync(handle.fileno())
+
+
+class UsesLedger:
+    def __init__(self, ledger):
+        self.ledger = ledger
+        self.gate = threading.Lock()
+
+    def record_under_gate(self, handle):
+        with self.gate:
+            self.ledger.append(handle)

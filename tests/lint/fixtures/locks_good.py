@@ -1,0 +1,31 @@
+"""Known-good fixture: condition aliasing, wait-releases, work outside
+critical sections, and a str.join that must not look like a thread join."""
+
+import os
+import threading
+
+
+class Ordered:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+
+    def reentrant(self):
+        with self._lock:
+            with self._cond:  # the same RLock, by aliasing
+                return 1
+
+    def wait_release(self, deadline):
+        with self._cond:
+            self._cond.wait(deadline)  # waiting releases the lock
+            return 2
+
+    def fsync_outside(self, handle):
+        with self._lock:
+            value = 3
+        os.fsync(handle.fileno())
+        return value
+
+    def str_join_under_lock(self, parts):
+        with self._lock:
+            return ",".join(parts)

@@ -1,0 +1,40 @@
+"""Known-bad fixture: every nondeterminism rule fires here."""
+
+import os
+import random
+import secrets
+import time
+import uuid
+from datetime import datetime
+
+
+def ambient_entropy():
+    first = random.random()
+    second = secrets.token_bytes(8)
+    third = os.urandom(16)
+    return first, second, third
+
+
+def wall_clock():
+    stamp = time.time()
+    mono = time.monotonic()
+    today = datetime.now()
+    return stamp, mono, today
+
+
+def entropy_id():
+    return uuid.uuid4()
+
+
+def hash_feed(name: str) -> int:
+    return hash(name)
+
+
+def drain(members):
+    bucket = {1, 2, 3}
+    out = []
+    for member in bucket:
+        out.append(member)
+    ordered = [m for m in set(members)]
+    grabbed = bucket.pop()
+    return out, ordered, grabbed

@@ -1,0 +1,20 @@
+"""Known-good fixture: deterministic counterparts of nd_bad.py."""
+
+import hashlib
+
+
+def seeded_digest(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).digest()
+
+
+def ordered(members):
+    return [m for m in sorted(set(members))]
+
+
+def filtered(claims):
+    # set-to-set: the iteration order cannot leak into anything ordered
+    return {claim for claim in claims if claim}
+
+
+def stable_id(seed: int, round_number: int, index: int) -> str:
+    return f"{seed}/{round_number}/{index}"

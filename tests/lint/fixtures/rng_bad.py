@@ -1,0 +1,26 @@
+"""Known-bad fixture: rng-stream discipline violations."""
+
+import threading
+
+
+class Worker:
+    def __init__(self, rng):
+        self.rng = rng
+
+    def compute_offset(self):
+        return len(repr(self))
+
+    def wobbly_label(self):
+        wobble = self.compute_offset()
+        return self.rng.fork(f"round-{wobble}")
+
+    def escape_thread(self, rng):
+        thread = threading.Thread(target=self.run, args=(rng,))
+        thread.start()
+        return thread
+
+    def escape_executor(self, executor, round_rng):
+        return executor.submit(self.run, round_rng)
+
+    def run(self, rng):
+        return rng

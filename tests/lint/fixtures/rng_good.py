@@ -1,0 +1,26 @@
+"""Known-good fixture: addressable labels, caller-confined streams."""
+
+import hashlib
+
+
+class Worker:
+    def __init__(self, rng, seed):
+        self.rng = rng
+        self.seed = seed
+
+    def attempt_label(self, round_number: int, attempt: int):
+        return self.rng.fork(f"round-{round_number}/attempt-{attempt}")
+
+    def hash_keyed_label(self, payload: bytes):
+        digest = hashlib.sha256(payload).hexdigest()[:16]
+        return self.rng.fork(f"msg/{digest}")
+
+    def loop_labels(self, rounds):
+        return [self.rng.fork(f"round-{number}") for number in rounds]
+
+    def confined(self, executor, round_number: int):
+        # only the round identity crosses; the worker forks its own stream
+        return executor.submit(self.work, round_number)
+
+    def work(self, round_number: int):
+        return self.rng.fork(f"worker/{round_number}")

@@ -1,0 +1,5 @@
+"""Fixture: a repro-lint comment missing its mandatory reason."""
+
+
+def sneaky():
+    return 2  # repro-lint: allow[nd-wallclock]

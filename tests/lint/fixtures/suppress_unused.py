@@ -1,0 +1,5 @@
+"""Fixture: an allow-comment with nothing to silence (itself a finding)."""
+
+
+def clean():  # repro-lint: allow[nd-wallclock] fixture: nothing here violates anything
+    return 1

@@ -1,0 +1,7 @@
+"""Fixture: a violation silenced by a well-formed allow-comment."""
+
+import time
+
+
+def metric():
+    return time.monotonic()  # repro-lint: allow[nd-wallclock] fixture: wall-clock metric only, never hashed

@@ -1,0 +1,14 @@
+"""Known-bad fixture: wire views re-materialised."""
+
+
+def copy_view(data):
+    view = memoryview(data)
+    return bytes(view)
+
+
+def copy_wire_slice(frame):
+    return bytes(frame[4:])
+
+
+def materialise(arr):
+    return arr.tobytes()

@@ -1,0 +1,21 @@
+"""Known-good fixture: buffers consumed without copying."""
+
+import hashlib
+
+
+def digest_view(data):
+    view = memoryview(data)
+    return hashlib.sha256(view).digest()
+
+
+def literal_bytes():
+    return bytes([1, 2, 3])
+
+
+def sized_buffer(count: int):
+    return bytes(count)
+
+
+def joined(head: bytes, data):
+    view = memoryview(data)
+    return b"".join((head, view))

@@ -1,0 +1,72 @@
+"""Baseline semantics: drift-stable matching, multiset budgets, and the
+two failure directions (new finding / stale entry)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, check_baseline
+from repro.lint.baseline import baseline_from_findings
+from repro.lint.engine import Finding
+
+
+def finding(rule="zero-copy", module="m.py", line=10, text="x = bytes(view)"):
+    return Finding(rule=rule, module=module, line=line, col=1, message="", text=text)
+
+
+def entry(rule="zero-copy", module="m.py", text="x = bytes(view)", reason="why"):
+    return BaselineEntry(rule=rule, module=module, text=text, reason=reason)
+
+
+def test_matching_ignores_line_numbers():
+    baseline = Baseline(entries=[entry()])
+    drifted = finding(line=99)  # same text, different line
+    assert check_baseline([drifted], baseline).ok
+
+
+def test_new_finding_fails():
+    check = check_baseline([finding(text="y = bytes(other)")], Baseline(entries=[entry()]))
+    assert not check.ok
+    assert len(check.new_findings) == 1
+    assert len(check.stale_entries) == 1  # the old entry is stale too
+
+
+def test_stale_entry_fails_so_the_baseline_only_shrinks():
+    check = check_baseline([], Baseline(entries=[entry()]))
+    assert not check.ok
+    assert check.new_findings == []
+    assert [e.key for e in check.stale_entries] == [entry().key]
+
+
+def test_multiset_budget_two_identical_findings_need_two_entries():
+    two = [finding(line=10), finding(line=20)]
+    one_entry = Baseline(entries=[entry()])
+    check = check_baseline(two, one_entry)
+    assert len(check.new_findings) == 1
+    assert check.stale_entries == []
+    two_entries = Baseline(entries=[entry(), entry()])
+    assert check_baseline(two, two_entries).ok
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    original = baseline_from_findings([finding(), finding(rule="lock-order")], "triage")
+    original.save(path)
+    loaded = Baseline.load(path)
+    assert sorted(e.key for e in loaded.entries) == sorted(
+        e.key for e in original.entries
+    )
+    assert all(e.reason == "triage" for e in loaded.entries)
+
+
+def test_missing_file_is_an_empty_baseline(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+def test_wrong_version_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}), "utf-8")
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)

@@ -1,0 +1,47 @@
+"""Regression tests for the real findings the linter surfaced and we fixed.
+
+The fixes are behaviour-visible at the wire-codec boundary: frame encoders
+and decoders now accept any buffer (memoryview, bytearray) instead of
+silently copying — or, for ``encode_reply``, raising ``TypeError`` on a
+memoryview handler result.
+"""
+
+from __future__ import annotations
+
+from repro.net.tcp import decode_reply, encode_reply
+from repro.server.wire import (
+    VERDICT_ACCEPTED,
+    VERDICT_LATE,
+    VERDICT_REFUSED,
+    decode_batch_verdicts,
+    decode_download_request,
+    encode_batch_verdicts,
+    encode_download_request,
+)
+
+
+def test_encode_reply_accepts_a_memoryview_result():
+    # pre-fix: bytes([status]) + memoryview(...) raised TypeError, so every
+    # handler result was defensively copied before framing
+    frame = encode_reply(0, memoryview(b"payload"))
+    assert isinstance(frame, bytes)
+    assert decode_reply(frame) == b"payload"
+
+
+def test_encode_reply_still_accepts_plain_bytes():
+    assert decode_reply(encode_reply(0, b"payload")) == b"payload"
+
+
+def test_encode_batch_verdicts_accepts_working_buffers():
+    verdicts = bytes([VERDICT_ACCEPTED, VERDICT_REFUSED, VERDICT_LATE])
+    from_bytes = encode_batch_verdicts(7, verdicts)
+    from_bytearray = encode_batch_verdicts(7, bytearray(verdicts))
+    from_view = encode_batch_verdicts(7, memoryview(verdicts))
+    assert from_bytes == from_bytearray == from_view
+    assert decode_batch_verdicts(from_view) == (7, verdicts)
+
+
+def test_decode_download_request_accepts_a_memoryview():
+    frame = encode_download_request(3)
+    assert decode_download_request(memoryview(frame)) == 3
+    assert decode_download_request(frame) == 3

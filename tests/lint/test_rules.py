@@ -1,0 +1,117 @@
+"""The fixture suite: every rule family detects its seeded violations and
+stays quiet on the deterministic counterparts."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_config() -> LintConfig:
+    """The production rules, scoped to bare fixture filenames."""
+    return LintConfig(
+        round_path=("nd_*.py", "rng_*.py", "suppress_*.py"),
+        sanctioned=(),
+        wire_path=("zerocopy_*.py",),
+        lock_modules=("locks_*.py",),
+        attr_bindings={"ledger": "FakeLedger"},
+    )
+
+
+def run(*names: str):
+    return lint_paths([FIXTURES / name for name in names], fixture_config())
+
+
+def counts(report) -> dict[str, int]:
+    return report.by_rule()
+
+
+# ---------------------------------------------------------------- family 1
+
+
+def test_nd_bad_detects_every_nondeterminism_rule():
+    by_rule = counts(run("nd_bad.py"))
+    assert by_rule == {
+        "nd-ambient-rng": 3,
+        "nd-wallclock": 3,
+        "nd-uuid": 1,
+        "nd-builtin-hash": 1,
+        "nd-unordered-iter": 3,
+    }
+
+
+def test_nd_good_is_clean():
+    assert run("nd_good.py").findings == []
+
+
+# ---------------------------------------------------------------- family 2
+
+
+def test_rng_bad_detects_label_and_thread_escape():
+    by_rule = counts(run("rng_bad.py"))
+    assert by_rule == {"rng-label": 1, "rng-thread-escape": 2}
+
+
+def test_rng_good_is_clean():
+    assert run("rng_good.py").findings == []
+
+
+# ---------------------------------------------------------------- family 3
+
+
+def test_zerocopy_bad_detects_copies():
+    by_rule = counts(run("zerocopy_bad.py"))
+    assert by_rule == {"zero-copy": 3}
+
+
+def test_zerocopy_good_is_clean():
+    assert run("zerocopy_good.py").findings == []
+
+
+# ---------------------------------------------------------------- family 4
+
+
+def test_locks_bad_detects_inversion_and_blocking():
+    report = run("locks_bad.py")
+    by_rule = counts(report)
+    # 2 inversion reports (one per direction of the ABBA pair) + 1
+    # non-reentrant re-acquisition; blocking: direct fsync, transitive
+    # sleep via helper, ledger's own fsync, and the cross-class call into
+    # the ledger while holding the gate.
+    assert by_rule == {"lock-order": 3, "lock-blocking-call": 4}
+    symbols = {f.symbol for f in report.findings if f.rule == "lock-blocking-call"}
+    assert symbols == {
+        "Inverted.fsync_under_lock",
+        "Inverted.sleep_via_helper",
+        "FakeLedger.append",
+        "UsesLedger.record_under_gate",
+    }
+
+
+def test_locks_good_is_clean():
+    assert run("locks_good.py").findings == []
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def test_wellformed_suppression_silences_and_is_counted():
+    report = run("suppress_used.py")
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    finding, reason = report.suppressed[0]
+    assert finding.rule == "nd-wallclock"
+    assert "metric" in reason
+
+
+def test_unused_suppression_is_a_finding():
+    report = run("suppress_unused.py")
+    assert counts(report) == {"unused-suppression": 1}
+
+
+def test_malformed_suppression_is_a_finding():
+    report = run("suppress_malformed.py")
+    assert counts(report) == {"malformed-suppression": 1}

@@ -1,0 +1,86 @@
+"""Suppression parsing: hypothesis round-trips plus the edge semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint import parse_suppressions, render_suppression
+from repro.lint.suppress import parse_suppression_comment
+
+rule_ids = st.one_of(
+    st.from_regex(r"[a-z][a-z0-9-]{0,20}", fullmatch=True),
+    st.just("*"),
+)
+reasons = (
+    st.text(
+        alphabet=st.characters(
+            min_codepoint=32, blacklist_categories=("Cs", "Cc", "Zl", "Zp")
+        ),
+        min_size=1,
+        max_size=80,
+    )
+    .map(str.strip)
+    .filter(bool)
+)
+
+
+@given(rules=st.lists(rule_ids, min_size=1, max_size=3), reason=reasons)
+def test_render_parse_roundtrip(rules, reason):
+    comment = render_suppression(tuple(rules), reason)
+    parsed = parse_suppression_comment(comment)
+    assert parsed == (tuple(rules), reason)
+
+
+@given(rules=st.lists(rule_ids, min_size=1, max_size=3), reason=reasons)
+def test_roundtrip_through_a_source_file(rules, reason):
+    source = f"x = 1  {render_suppression(tuple(rules), reason)}\n"
+    index = parse_suppressions(source)
+    suppression = index.for_finding_line(1)
+    assert suppression is not None
+    assert not suppression.standalone
+    assert suppression.reason == reason
+    for rule in rules:
+        assert suppression.covers(rule)
+    assert index.malformed == []
+
+
+@given(rules=st.lists(rule_ids, min_size=1, max_size=3), reason=reasons)
+def test_standalone_comment_covers_the_next_code_line(rules, reason):
+    source = f"{render_suppression(tuple(rules), reason)}\nx = 1\n"
+    index = parse_suppressions(source)
+    suppression = index.for_finding_line(2)
+    assert suppression is not None
+    assert suppression.standalone
+    # but it does not bleed two lines down
+    assert index.for_finding_line(3) is None
+
+
+def test_non_lint_comment_is_ignored():
+    assert parse_suppression_comment("# just a note") is None
+
+
+def test_missing_reason_is_malformed():
+    with pytest.raises(ValueError, match="reason"):
+        parse_suppression_comment("# repro-lint: allow[nd-wallclock]")
+
+
+def test_unparseable_marker_is_malformed():
+    with pytest.raises(ValueError, match="malformed"):
+        parse_suppression_comment("# repro-lint: ignore-this-line please")
+
+
+def test_marker_inside_string_literal_is_not_a_suppression():
+    source = 's = "# repro-lint: allow[zero-copy] not a comment"\n'
+    index = parse_suppressions(source)
+    assert index.by_line == {}
+    assert index.malformed == []
+
+
+def test_wildcard_covers_any_rule():
+    index = parse_suppressions("x = 1  # repro-lint: allow[*] fixture shotgun\n")
+    suppression = index.for_finding_line(1)
+    assert suppression is not None
+    assert suppression.covers("zero-copy")
+    assert suppression.covers("lock-order")

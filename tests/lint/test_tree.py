@@ -1,0 +1,34 @@
+"""The whole-tree gate: src/repro must lint clean against the checked-in
+baseline — the same check CI runs via ``python -m repro.lint
+--check-baseline``, here so a plain pytest run enforces it too."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Baseline, check_baseline, lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean_against_the_baseline():
+    report = lint_paths([REPO / "src" / "repro"])
+    baseline = Baseline.load(REPO / "repro-lint-baseline.json")
+    check = check_baseline(report.findings, baseline)
+    assert check.ok, {
+        "new": [f.render() for f in check.new_findings],
+        "stale": [e.to_dict() for e in check.stale_entries],
+    }
+
+
+def test_every_suppression_in_the_tree_carries_a_reason():
+    report = lint_paths([REPO / "src" / "repro"])
+    assert report.suppressed, "the tree documents its deliberate exceptions"
+    for finding, reason in report.suppressed:
+        assert reason.strip(), finding.render()
+
+
+def test_cli_entrypoint_checks_the_baseline():
+    from repro.lint.cli import main
+
+    assert main(["--check-baseline", str(REPO / "src" / "repro")]) == 0
