@@ -12,6 +12,64 @@ from __future__ import annotations
 
 import resource
 import sys
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Accumulates measured per-phase seconds across the rounds of a run.
+
+    Benchmarks split a round's wall clock into named phases (wrap,
+    admission, chain, decode, ...) either by timing blocks directly::
+
+        timer = PhaseTimer()
+        with timer.phase("wrap"):
+            build_the_round()
+
+    or by absorbing a phase dict the system already measured
+    (``SwarmRoundReport.phases``)::
+
+        timer.absorb(report.phases)
+
+    ``to_dict()`` returns the per-round records plus summed totals, the
+    shape the BENCH_*.json artifacts embed.
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.rounds: list[dict] = []
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str):
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - begin)
+
+    def absorb(self, phases: dict | None) -> None:
+        """Fold one round's ``{*_seconds: float}`` phase dict into the run."""
+        if phases is None:
+            return
+        self.rounds.append({key: value for key, value in phases.items()})
+        for key, value in phases.items():
+            if key.endswith("_seconds") and key != "total_seconds":
+                self.add(key[: -len("_seconds")], value)
+
+    def to_dict(self) -> dict:
+        return {
+            "totals": {name: round(seconds, 4) for name, seconds in sorted(self.totals.items())},
+            "rounds": [
+                {
+                    key: (round(value, 4) if isinstance(value, float) else value)
+                    for key, value in record.items()
+                }
+                for record in self.rounds
+            ],
+        }
 
 
 def peak_rss_bytes() -> int:

@@ -7,9 +7,22 @@ operations per second.  These micro-benchmarks measure this implementation's
 X25519 and onion throughput (on whatever backend is active) so the cost model
 can be recalibrated to local hardware, and they quantify the gap between the
 pure-Python reference primitives and the accelerated backend.
+
+Besides the pytest benchmarks, the module runs standalone and writes the
+kernel-level rates per available backend to ``BENCH_crypto_micro.json`` —
+the baseline the cross-round precompute pipeline's accounting refers to::
+
+    PYTHONPATH=src python benchmarks/bench_crypto_micro.py
 """
 
 from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 from bench_common import emit
@@ -81,3 +94,114 @@ def test_pure_python_x25519_throughput(benchmark, keys):
     finally:
         set_backend(CRYPTOGRAPHY)
     assert result == expected
+
+
+# --------------------------------------------------------------- standalone
+
+
+def _seconds_per_call(fn, budget: float = 0.25) -> float:
+    """Adaptive timing: one probe call sizes the loop, then measure."""
+    begin = time.perf_counter()
+    fn()
+    once = time.perf_counter() - begin
+    if once >= budget:
+        return once
+    repeats = min(20_000, max(1, int(budget / max(once, 1e-9))))
+    begin = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - begin) / repeats
+
+
+def _backend_rates(batch: int) -> dict:
+    """Kernel-level ops/sec on the *active* backend."""
+    from repro.crypto import wrap_request_batch
+    from repro.crypto.batch_kernels import chacha20_keystream_schedule
+    from repro.crypto.chacha20 import chacha20_keystream, chacha20_xor
+    from repro.crypto.hkdf import derive_key, hkdf
+    from repro.crypto import x25519
+
+    rng = DeterministicRandom(3)
+    ours = KeyPair.generate(rng)
+    peer = KeyPair.generate(rng)
+    servers = [KeyPair.generate(rng) for _ in range(3)]
+    publics = [kp.public for kp in servers]
+    backend = active_backend()
+
+    scalars = [rng.random_bytes(32) for _ in range(batch)]
+    keys = [rng.random_bytes(32) for _ in range(batch)]
+    secrets = [rng.random_bytes(32) for _ in range(batch)]
+    inners = [rng.random_bytes(272) for _ in range(batch)]
+    payload = rng.random_bytes(4096)
+    key = rng.random_bytes(32)
+    nonce = rng.random_bytes(12)
+
+    rates = {
+        "batch": batch,
+        "x25519_exchange_ops_per_sec": 1.0
+        / _seconds_per_call(lambda: ours.exchange(peer.public)),
+        "x25519_fixed_point_batch_ops_per_sec": batch
+        / _seconds_per_call(lambda: backend.x25519_fixed_point_batch(scalars, x25519.BASE_POINT)),
+        "hkdf_derive_key_ops_per_sec": 1.0
+        / _seconds_per_call(lambda: derive_key(key, "bench")),
+        "hkdf_schedule_ops_per_sec": batch
+        / _seconds_per_call(lambda: hkdf(secrets[0], salt=b"s", info=b"i", length=32)),
+        "chacha20_keystream_bytes_per_sec": len(payload)
+        / _seconds_per_call(lambda: chacha20_keystream(key, nonce, len(payload))),
+        "chacha20_xor_bytes_per_sec": len(payload)
+        / _seconds_per_call(lambda: chacha20_xor(key, nonce, payload)),
+        "chacha20_keystream_schedule_streams_per_sec": batch
+        / _seconds_per_call(lambda: chacha20_keystream_schedule(keys, nonce, 0, 272)),
+        "wrap_request_batch_wires_per_sec": batch
+        / _seconds_per_call(lambda: wrap_request_batch(list(inners), publics, 1, rng)),
+    }
+    return {name: (value if name == "batch" else round(value, 1)) for name, value in rates.items()}
+
+
+def main() -> None:
+    import argparse
+    import json
+    import os
+    import platform
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_crypto_micro.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+
+    original = active_backend().name
+    per_backend: dict[str, dict] = {}
+    try:
+        for name in available_backends():
+            set_backend(name)
+            # The pure-Python fallback is orders of magnitude slower; a small
+            # batch keeps its calibration run bounded.
+            per_backend[name] = _backend_rates(batch=256 if name != PURE_PYTHON else 8)
+            print(f"  measured backend {name}", file=sys.stderr)
+    finally:
+        set_backend(original)
+
+    results = {
+        "benchmark": "crypto_micro",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "paper_dh_ops_per_sec_36core": PAPER_SERVER.dh_ops_per_sec,
+        "backends": per_backend,
+    }
+    emit(
+        "Crypto kernel rates (per backend)",
+        [
+            {"backend": name, **rates}
+            for name, rates in per_backend.items()
+        ],
+    )
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.output}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

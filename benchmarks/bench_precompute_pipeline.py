@@ -1,0 +1,196 @@
+"""Cross-round precompute pipeline: speculative work off the critical path.
+
+A continuous swarm session runs the same rounds twice — precompute off, then
+on — through :meth:`VuvuzelaSystem.run_swarm_session`.  With the pipeline on,
+round N+1's client wires (cover traffic and queued messages) and the servers'
+speculative noise material are built while round N's chain drives, and the
+first round's material is primed before the measured window, so every
+measured round starts warm — the steady state a long-running deployment sits
+in.  With the pipeline off, every round pays its wrap and noise build on the
+critical path, round one's session key setup included.
+
+The two modes are byte-identical (checked here round by round over the
+ledger-record observables); the pipeline only *moves* deterministic work.
+On a single-core host the win is exactly the work that leaves the measured
+window: the steady-state session never pays a cold round, and the admission
+gate's chunk fast path plus the hoisted dedup digests shrink the serialized
+section (see PERFORMANCE.md, "Cross-round precompute").
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_precompute_pipeline.py
+    PYTHONPATH=src python benchmarks/bench_precompute_pipeline.py --users 2000 --rounds 4
+
+CI runs ``--smoke``: the on-vs-off identity check on a small population plus
+one 10k-wire precompute-on session round under the job's hard timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_common import PhaseTimer, emit, peak_rss_bytes  # noqa: E402
+
+from repro import VuvuzelaConfig, VuvuzelaSystem  # noqa: E402
+from repro.crypto import active_backend  # noqa: E402
+from repro.simulation import ClientSwarm, WorkloadSpec  # noqa: E402
+
+SEED = 8  # same derivation seed as bench_swarm_round
+CONVERSING_FRACTION = 0.6
+
+
+def build_swarm(num_users: int) -> tuple[VuvuzelaConfig, ClientSwarm]:
+    config = VuvuzelaConfig.small(seed=SEED)
+    spec = WorkloadSpec(
+        num_users=num_users,
+        conversing_fraction=CONVERSING_FRACTION,
+        dialing_fraction=0.0,
+    )
+    return config, ClientSwarm.from_spec(config, spec)
+
+
+def run_session(num_users: int, rounds: int, *, precompute: bool) -> dict:
+    """One continuous swarm session; returns its measurement record."""
+    config, swarm = build_swarm(num_users)
+    with VuvuzelaSystem(config) as system:
+        report = system.run_swarm_session(swarm, rounds, precompute=precompute)
+        records = [
+            system._ledger_round_record(system.protocols["conversation"], r.metrics)
+            for r in report.rounds
+        ]
+    timer = PhaseTimer()
+    for round_report in report.rounds:
+        timer.absorb(round_report.phases)
+    wires = report.wires
+    for round_report in report.rounds:
+        if round_report.outcome.lost or round_report.outcome.undelivered:
+            raise AssertionError(
+                f"precompute={precompute}: round {round_report.metrics.round_number} "
+                f"lost={round_report.outcome.lost} "
+                f"undelivered={len(round_report.outcome.undelivered)}"
+            )
+    return {
+        "precompute": precompute,
+        "users": num_users,
+        "rounds": rounds,
+        "wires": wires,
+        "session_seconds": round(report.wall_clock_seconds, 3),
+        "msgs_per_sec": round(report.messages_per_second, 1),
+        "phases": timer.to_dict(),
+        "counters": report.precompute,
+        "ledger_records": records,
+    }
+
+
+def check_identity(num_users: int = 200, rounds: int = 3) -> None:
+    """On-vs-off byte identity over the ledger-record observables."""
+    off = run_session(num_users, rounds, precompute=False)
+    on = run_session(num_users, rounds, precompute=True)
+    if off["ledger_records"] != on["ledger_records"]:
+        raise AssertionError(
+            "precompute on/off sessions diverged in their round observables"
+        )
+    hits = on["counters"]["conversation"]["hits"] + on["counters"]["swarm"]["hits"]
+    if hits == 0:
+        raise AssertionError("the precompute pipeline never hit — nothing was speculated")
+    print(
+        f"  identity: {rounds} rounds x {num_users} users byte-identical "
+        f"on vs off ({hits} speculative hits)",
+        file=sys.stderr,
+    )
+
+
+def run(num_users: int, rounds: int, output: Path) -> None:
+    check_identity()
+    off = run_session(num_users, rounds, precompute=False)
+    on = run_session(num_users, rounds, precompute=True)
+    if off["ledger_records"] != on["ledger_records"]:
+        raise AssertionError("measured sessions diverged in their round observables")
+    ratio = on["msgs_per_sec"] / off["msgs_per_sec"] if off["msgs_per_sec"] else 0.0
+    for record in (off, on):
+        record.pop("ledger_records")
+    results = {
+        "benchmark": "precompute_pipeline",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "backend": active_backend().name,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "continuous swarm session, precompute-on vs off on the same host; "
+            "on-mode primes round 1 before its measured window (the steady "
+            "state of continuous operation), off-mode pays every build on the "
+            "critical path"
+        ),
+        "identity_checked": True,
+        "off": off,
+        "on": on,
+        "speedup": round(ratio, 3),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    emit(
+        "Cross-round precompute pipeline (continuous session)",
+        [
+            {
+                "mode": "off" if not row["precompute"] else "on",
+                "wires": row["wires"],
+                "msgs/s": row["msgs_per_sec"],
+                "wrap_s": row["phases"]["totals"].get("wrap", 0.0),
+                "admission_s": row["phases"]["totals"].get("admission", 0.0),
+                "chain_s": row["phases"]["totals"].get("chain", 0.0),
+                "decode_s": row["phases"]["totals"].get("decode", 0.0),
+            }
+            for row in (off, on)
+        ],
+    )
+    print(f"\n  speedup (on/off): {ratio:.3f}x", file=sys.stderr)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+
+
+def run_smoke() -> None:
+    """CI gate: identity on a small population, then a 10k-wire warm round."""
+    check_identity()
+    record = run_session(10_000, 2, precompute=True)
+    print(
+        f"  smoke: {record['wires']:,} wires over {record['rounds']} precompute-on "
+        f"rounds at {record['msgs_per_sec']:,.0f} msgs/s "
+        f"(wrap on critical path: {record['phases']['totals'].get('wrap', 0.0):.2f}s)",
+        file=sys.stderr,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--users", type=int, default=10_000, help="population per round")
+    parser.add_argument("--rounds", type=int, default=3, help="measured session rounds")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the identity check plus one 10k-wire precompute-on session, then exit",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_precompute_pipeline.json"
+        ),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        run_smoke()
+        return
+    if args.users <= 0 or args.rounds <= 0:
+        parser.error("--users and --rounds must be positive")
+    run(args.users, args.rounds, Path(args.output))
+
+
+if __name__ == "__main__":
+    main()

@@ -49,7 +49,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_common import emit, peak_rss_bytes  # noqa: E402
+from bench_common import PhaseTimer, emit, peak_rss_bytes  # noqa: E402
 
 from repro import VuvuzelaConfig, VuvuzelaSystem  # noqa: E402
 from repro.crypto import active_backend  # noqa: E402
@@ -83,6 +83,8 @@ def run_round(num_users: int, chunk_size: int) -> dict:
             f"{num_users}-wire round lost responses: "
             f"lost={report.outcome.lost} undelivered={len(report.outcome.undelivered)}"
         )
+    timer = PhaseTimer()
+    timer.absorb(report.phases)
     record = {
         "wires": num_users,
         "conversing_fraction": CONVERSING_FRACTION,
@@ -94,6 +96,8 @@ def run_round(num_users: int, chunk_size: int) -> dict:
         "noise_requests": metrics.noise_requests,
         "bytes_moved": metrics.bytes_moved,
         "ingest": ingest,
+        #: Measured wrap / admission / chain / decode seconds of the round.
+        "phases": timer.to_dict(),
     }
     if metrics.delivered_responses != num_users:
         raise AssertionError(
@@ -152,7 +156,10 @@ def run(sizes: list[int], chunk_size: int, output: Path) -> None:
                 "wires": row["wires"],
                 "end_to_end/s": row["end_to_end_msgs_per_sec"],
                 "ingest/s": row["ingest_msgs_per_sec"],
-                "chunks": row["ingest"]["chunks"],
+                "wrap_s": row["phases"]["totals"].get("wrap", 0.0),
+                "admission_s": row["phases"]["totals"].get("admission", 0.0),
+                "chain_s": row["phases"]["totals"].get("chain", 0.0),
+                "decode_s": row["phases"]["totals"].get("decode", 0.0),
                 "peak_buffer": row["ingest"]["peak_server_buffer"],
             }
             for row in rows

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from . import topology
 from .config import VuvuzelaConfig
@@ -32,7 +33,13 @@ from ..errors import LedgerError, ProtocolError
 from ..ledger import client_digest
 from ..net import FaultInjector, LinkConditioner, MessageKind, Network
 from ..privacy import PrivacyAccountant, conversation_guarantee, dialing_guarantee
-from ..runtime import RoundCoordinator, RoundEngine, RoundScheduler, build_protocols
+from ..runtime import (
+    PrecomputeManager,
+    RoundCoordinator,
+    RoundEngine,
+    RoundScheduler,
+    build_protocols,
+)
 from ..runtime.protocols import RoundProtocol
 from ..runtime.scheduler import ClientSession, ScheduledRound, ScheduleReport
 from ..server import ACK, ChainServerEndpoint, EntryServer
@@ -49,12 +56,53 @@ class SwarmRoundReport:
     ``metrics`` is the same :class:`~repro.core.metrics.RoundMetrics` shape a
     per-client round reports; ``ingest`` carries the chunked admission path's
     backpressure observables; ``outcome`` is the swarm's bulk-decoded view of
-    the responses.
+    the responses; ``phases`` splits the round's wall clock into measured
+    wrap / admission / chain / decode seconds.
     """
 
     metrics: RoundMetrics
     ingest: "object"
     outcome: "object"
+    phases: dict | None = None
+
+
+@dataclass
+class SwarmSessionReport:
+    """A continuous multi-round swarm session, with per-round phase splits.
+
+    The session shape the cross-round precompute pipeline is measured on:
+    ``rounds`` holds each round's :class:`SwarmRoundReport` (phase split
+    included), ``precompute`` the pipeline's hit/miss/discard counters (and
+    the swarm's prebuild counters) when the pipeline was on.
+    """
+
+    rounds: list = None  # type: ignore[assignment]
+    wall_clock_seconds: float = 0.0
+    precompute: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.rounds is None:
+            self.rounds = []
+
+    @property
+    def wires(self) -> int:
+        return sum(report.ingest.wires for report in self.rounds)
+
+    @property
+    def messages_per_second(self) -> float:
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.wires / self.wall_clock_seconds
+
+    def phase_totals(self) -> dict:
+        """Summed per-phase seconds across the session's rounds."""
+        totals = {"wrap": 0.0, "admission": 0.0, "chain": 0.0, "decode": 0.0}
+        for report in self.rounds:
+            if report.phases is None:
+                continue
+            for phase in totals:
+                totals[phase] += report.phases.get(f"{phase}_seconds", 0.0)
+        return totals
 
 
 class VuvuzelaSystem:
@@ -156,6 +204,25 @@ class VuvuzelaSystem:
 
         #: Optional round ledger (attach with :meth:`attach_ledger`).
         self.ledger = None
+
+        #: Optional cross-round precompute pipeline (see
+        #: :meth:`enable_precompute`).  ``None`` means every round builds its
+        #: speculative-able material inline — the two are byte-identical.
+        self.precompute: PrecomputeManager | None = None
+
+    def enable_precompute(self) -> PrecomputeManager:
+        """Turn the cross-round precompute pipeline on for this deployment.
+
+        The returned :class:`~repro.runtime.PrecomputeManager` speculatively
+        builds upcoming rounds' deterministic material (noise counts, wrapped
+        noise wires, the last dialing server's own invitations) on one
+        pipeline thread.  The scheduler's pre-open hook and the swarm session
+        driver feed it; every consumer that misses recomputes inline, so
+        enabling it never changes a single byte of any round.
+        """
+        if self.precompute is None:
+            self.precompute = PrecomputeManager.for_system(self)
+        return self.precompute
 
     # ------------------------------------------------------------------ setup
 
@@ -461,7 +528,9 @@ class VuvuzelaSystem:
 
     # ------------------------------------------------------------ swarm rounds
 
-    def run_swarm_round(self, swarm, *, chunk_size: int = 0) -> "SwarmRoundReport":
+    def run_swarm_round(
+        self, swarm, *, chunk_size: int = 0, overlap=None
+    ) -> "SwarmRoundReport":
         """Drive one conversation round offered by a whole client swarm.
 
         The swarm counterpart of :meth:`drive_scheduled_round`: the population
@@ -473,6 +542,13 @@ class VuvuzelaSystem:
         server-side observable — admission verdicts, window accounting, the
         chain drive, noise, metrics, the ledger record — goes through the
         same code as the per-client path.
+
+        ``overlap``, when given, is called once after ingest finishes (the
+        chain-drive window begins); it may kick background work — the session
+        driver uses it to prebuild the *next* round — and must return either
+        ``None`` or a join callable, which is invoked after the chain
+        resolves and before the swarm decodes, so background work never
+        races the swarm's own decode state.
         """
         protocol = self.protocols["conversation"]
         opened = self.open_scheduled_round(protocol)
@@ -508,8 +584,15 @@ class VuvuzelaSystem:
 
         stats = swarm.submit_round(round_number, submit, chunk_size=chunk_size)
         stats.peak_server_buffer = peak_buffer
+        join = overlap() if overlap is not None else None
+        chain_started = time.perf_counter()
         result = self.coordinator.close_round(opened.handle)
+        chain_seconds = time.perf_counter() - chain_started
+        if join is not None:
+            join()
+        decode_started = time.perf_counter()
         outcome = swarm.handle_round_responses(round_number, result.responses)
+        decode_seconds = time.perf_counter() - decode_started
 
         self._accountants[protocol.name].spend(1)
         metrics = protocol.collect_metrics(
@@ -525,7 +608,77 @@ class VuvuzelaSystem:
         self.metrics.record(metrics)
         if self.ledger is not None:
             self.ledger.append("round_metrics", self._ledger_round_record(protocol, metrics))
-        return SwarmRoundReport(metrics=metrics, ingest=stats, outcome=outcome)
+        phases = {
+            "round": round_number,
+            "wrap_seconds": stats.wrap_seconds,
+            "admission_seconds": stats.admission_seconds,
+            "chain_seconds": chain_seconds,
+            "decode_seconds": decode_seconds,
+            "total_seconds": metrics.wall_clock_seconds,
+        }
+        return SwarmRoundReport(
+            metrics=metrics, ingest=stats, outcome=outcome, phases=phases
+        )
+
+    def run_swarm_session(
+        self, swarm, rounds: int, *, chunk_size: int = 0, precompute: bool = False
+    ) -> "SwarmSessionReport":
+        """Drive a continuous multi-round swarm session.
+
+        With ``precompute`` on, the cross-round pipeline runs: while round
+        N's chain drives, one pipeline thread wraps round N+1's client wires
+        (cover traffic and queued messages alike — see
+        :meth:`~repro.simulation.ClientSwarm.prebuild_round`) and builds the
+        servers' speculative noise material, and the first round's material
+        is primed before the measured window so every in-session round starts
+        warm.  Speculation is horizon-capped: nothing is built past the last
+        round of the session.  Precompute on and off produce byte-identical
+        rounds — the pipeline only moves deterministic work off the critical
+        path.
+        """
+        if rounds <= 0:
+            raise ProtocolError("a swarm session needs at least one round")
+        manager = self.enable_precompute() if precompute else None
+        pipeline = (
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix="swarm-prebuild")
+            if precompute
+            else None
+        )
+        first = self.next_conversation_round
+        report = SwarmSessionReport()
+        try:
+            if manager is not None:
+                # Prime round one: a continuous session's steady state has
+                # every round's material built during its predecessor; the
+                # first round has no predecessor, so build it before the
+                # measured window opens.
+                swarm.prebuild_round(first, chunk_size=chunk_size)
+                manager.prepare("conversation", first)
+            started = time.perf_counter()
+            for index in range(rounds):
+                next_round = first + index + 1
+
+                def overlap():
+                    if pipeline is None or index + 1 >= rounds:
+                        return None  # horizon cap: never build past the session
+
+                    def prepare_next() -> None:
+                        swarm.prebuild_round(next_round, chunk_size=chunk_size)
+                        manager.prepare("conversation", next_round)
+
+                    return pipeline.submit(prepare_next).result
+
+                report.rounds.append(
+                    self.run_swarm_round(swarm, chunk_size=chunk_size, overlap=overlap)
+                )
+            report.wall_clock_seconds = time.perf_counter() - started
+        finally:
+            if pipeline is not None:
+                pipeline.shutdown(wait=True)
+        if manager is not None:
+            report.precompute = manager.stats()
+            report.precompute["swarm"] = swarm.prebuild_stats()
+        return report
 
     # ---------------------------------------------------------- round driving
 
@@ -625,6 +778,9 @@ class VuvuzelaSystem:
             except LedgerError:
                 pass  # the writer was already closed by its owner
             self.ledger = None
+        if self.precompute is not None:
+            self.precompute.close()
+            self.precompute = None
         self.coordinator.close()
         self.engine.close()
 

@@ -15,7 +15,7 @@ from .deaddrop_id import (
     invitation_dead_drop,
     random_dead_drop,
 )
-from .hkdf import derive_key, hkdf
+from .hkdf import derive_key, derive_key_schedule, hkdf
 from .keys import KEY_SIZE, KeyPair, PrivateKey, PublicKey, shared_secret
 from .onion import (
     LAYER_OVERHEAD,
@@ -71,6 +71,7 @@ __all__ = [
     "conversation_dead_drop",
     "default_random",
     "derive_key",
+    "derive_key_schedule",
     "derive_layer_keys",
     "hkdf",
     "invitation_dead_drop",

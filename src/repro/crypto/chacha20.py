@@ -60,17 +60,45 @@ def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
     return struct.pack("<16L", *out)
 
 
-def chacha20_xor(key: bytes, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
+def chacha20_keystream(
+    key: bytes, nonce: bytes, length: int, initial_counter: int = 0
+) -> bytes:
+    """``length`` bytes of raw keystream.
+
+    The precompute entry point: the keystream is a pure function of
+    ``(key, nonce, counter)``, so it can be generated before the payload it
+    will encrypt exists — all that remains on the critical path is the XOR.
+    """
+    if length < 0:
+        raise ValueError("keystream length must be non-negative")
+    blocks = [
+        chacha20_block(key, initial_counter + block_index, nonce)
+        for block_index in range((length + BLOCK_SIZE - 1) // BLOCK_SIZE)
+    ]
+    return b"".join(blocks)[:length]
+
+
+def chacha20_xor(
+    key: bytes,
+    nonce: bytes,
+    data: bytes,
+    initial_counter: int = 0,
+    *,
+    keystream: bytes | None = None,
+) -> bytes:
     """Encrypt or decrypt ``data`` with the ChaCha20 keystream.
 
     The operation is an involution: applying it twice with the same key,
-    nonce and counter returns the original data.
+    nonce and counter returns the original data.  ``keystream`` may carry a
+    precomputed :func:`chacha20_keystream` for the same ``(key, nonce,
+    initial_counter)``; passing a keystream from different parameters
+    produces garbage, so only schedule-managed callers use it.
     """
-    out = bytearray(len(data))
-    for block_index in range((len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE):
-        keystream = chacha20_block(key, initial_counter + block_index, nonce)
-        offset = block_index * BLOCK_SIZE
-        chunk = data[offset : offset + BLOCK_SIZE]
-        for i, byte in enumerate(chunk):
-            out[offset + i] = byte ^ keystream[i]
-    return bytes(out)
+    if keystream is None:
+        keystream = chacha20_keystream(key, nonce, len(data), initial_counter)
+    elif len(keystream) < len(data):
+        raise ValueError("precomputed keystream is shorter than the data")
+    length = len(data)
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(keystream[:length], "little")
+    ).to_bytes(length, "little")

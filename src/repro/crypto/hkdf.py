@@ -23,7 +23,10 @@ def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
     """HKDF-Extract: compute a pseudorandom key from input keying material."""
     if not salt:
         salt = b"\x00" * HASH_LEN
-    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+    # hmac.digest is the one-shot C implementation: no HMAC object, no
+    # per-call inner/outer hash copies.  A round derives hundreds of
+    # thousands of keys, so the object overhead is measurable.
+    return hmac.digest(salt, input_key_material, "sha256")
 
 
 def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
@@ -36,11 +39,13 @@ def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
     blocks = []
     previous = b""
     counter = 1
-    while sum(len(b) for b in blocks) < length:
-        previous = hmac.new(
-            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
-        ).digest()
+    produced = 0
+    while produced < length:
+        previous = hmac.digest(
+            pseudo_random_key, previous + info + bytes([counter]), "sha256"
+        )
         blocks.append(previous)
+        produced += HASH_LEN
         counter += 1
     return b"".join(blocks)[:length]
 
@@ -58,3 +63,23 @@ def derive_key(shared_secret: bytes, label: str, length: int = 32) -> bytes:
     produce related keys.
     """
     return hkdf(shared_secret, salt=b"vuvuzela-v1", info=label.encode("utf-8"), length=length)
+
+
+def derive_key_schedule(
+    shared_secrets: list[bytes], label: str, length: int = 32
+) -> list[bytes]:
+    """Derive one key per shared secret under a single label, in one pass.
+
+    The precomputable-schedule entry point: everything here is a pure
+    function of the secrets and the label, so a whole round's per-(round,
+    server) layer keys can be derived before the round runs.  Each output is
+    byte-identical to :func:`derive_key` on the same secret; the bulk shape
+    just encodes the label once and keeps the loop free of per-call string
+    work.
+    """
+    info = label.encode("utf-8")
+    salt = b"vuvuzela-v1"
+    return [
+        hkdf_expand(hkdf_extract(salt, secret), info, length)
+        for secret in shared_secrets
+    ]

@@ -46,6 +46,23 @@ from .messages import Envelope, MessageKind
 from .transport import Handler, TrafficStats, Transport
 from ..errors import ConnectTimeout, NetworkError, ProtocolError, TransportTimeout
 
+try:  # pragma: no cover - exercised on hosts that have uvloop installed
+    import uvloop as _uvloop
+except ImportError:  # pragma: no cover - the stdlib loop is the default
+    _uvloop = None
+
+#: Whether the C event loop is available on this host.  Purely an
+#: optimisation: frames and handler behaviour are identical on either loop.
+UVLOOP_AVAILABLE = _uvloop is not None
+
+
+def _new_event_loop() -> asyncio.AbstractEventLoop:
+    """The fastest event loop this host offers (uvloop, else stdlib asyncio)."""
+    if _uvloop is not None:
+        return _uvloop.new_event_loop()
+    return asyncio.new_event_loop()
+
+
 _LENGTH = struct.Struct(">I")
 _REQUEST_HEAD = struct.Struct(">BQHH")  # kind index, round number, source len, destination len
 
@@ -156,6 +173,19 @@ def _frame(body: bytes) -> bytes:
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"TCP frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap")
     return _LENGTH.pack(len(body)) + body
+
+
+def _write_frame(writer: asyncio.StreamWriter, body: bytes) -> None:
+    """Queue one frame as a scatter write: length prefix and body separately.
+
+    ``writelines`` hands both buffers to the transport in one call — the
+    body, often a megabyte-scale batch frame, is never copied into a fresh
+    ``prefix + body`` object the way :func:`_frame` concatenation would.
+    The bytes on the wire are identical.
+    """
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"TCP frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    writer.writelines((_LENGTH.pack(len(body)), body))
 
 
 class _ConnectionPool:
@@ -276,7 +306,7 @@ class TcpTransport(Transport):
             if self._closed:
                 raise NetworkError("this transport is closed")
             if self._loop is None:
-                loop = asyncio.new_event_loop()
+                loop = _new_event_loop()
                 thread = threading.Thread(
                     target=loop.run_forever, name="tcp-transport-loop", daemon=True
                 )
@@ -329,7 +359,7 @@ class TcpTransport(Transport):
                 if body is None:
                     break
                 reply = await loop.run_in_executor(self._executor, self._handle_frame, body)
-                writer.write(_frame(reply))
+                _write_frame(writer, reply)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
@@ -449,7 +479,7 @@ class TcpTransport(Transport):
             )
         reader, writer = await pool.acquire()
         try:
-            writer.write(_frame(body))
+            _write_frame(writer, body)
             await writer.drain()
             reply = await asyncio.wait_for(_read_frame(reader), self.request_timeout)
         except asyncio.TimeoutError as exc:

@@ -23,6 +23,7 @@ from .engine import (
     default_engine,
 )
 from .coordinator import ABORTED, LATE, RoundCoordinator, RoundResult, SubmissionWindow
+from .precompute import PrecomputeManager, SpeculativeEntry, SpeculativeStore
 
 # The protocol plug-ins and the scheduler sit above the coordinator and pull
 # in the protocol packages (conversation, dialing, mixnet); they must stay
@@ -61,6 +62,9 @@ __all__ = [
     "WanChurnCampaign",
     "PROCESS",
     "PROTOCOL_KINDS",
+    "PrecomputeManager",
+    "SpeculativeEntry",
+    "SpeculativeStore",
     "SERIAL",
     "THREADED",
     "ClientSession",

@@ -444,21 +444,26 @@ class RoundCoordinator:
         round_number: int,
         source: str,
         payload: bytes,
+        digest: bytes | None = None,
     ) -> tuple[bytes, bool, int]:
         """Gate one submission through an open window (caller holds the lock).
 
         Returns ``(reply, refused, accepted index)``; index is -1 for a
         refusal.  Shared verbatim by the per-envelope path and the batched
-        swarm path, so both produce identical window observables.
+        swarm path, so both produce identical window observables.  ``digest``
+        lets the batched path hand in payload hashes it computed outside the
+        lock.
         """
         # The digest bookkeeping exists for networked resubmission (abort
         # recovery, retried long-polls); synchronous deployments push
         # responses and never resubmit, so they skip the per-message hash.
         digests: list[bytes] | None = None
-        digest = b""
         if self.blocking_responses:
-            digest = _digest(payload)
+            if digest is None:
+                digest = _digest(payload)
             digests = window.submitted.setdefault(source, [])
+        else:
+            digest = b""
         if digests is not None and digest in digests:
             # Idempotent resubmission (abort recovery, or a client whose
             # long-poll timed out): the payload already occupies a batch
@@ -509,7 +514,19 @@ class RoundCoordinator:
         """
         kind, round_number, entries = decode_submission_batch(envelope.payload)
         reply_to = {ACK: VERDICT_ACCEPTED, REFUSED: VERDICT_REFUSED, LATE: VERDICT_LATE}
-        verdicts = bytearray()
+        # Everything computable per wire is hoisted out of the lock: the
+        # dedup digests (networked mode's most expensive per-wire work) and
+        # the chunk's per-source multiplicities (what the fast path below
+        # merges into the window and entry counters in bulk).
+        digests = (
+            [_digest(payload) for _, payload in entries]
+            if self.blocking_responses
+            else None
+        )
+        tallies: dict[str, int] = {}
+        for source, _ in entries:
+            tallies[source] = tallies.get(source, 0) + 1
+        verdicts: bytes | bytearray = bytearray()
         with self._lock:
             window = self._windows.get((kind, round_number))
             if window is None:
@@ -526,16 +543,44 @@ class RoundCoordinator:
                 return encode_batch_verdicts(
                     round_number, bytes(reply_to[reply] for reply in replies)
                 )
-            for source, payload in entries:
-                if window.closed or (
-                    window.deadline is not None and self._clock() > window.deadline
-                ):
-                    window.late += 1
-                    self.late_requests += 1
-                    verdicts.append(VERDICT_LATE)
-                    continue
-                reply, refused, _ = self._gate_one(window, kind, round_number, source, payload)
-                verdicts.append(reply_to[reply])
+            if (
+                not window.closed
+                and window.deadline is None
+                and not self.blocking_responses
+                and not self.entry.require_registration
+            ):
+                # Fast path — the in-process swarm configuration: no deadline
+                # clock to consult per wire, no long-poll dedup, and
+                # admission control that cannot refuse.  The whole chunk is
+                # one buffer extend, two tally merges and one verdict string;
+                # every observable (buffer order, per-source counts, window
+                # arrivals/accepted) lands exactly as the per-wire loop
+                # below would leave it.
+                self.entry.admit_chunk(kind, round_number, entries, tallies)
+                window.arrivals += len(entries)
+                window.accepted += len(entries)
+                per_client = window.per_client
+                for source, added in tallies.items():
+                    per_client[source] = per_client.get(source, 0) + added
+                verdicts = bytes([VERDICT_ACCEPTED]) * len(entries)
+            else:
+                for position, (source, payload) in enumerate(entries):
+                    if window.closed or (
+                        window.deadline is not None and self._clock() > window.deadline
+                    ):
+                        window.late += 1
+                        self.late_requests += 1
+                        verdicts.append(VERDICT_LATE)
+                        continue
+                    reply, refused, _ = self._gate_one(
+                        window,
+                        kind,
+                        round_number,
+                        source,
+                        payload,
+                        digest=digests[position] if digests is not None else None,
+                    )
+                    verdicts.append(reply_to[reply])
             should_close = (
                 self.blocking_responses
                 and window.expected_requests is not None

@@ -1,0 +1,239 @@
+"""Cross-round speculative precompute: round N+1's deterministic material
+built while round N is still admitting and mixing.
+
+Everything a chain server contributes to a round that does *not* depend on
+live client payloads — noise counts, the noise wires' onion wrapping, the
+last dialing server's fake invitations — is a pure function of
+``(seed, label, round, attempt)``: each component draws it from an
+independent rng fork (PR 6's per-``(round, attempt)`` forks).  That purity
+is what makes speculation sound:
+
+* **Byte-invisibility.**  A speculative build makes exactly the draws the
+  inline build would make, from the same fork, in the same order.  The
+  :class:`SpeculativeEntry` keeps the *advanced* rng object, so draws that
+  must follow the speculated ones (the mix permutation) continue the stream
+  precisely where an inline build would have them.  A consumer that misses
+  (nothing prepared, or a lost race with the pipeline thread) re-forks and
+  recomputes inline — identical bytes either way, so precompute on/off and
+  every hit/miss interleaving are byte-identical by construction.
+* **Attempt-aware invalidation.**  A §6 abort bumps the round's attempt
+  number; the retried round's material comes from a *different* fork.
+  :meth:`SpeculativeStore.take` therefore discards any same-round entry
+  built for another attempt (and every entry for an older round) instead of
+  serving it — stale speculation is dropped, never spent.
+
+Thread model: :class:`PrecomputeManager` runs preparation on one pipeline
+thread while the round thread consumes.  All store access is under a lock
+with atomic take-or-miss; rng forks derive children purely from
+``(seed, label)`` without touching parent state, so a preparation racing an
+inline build draws from its own stream and at worst wastes the work.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..crypto.rng import RandomSource
+
+
+@dataclass
+class SpeculativeEntry:
+    """One ``(round, attempt)``'s precomputed material plus its advanced rng.
+
+    ``rng`` is the per-``(round, attempt)`` fork *after* the speculative
+    draws; the consumer's remaining draws (e.g. the mix permutation) must
+    continue from it for the round to be byte-identical to an inline build.
+    """
+
+    round_number: int
+    attempt: int
+    material: Any
+    rng: RandomSource | None = None
+
+
+class SpeculativeStore:
+    """Per-component store of speculative per-``(round, attempt)`` material.
+
+    One store per component that owns an rng stream (each mixing
+    :class:`~repro.mixnet.chain.MixServer`, the last dialing server).  The
+    consume path (:meth:`take`) is the invalidation point: serving an entry,
+    discarding stale attempts and pruning finished rounds happen atomically
+    under the store lock, so a pipeline thread preparing round N+1 can never
+    hand the round thread half-pruned state.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[int, int], SpeculativeEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.discards = 0
+
+    def prepared(self, round_number: int, attempt: int) -> bool:
+        with self._lock:
+            return (round_number, attempt) in self._entries
+
+    def put(self, entry: SpeculativeEntry) -> bool:
+        """Store one speculative entry; refuses to overwrite (first build wins)."""
+        key = (entry.round_number, entry.attempt)
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = entry
+            return True
+
+    def take(self, round_number: int, attempt: int) -> SpeculativeEntry | None:
+        """Consume the entry for ``(round, attempt)``, invalidating stale ones.
+
+        Any same-round entry built for a *different* attempt was speculated
+        before an abort bumped the attempt number: it is discarded here,
+        never served.  Entries for rounds before ``round_number`` can no
+        longer be consumed (rounds drive in order) and are pruned so a
+        continuous session does not accumulate them.
+        """
+        with self._lock:
+            entry = self._entries.pop((round_number, attempt), None)
+            stale = [key for key in self._entries if key[0] <= round_number]
+            for key in stale:
+                del self._entries[key]
+            self.discards += len(stale)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def discard_round(self, round_number: int) -> int:
+        """Drop every attempt's speculative material for one round."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == round_number]
+            for key in stale:
+                del self._entries[key]
+            self.discards += len(stale)
+            return len(stale)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "discards": self.discards,
+                "pending": len(self._entries),
+            }
+
+
+class PrecomputeManager:
+    """Drives speculative preparation of upcoming rounds for a deployment.
+
+    The manager owns the pipeline thread and knows, per protocol, which
+    components can precompute: every mixing server with a noise builder
+    (noise counts + wrapped noise wires) and the chain's terminal processor
+    when it exposes ``precompute_round`` (the last dialing server's own
+    noise; the conversation processor's store pruning).  It is an
+    *in-process* feature: a TCP deployment's server processes simply never
+    prepare, and stay byte-identical because misses recompute inline.
+
+    Hook points: the in-process system calls :meth:`prepare_async` for round
+    N+1 while round N's chain drives (the same overlap the scheduler's
+    pre-opened windows exploit), and :meth:`invalidate` when a round aborts
+    — although consumption-side invalidation in :meth:`SpeculativeStore.take`
+    already guarantees a bumped attempt never sees stale material, eager
+    invalidation frees the memory and makes the discard observable.
+    """
+
+    def __init__(
+        self, components: Mapping[str, Sequence[Any]], *, enabled: bool = True
+    ) -> None:
+        self.enabled = enabled
+        self._components = {name: list(parts) for name, parts in components.items()}
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight: list[Future] = []
+        self.prepared_rounds = 0
+
+    @classmethod
+    def for_system(cls, system: Any, *, enabled: bool = True) -> "PrecomputeManager":
+        """Build a manager over an in-process system's chain endpoints."""
+        components: dict[str, list[Any]] = {}
+        for name, endpoints in (
+            ("conversation", system.conversation_endpoints),
+            ("dialing", system.dialing_endpoints),
+        ):
+            parts: list[Any] = [
+                endpoint.mix_server
+                for endpoint in endpoints
+                if endpoint.mix_server.noise_builder is not None
+            ]
+            terminal = endpoints[-1].processor
+            if terminal is not None and hasattr(terminal, "precompute_round"):
+                parts.append(terminal)
+            components[name] = parts
+        return cls(components, enabled=enabled)
+
+    def prepare(self, protocol: str, round_number: int, attempt: int = 1) -> int:
+        """Synchronously precompute one round attempt's speculative material.
+
+        Returns how many components actually built something (components
+        that already hold the entry are skipped).
+        """
+        if not self.enabled:
+            return 0
+        prepared = 0
+        for component in self._components.get(protocol, ()):
+            if component.precompute_round(round_number, attempt):
+                prepared += 1
+        if prepared:
+            self.prepared_rounds += 1
+        return prepared
+
+    def prepare_async(
+        self, protocol: str, round_number: int, attempt: int = 1
+    ) -> Future | None:
+        """Queue :meth:`prepare` on the pipeline thread; returns its future."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="precompute-pipeline"
+                )
+            future = self._executor.submit(self.prepare, protocol, round_number, attempt)
+            self._inflight.append(future)
+            self._inflight = [f for f in self._inflight if not f.done()]
+            return future
+
+    def wait_ready(self) -> None:
+        """Join every queued preparation (benchmarks use this to draw phase
+        boundaries; correctness never needs it — a miss recomputes inline)."""
+        with self._lock:
+            inflight, self._inflight = self._inflight, []
+        for future in inflight:
+            future.result()
+
+    def invalidate(self, protocol: str, round_number: int) -> int:
+        """Eagerly drop all speculative material for one round (abort path)."""
+        dropped = 0
+        for component in self._components.get(protocol, ()):
+            dropped += component.speculative.discard_round(round_number)
+        return dropped
+
+    def stats(self) -> dict:
+        """Aggregated per-protocol hit/miss/discard counters."""
+        out: dict[str, Any] = {"enabled": self.enabled, "prepared_rounds": self.prepared_rounds}
+        for name, parts in self._components.items():
+            totals = {"hits": 0, "misses": 0, "discards": 0, "pending": 0}
+            for component in parts:
+                for key, value in component.speculative.stats().items():
+                    totals[key] += value
+            out[name] = totals
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._inflight = []
+        if executor is not None:
+            executor.shutdown(wait=True)

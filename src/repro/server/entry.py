@@ -130,6 +130,34 @@ class EntryServer:
         """
         return [self.admit(kind, round_number, source, payload) for source, payload in entries]
 
+    def admit_chunk(
+        self,
+        kind: MessageKind,
+        round_number: int,
+        entries: list[tuple[str, bytes]],
+        tallies: dict[str, int],
+    ) -> int:
+        """Bulk-admit one chunk when every entry is acceptable by construction.
+
+        The coordinator's batched fast path calls this only when
+        ``require_registration`` is off — the one configuration where
+        :meth:`admit` cannot refuse, so the whole chunk collapses to one
+        buffer extend and one tally merge.  ``tallies`` is the chunk's
+        per-source multiplicity, precomputed by the caller *outside* the
+        coordinator lock.  Buffer order and per-source counts end up exactly
+        as per-entry :meth:`admit` calls would leave them.
+        """
+        if kind not in self.first_server:
+            raise ProtocolError(f"the entry server does not handle {kind}")
+        if self.require_registration:
+            raise ProtocolError("admit_chunk cannot apply registration gating")
+        key = (kind, round_number)
+        self._buffers.setdefault(key, []).extend(entries)
+        counts = self._counts.setdefault(key, {})
+        for source, added in tallies.items():
+            counts[source] = counts.get(source, 0) + added
+        return len(entries)
+
     def serve_invitations(self, round_number: int) -> bytes:
         """One dialing round's invitation store, JSON-encoded, cached.
 

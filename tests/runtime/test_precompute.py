@@ -1,0 +1,495 @@
+"""Cross-round precompute pipeline: speculation is byte-invisible.
+
+The pipeline's contract is absolute: precompute on and off, every hit/miss
+interleaving, and every abort/retry sequence produce byte-identical rounds,
+because speculative builds make exactly the draws an inline build would make
+from the same per-``(round, attempt)`` fork.  These tests pin that contract
+at every layer — the :class:`SpeculativeStore`'s attempt-aware invalidation,
+the crypto schedule entry points, the client swarm's build-ahead with rng
+rewind, the session driver, and the admission gate's chunk fast path — and
+drive the abort path in both deployment shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DeploymentLauncher, VuvuzelaConfig, VuvuzelaSystem
+from repro.crypto import DeterministicRandom, KeyPair, derive_key, derive_key_schedule, wrap_request
+from repro.crypto.batch_kernels import chacha20_keystream_schedule
+from repro.crypto.chacha20 import chacha20_keystream, chacha20_xor
+from repro.mixnet import MixServer
+from repro.net import MessageKind, Network
+from repro.runtime import RoundCoordinator, SpeculativeEntry, SpeculativeStore
+from repro.server import ChainServerEndpoint, EntryServer
+from repro.server.wire import (
+    VERDICT_ACCEPTED,
+    decode_batch_verdicts,
+    encode_submission_batch,
+)
+from repro.simulation import ClientSwarm, WorkloadSpec
+
+SEED = 77
+
+
+def scenario_config(**overrides) -> VuvuzelaConfig:
+    base = VuvuzelaConfig.small(seed=SEED)
+    fields = base.to_dict()
+    fields.update(overrides)
+    return VuvuzelaConfig.from_dict(fields)
+
+
+def converse(system, alice_name="alice", bob_name="bob"):
+    alice, bob = system.add_client(alice_name), system.add_client(bob_name)
+    alice.start_conversation(bob.public_key)
+    bob.start_conversation(alice.public_key)
+    return alice, bob
+
+
+def build_swarm(num_users: int, seed: int = SEED) -> tuple[VuvuzelaConfig, ClientSwarm]:
+    config = VuvuzelaConfig.small(seed=seed)
+    spec = WorkloadSpec(
+        num_users=num_users, conversing_fraction=0.5, dialing_fraction=0.0
+    )
+    return config, ClientSwarm.from_spec(config, spec)
+
+
+def ledger_records(system, report) -> list[dict]:
+    protocol = system.protocols["conversation"]
+    return [system._ledger_round_record(protocol, r.metrics) for r in report.rounds]
+
+
+# ----------------------------------------------------------- store semantics
+
+
+class TestSpeculativeStore:
+    def test_put_take_roundtrip(self):
+        store = SpeculativeStore()
+        assert store.put(SpeculativeEntry(3, 1, "material"))
+        assert store.prepared(3, 1)
+        entry = store.take(3, 1)
+        assert entry is not None and entry.material == "material"
+        assert not store.prepared(3, 1)
+        assert store.stats() == {"hits": 1, "misses": 0, "discards": 0, "pending": 0}
+
+    def test_first_build_wins(self):
+        store = SpeculativeStore()
+        assert store.put(SpeculativeEntry(1, 1, "pipeline"))
+        assert not store.put(SpeculativeEntry(1, 1, "racer"))
+        assert store.take(1, 1).material == "pipeline"
+
+    def test_take_counts_a_miss(self):
+        store = SpeculativeStore()
+        assert store.take(0, 1) is None
+        assert store.stats()["misses"] == 1
+
+    def test_bumped_attempt_discards_stale_speculation(self):
+        """Material speculated for attempt 1 must never be served to the
+        retry: the retried round draws from a different fork."""
+        store = SpeculativeStore()
+        store.put(SpeculativeEntry(5, 1, "pre-abort"))
+        assert store.take(5, 2) is None
+        stats = store.stats()
+        assert stats["discards"] == 1 and stats["misses"] == 1
+        assert not store.prepared(5, 1)
+
+    def test_take_prunes_finished_rounds(self):
+        store = SpeculativeStore()
+        store.put(SpeculativeEntry(1, 1, "old"))
+        store.put(SpeculativeEntry(2, 1, "current"))
+        store.put(SpeculativeEntry(3, 1, "future"))
+        assert store.take(2, 1).material == "current"
+        stats = store.stats()
+        assert stats["discards"] == 1  # round 1 can never be consumed again
+        assert stats["pending"] == 1  # round 3 survives
+        assert store.prepared(3, 1)
+
+    def test_discard_round_drops_every_attempt(self):
+        store = SpeculativeStore()
+        store.put(SpeculativeEntry(4, 1, "a"))
+        store.put(SpeculativeEntry(4, 2, "b"))
+        store.put(SpeculativeEntry(5, 1, "keep"))
+        assert store.discard_round(4) == 2
+        assert store.stats()["discards"] == 2
+        assert store.prepared(5, 1)
+
+
+# ------------------------------------------------- schedule crypto identity
+
+
+class TestPrecomputableSchedules:
+    def test_keystream_matches_xor_of_zeros(self):
+        rng = DeterministicRandom(1)
+        key, nonce = rng.random_bytes(32), rng.random_bytes(12)
+        stream = chacha20_keystream(key, nonce, 200, 3)
+        assert stream == chacha20_xor(key, nonce, bytes(200), 3)
+
+    def test_xor_with_precomputed_keystream_is_identical(self):
+        rng = DeterministicRandom(2)
+        key, nonce = rng.random_bytes(32), rng.random_bytes(12)
+        data = rng.random_bytes(391)
+        stream = chacha20_keystream(key, nonce, len(data), 7)
+        assert chacha20_xor(key, nonce, data, 7, keystream=stream) == chacha20_xor(
+            key, nonce, data, 7
+        )
+
+    def test_short_precomputed_keystream_is_refused(self):
+        rng = DeterministicRandom(3)
+        key, nonce = rng.random_bytes(32), rng.random_bytes(12)
+        with pytest.raises(ValueError):
+            chacha20_xor(key, nonce, b"x" * 65, keystream=b"\x00" * 64)
+
+    def test_keystream_schedule_matches_single_streams(self):
+        rng = DeterministicRandom(4)
+        keys = [rng.random_bytes(32) for _ in range(9)]
+        nonce = rng.random_bytes(12)
+        for nbytes in (0, 1, 64, 100, 272):
+            schedule = chacha20_keystream_schedule(keys, nonce, 1, nbytes)
+            assert schedule == [
+                chacha20_keystream(key, nonce, nbytes, 1) for key in keys
+            ]
+
+    def test_derive_key_schedule_matches_derive_key(self):
+        rng = DeterministicRandom(5)
+        secrets = [rng.random_bytes(32) for _ in range(8)]
+        assert derive_key_schedule(secrets, "onion-layer") == [
+            derive_key(secret, "onion-layer") for secret in secrets
+        ]
+
+    def test_rng_state_rewinds_and_replays(self):
+        """getstate/setstate is the swarm's invalidation primitive: a rewound
+        stream must replay the exact draws, mid-buffer positions included."""
+        rng = DeterministicRandom(6)
+        rng.random_bytes(13)  # leave the stream mid-block
+        state = rng.getstate()
+        first = [rng.random_bytes(n) for n in (7, 64, 1, 100)]
+        rng.setstate(state)
+        assert [rng.random_bytes(n) for n in (7, 64, 1, 100)] == first
+        # fork purity: forks derive from the seed, not the stream position,
+        # so rewinding the parent never perturbs child streams.
+        rng.setstate(state)
+        assert rng.fork("child").random_bytes(32) == rng.fork("child").random_bytes(32)
+
+
+# --------------------------------------------------- round-level byte identity
+
+
+class TestPrecomputeRoundIdentity:
+    def run_round(self, *, precompute: bool, prepare_rounds=(0,)):
+        with VuvuzelaSystem(scenario_config()) as system:
+            alice, bob = converse(system)
+            alice.send_message("speculate this")
+            stats = None
+            if precompute:
+                manager = system.enable_precompute()
+                for round_number in prepare_rounds:
+                    manager.prepare("conversation", round_number)
+                manager.wait_ready()
+            metrics = system.run_conversation_round()
+            record = system._ledger_round_record(
+                system.protocols["conversation"], metrics
+            )
+            if precompute:
+                stats = manager.stats()
+            return record, bob.messages_from(alice.public_key), stats
+
+    def test_prepared_round_is_byte_identical_and_hits(self):
+        cold_record, cold_messages, _ = self.run_round(precompute=False)
+        warm_record, warm_messages, stats = self.run_round(precompute=True)
+        assert warm_record == cold_record
+        assert warm_messages == cold_messages == [b"speculate this"]
+        assert stats["conversation"]["hits"] > 0
+        assert stats["conversation"]["misses"] == 0
+
+    def test_overprepared_future_rounds_are_pruned_not_leaked(self):
+        """Speculation past the horizon is discarded by the consume-side
+        pruning, and the round still matches a never-precomputed run."""
+        cold_record, _, _ = self.run_round(precompute=False)
+        warm_record, _, stats = self.run_round(precompute=True, prepare_rounds=(0, 1, 2))
+        assert warm_record == cold_record
+        assert stats["conversation"]["pending"] > 0  # rounds 1-2 still staged
+
+    def test_continuous_schedule_on_off_identity(self):
+        """The scheduler's pre-open hook feeds the pipeline; a full overlapped
+        schedule with dialing must not change a byte of any round."""
+
+        def run(precompute: bool):
+            with VuvuzelaSystem(scenario_config()) as system:
+                manager = system.enable_precompute() if precompute else None
+                alice = system.add_session("alice")
+                bob = system.add_session("bob")
+                alice.dial(bob.client.public_key)
+                alice.say("round and round")
+                report = system.run_continuous(3, dialing_interval=1, pipeline_depth=2)
+                conversation = [
+                    (m.round_number, m.client_requests, m.noise_requests, m.delivered_responses)
+                    for m in report.conversation
+                ]
+                dialing = [(m.round_number, m.bucket_sizes) for m in report.dialing]
+                received = bob.client.messages_from(alice.client.public_key)
+                stats = manager.stats() if manager else None
+                return conversation, dialing, received, stats
+
+        off = run(False)
+        on = run(True)
+        assert on[:3] == off[:3]
+        assert on[2] == [b"round and round"]
+        stats = on[3]
+        assert stats["conversation"]["hits"] + stats["dialing"]["hits"] > 0
+
+
+class TestAbortInvalidation:
+    """A chain-hop kill mid-round bumps the attempt; all speculative material
+    for the aborted attempt must be discarded, never served, and the re-run
+    must be byte-identical to a run that never precomputed."""
+
+    def faulted_run(self, *, precompute: bool):
+        with VuvuzelaSystem(scenario_config()) as system:
+            alice, bob = converse(system)
+            alice.send_message("through the crash")
+            stats = None
+            if precompute:
+                manager = system.enable_precompute()
+                manager.prepare("conversation", 0)  # attempt 1, about to abort
+                manager.wait_ready()
+            system.fault_injector(seed=1).kill_link(
+                source="server-0/conversation",
+                destination="server-1/conversation",
+                count=1,
+            )
+            metrics = system.run_conversation_round()
+            record = system._ledger_round_record(
+                system.protocols["conversation"], metrics
+            )
+            if precompute:
+                stats = manager.stats()
+            return metrics, record, bob.messages_from(alice.public_key), stats
+
+    def test_aborted_attempts_speculation_is_discarded(self):
+        cold_metrics, cold_record, cold_messages, _ = self.faulted_run(precompute=False)
+        warm_metrics, warm_record, warm_messages, stats = self.faulted_run(
+            precompute=True
+        )
+        assert warm_metrics.aborted_attempts == cold_metrics.aborted_attempts == 1
+        assert warm_record == cold_record
+        assert warm_messages == cold_messages == [b"through the crash"]
+        # Server 0 consumed its attempt-1 entry before the link died; the
+        # downstream server never ran attempt 1, so the retry finds its
+        # stale entry and drops it instead of serving it.
+        assert stats["conversation"]["hits"] == 1
+        assert stats["conversation"]["discards"] >= 1
+        assert stats["conversation"]["pending"] == 0
+
+    def test_eager_invalidation_frees_the_aborted_round(self):
+        with VuvuzelaSystem(scenario_config()) as system:
+            converse(system)
+            manager = system.enable_precompute()
+            manager.prepare("conversation", 0)
+            manager.wait_ready()
+            dropped = manager.invalidate("conversation", 0)
+            assert dropped > 0
+            stats = manager.stats()
+            assert stats["conversation"]["pending"] == 0
+            # The round still runs — a miss recomputes inline.
+            metrics = system.run_conversation_round()
+            assert metrics.round_number == 0
+
+    def test_networked_faulted_round_matches_in_process_speculation(self):
+        """The other deployment shape: a TCP deployment's server processes
+        never speculate, yet the same kill-then-retry round must land on the
+        same noise accounting and plaintexts as the in-process pipeline —
+        both derive attempt 2's material from the same fork."""
+        warm_metrics, _, warm_messages, _ = self.faulted_run(precompute=True)
+        with DeploymentLauncher(scenario_config(round_deadline_seconds=10.0)) as deployment:
+            alice = deployment.add_client("alice")
+            bob = deployment.add_client("bob")
+            alice.client.start_conversation(bob.client.public_key)
+            bob.client.start_conversation(alice.client.public_key)
+            alice.client.send_message("through the crash")
+            deployment.inject_fault(
+                0, {"action": "kill", "destination": "server-1/conversation", "count": 1}
+            )
+            result = deployment.run_conversation_round([alice, bob])
+            assert result.aborts == 1
+            assert (
+                deployment.chain_noise("conversation", result.round_number)
+                == warm_metrics.noise_requests
+            )
+            assert (
+                bob.client.messages_from(alice.client.public_key) == warm_messages
+            )
+
+
+# ----------------------------------------------------- swarm build-ahead
+
+
+class TestSwarmPrebuild:
+    def test_prebuilt_round_is_byte_identical(self):
+        config, swarm = build_swarm(12)
+        _, reference = build_swarm(12)
+        assert swarm.prebuild_round(0, chunk_size=5)
+        wires = [bytes(w) for chunk in swarm.iter_round_chunks(0, chunk_size=5) for w in chunk.wires]
+        inline = [bytes(w) for chunk in reference.iter_round_chunks(0, chunk_size=5) for w in chunk.wires]
+        assert wires == inline
+        # The per-client oracle: prebuilt wires are what fresh VuvuzelaClient
+        # objects produce for the same population.
+        assert wires == [bytes(w) for w in swarm.reference_wires(0)]
+        assert swarm.prebuild_stats() == {
+            "hits": 1,
+            "misses": 0,
+            "invalidations": 0,
+            "pending": 0,
+        }
+
+    def test_chunk_size_mismatch_is_a_miss_not_a_divergence(self):
+        config, swarm = build_swarm(10)
+        _, reference = build_swarm(10)
+        assert swarm.prebuild_round(0, chunk_size=3)
+        wires = [bytes(w) for chunk in swarm.iter_round_chunks(0, chunk_size=4) for w in chunk.wires]
+        inline = [bytes(w) for chunk in reference.iter_round_chunks(0, chunk_size=4) for w in chunk.wires]
+        assert wires == inline
+        assert swarm.prebuild_stats()["misses"] == 1
+
+    def test_set_message_after_prebuild_rewinds_and_rebuilds(self):
+        """The invalidation path: a message enqueued after the build-ahead
+        discards the speculative wires, rewinds the client rng streams, and
+        the inline rebuild carries the new plaintext byte-identically."""
+        config, swarm = build_swarm(8)
+        _, reference = build_swarm(8)
+        talker = swarm.names[0]
+        assert swarm.prebuild_round(0)
+        swarm.set_message(talker, b"added after the prebuild")
+        reference.set_message(talker, b"added after the prebuild")
+        wires = [bytes(w) for chunk in swarm.iter_round_chunks(0) for w in chunk.wires]
+        inline = [bytes(w) for chunk in reference.iter_round_chunks(0) for w in chunk.wires]
+        assert wires == inline
+        stats = swarm.prebuild_stats()
+        assert stats["invalidations"] == 1 and stats["hits"] == 0
+
+    def test_rounds_after_an_invalidation_stay_aligned(self):
+        config, swarm = build_swarm(6)
+        _, reference = build_swarm(6)
+        swarm.prebuild_round(0)
+        swarm.set_message(swarm.names[1], b"invalidator")
+        reference.set_message(reference.names[1], b"invalidator")
+        for round_number in (0, 1):
+            wires = [bytes(w) for chunk in swarm.iter_round_chunks(round_number) for w in chunk.wires]
+            inline = [
+                bytes(w) for chunk in reference.iter_round_chunks(round_number) for w in chunk.wires
+            ]
+            assert wires == inline, f"round {round_number} diverged"
+
+
+# -------------------------------------------------- session-level identity
+
+
+class TestSessionIdentity:
+    def run_session(self, users: int, rounds: int, *, precompute: bool):
+        config, swarm = build_swarm(users)
+        with VuvuzelaSystem(config) as system:
+            report = system.run_swarm_session(swarm, rounds, precompute=precompute)
+            return ledger_records(system, report), report.precompute
+
+    def test_session_on_off_identity_with_hits(self):
+        off, _ = self.run_session(16, 3, precompute=False)
+        on, counters = self.run_session(16, 3, precompute=True)
+        assert on == off
+        assert counters["conversation"]["hits"] > 0
+        assert counters["swarm"]["hits"] == 3  # primed + both prebuilt rounds
+
+    @given(
+        users=st.integers(min_value=4, max_value=20),
+        rounds=st.integers(min_value=1, max_value=3),
+    )
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sessions_are_identical_for_any_shape(self, users: int, rounds: int):
+        """Property: whatever the population and session length, precompute
+        on and off produce identical per-round ledger records."""
+        off, _ = self.run_session(users, rounds, precompute=False)
+        on, _ = self.run_session(users, rounds, precompute=True)
+        assert on == off
+
+
+# -------------------------------------------- admission chunk fast path
+
+
+class TestAdmissionFastPath:
+    """The chunk fast path (no deadline, no blocking, no registration) must
+    leave every observable exactly where the per-wire gate loop leaves it."""
+
+    @staticmethod
+    def build_stack(rng, **coordinator_kwargs):
+        network = Network()
+        keypairs = [KeyPair.generate(rng) for _ in range(2)]
+        publics = [k.public for k in keypairs]
+        for index, keypair in enumerate(keypairs):
+            is_last = index == 1
+            ChainServerEndpoint(
+                name=f"server-{index}/conversation",
+                mix_server=MixServer(
+                    index=index,
+                    keypair=keypair,
+                    chain_public_keys=publics,
+                    rng=rng.fork(f"s{index}"),
+                ),
+                network=network,
+                next_endpoint=None if is_last else "server-1/conversation",
+                processor=(lambda _round, payloads: [bytes(p).upper() for p in payloads])
+                if is_last
+                else None,
+            )
+        entry = EntryServer(
+            network=network,
+            first_server={MessageKind.CONVERSATION_REQUEST: "server-0/conversation"},
+        )
+        return network, entry, publics, RoundCoordinator(network, entry, **coordinator_kwargs)
+
+    def submit_chunk(self, *, deadline_seconds):
+        """One duplicate-heavy chunk through the batched gate; returns the
+        observables both branches must agree on."""
+        rng = DeterministicRandom(SEED)
+        network, entry, publics, coordinator = self.build_stack(rng)
+        window = coordinator.open_round(
+            MessageKind.CONVERSATION_REQUEST, 0, deadline_seconds=deadline_seconds
+        )
+        wire_rng = rng.fork("wires")
+        entries = []
+        for index in range(9):
+            wire, _ = wrap_request(b"m%d" % index, publics, 0, wire_rng)
+            entries.append((f"client-{index % 4}", wire))  # repeated sources
+        reply = network.send(
+            "swarm",
+            entry.name,
+            encode_submission_batch(MessageKind.CONVERSATION_REQUEST, 0, entries),
+            kind=MessageKind.SUBMISSION_BATCH,
+            round_number=0,
+        )
+        _, verdicts = decode_batch_verdicts(reply)
+        observables = (
+            verdicts,
+            window.arrivals,
+            window.accepted,
+            dict(window.per_client),
+            [
+                (source, bytes(payload))
+                for source, payload in entry.submissions(
+                    MessageKind.CONVERSATION_REQUEST, 0
+                )
+            ],
+        )
+        result = coordinator.close_round(window)
+        return observables, result.accepted
+
+    def test_fast_path_matches_the_gate_loop(self):
+        fast, fast_accepted = self.submit_chunk(deadline_seconds=None)
+        # Any deadline (even one that never fires) forces the per-wire loop.
+        slow, slow_accepted = self.submit_chunk(deadline_seconds=3600.0)
+        assert fast == slow
+        assert fast_accepted == slow_accepted == 9
+        assert fast[0] == bytes([VERDICT_ACCEPTED]) * 9
